@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the substrate components: how fast the
+//! simulator itself runs (simulation throughput, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_sim::config::SimConfig;
+use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
+use graphpim_sim::mem::hierarchy::CacheHierarchy;
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let config = SimConfig::hpca_default();
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("random_access_16way", |b| {
+        let mut h = CacheHierarchy::new(&config.cache, 16);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                h.access((i % 16) as usize, x % (1 << 28), x & 4 == 0);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_hmc_cube(c: &mut Criterion) {
+    let config = SimConfig::hpca_default();
+    let mut group = c.benchmark_group("hmc_cube");
+    group.throughput(Throughput::Elements(10_000));
+    for kind in [
+        ("read64", PacketKind::Read64),
+        ("atomic_cas", PacketKind::Atomic(HmcAtomicOp::CasIfEqual8)),
+        ("atomic_add", PacketKind::Atomic(HmcAtomicOp::Add16)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("service", kind.0), &kind.1, |b, &pkt| {
+            let mut cube = HmcCube::new(&config.hmc, 2.0);
+            let mut now = 0.0;
+            let mut addr = 0u64;
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    addr = addr.wrapping_add(0x4851);
+                    now += 0.5;
+                    criterion::black_box(cube.service(pkt, addr % (1 << 30), now));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_atomic_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmc_atomic_execute");
+    group.throughput(Throughput::Elements(18));
+    group.bench_function("all_18_commands", |b| {
+        let mut mem = 0xDEAD_BEEFu128;
+        b.iter(|| {
+            for op in HmcAtomicOp::HMC20_SET {
+                criterion::black_box(op.execute(&mut mem, 0x1234_5678));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    group.bench_function("ldbc_1k", |b| {
+        b.iter(|| GraphSpec::ldbc(LdbcSize::K1).seed(1).build())
+    });
+    group.bench_function("rmat_s12_e8", |b| b.iter(|| GraphSpec::rmat(12, 8).seed(1).build()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_hierarchy,
+    bench_hmc_cube,
+    bench_atomic_semantics,
+    bench_graph_generation
+);
+criterion_main!(benches);

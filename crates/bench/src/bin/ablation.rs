@@ -1,0 +1,11 @@
+//! Runs the ablation studies (design choices the paper discusses in
+//! Sections III-B/III-C but does not plot).
+
+use graphpim::experiments::{ablation, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[ablation] running at scale {} ...", ctx.size());
+    let rows = ablation::run(&mut ctx);
+    println!("{}", ablation::table(&rows));
+}

@@ -1,0 +1,52 @@
+//! Runs the entire harness: every table and figure, in paper order.
+//!
+//! `GRAPHPIM_SCALE` selects the LDBC input (default 10k); runs share one
+//! context, so the three-configuration sweep is simulated once.
+
+use graphpim::experiments::*;
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[all] scale {}", ctx.size());
+
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+    println!("{}", tables::table4());
+    println!("{}", tables::table5());
+    println!("{}", tables::table6(false));
+
+    println!("{}", fig01::table(&fig01::run(&mut ctx)));
+    println!("{}", fig02::table(&fig02::run(&mut ctx)));
+    println!("{}", fig04::table(&fig04::run(&mut ctx)));
+    println!("{}", fig07::table(&fig07::run(&mut ctx)));
+    println!("{}", fig09::table(&fig09::run(&mut ctx)));
+    println!("{}", fig10::table(&fig10::run(&mut ctx)));
+    println!("{}", fig11::table(&fig11::run(&mut ctx)));
+    println!("{}", fig12::table(&fig12::run(&mut ctx)));
+    println!("{}", fig13::table(&fig13::run(&mut ctx)));
+    let cells = fig14::run(&mut ctx);
+    println!("{}", fig14::table_a(&cells));
+    println!("{}", fig14::table_b(&cells));
+    let bars = fig15::run(&mut ctx);
+    println!("{}", fig15::table(&bars));
+    println!(
+        "Average normalized GraphPIM uncore energy: {:.2} (paper: 0.63)\n",
+        fig15::average_graphpim_energy(&bars)
+    );
+    let rows = fig16::run(&mut ctx);
+    println!("{}", fig16::table(&rows));
+    println!(
+        "Mean relative error: {:.2}% (paper: 7.72%)\n",
+        fig16::mean_error(&rows) * 100.0
+    );
+    let apps = fig17::run();
+    println!("{}", fig17::table8(&apps));
+    println!("{}", fig17::table17(&apps));
+
+    println!("{}", ablation::table(&ablation::run(&mut ctx)));
+    println!(
+        "{}",
+        hybrid::table(&hybrid::run(&mut ctx, &["BFS", "DC", "CComp"]))
+    );
+}

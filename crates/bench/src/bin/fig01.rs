@@ -1,0 +1,12 @@
+//! Regenerates Figure 1 (workload IPC) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig01, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig01] running at scale {} ...", ctx.size());
+    let rows = fig01::run(&mut ctx);
+    println!("{}", fig01::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 2 (cycle breakdown and MPKI) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig02, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig02] running at scale {} ...", ctx.size());
+    let rows = fig02::run(&mut ctx);
+    println!("{}", fig02::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4 (atomic instruction overhead) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig04, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig04] running at scale {} ...", ctx.size());
+    let rows = fig04::run(&mut ctx);
+    println!("{}", fig04::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7 (speedup over baseline) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig07, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig07] running at scale {} ...", ctx.size());
+    let rows = fig07::run(&mut ctx);
+    println!("{}", fig07::table(&rows));
+}

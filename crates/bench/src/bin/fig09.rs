@@ -1,0 +1,12 @@
+//! Regenerates Figure 9 (execution-time breakdown) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig09, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig09] running at scale {} ...", ctx.size());
+    let rows = fig09::run(&mut ctx);
+    println!("{}", fig09::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 10 (offload-candidate miss rate) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig10, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig10] running at scale {} ...", ctx.size());
+    let rows = fig10::run(&mut ctx);
+    println!("{}", fig10::table(&rows));
+}

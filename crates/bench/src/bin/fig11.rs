@@ -1,0 +1,12 @@
+//! Regenerates Figure 11 (FU-count sensitivity) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig11, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig11] running at scale {} ...", ctx.size());
+    let rows = fig11::run(&mut ctx);
+    println!("{}", fig11::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 12 (bandwidth consumption) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig12, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig12] running at scale {} ...", ctx.size());
+    let rows = fig12::run(&mut ctx);
+    println!("{}", fig12::table(&rows));
+}

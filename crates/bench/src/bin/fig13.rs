@@ -1,0 +1,12 @@
+//! Regenerates Figure 13 (link-bandwidth sensitivity) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+
+use graphpim::experiments::{fig13, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig13] running at scale {} ...", ctx.size());
+    let rows = fig13::run(&mut ctx);
+    println!("{}", fig13::table(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 14 (graph-size sensitivity) of the paper.
+//!
+//! Scale: `GRAPHPIM_SCALE` bounds the largest size swept (default 10k).
+
+use graphpim::experiments::{fig14, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig14] sweeping sizes up to {} ...", ctx.size());
+    let cells = fig14::run(&mut ctx);
+    println!("{}", fig14::table_a(&cells));
+    println!("{}", fig14::table_b(&cells));
+}

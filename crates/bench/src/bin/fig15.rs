@@ -1,0 +1,14 @@
+//! Regenerates Figure 15 (uncore energy breakdown) of the paper.
+
+use graphpim::experiments::{fig15, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig15] running at scale {} ...", ctx.size());
+    let bars = fig15::run(&mut ctx);
+    println!("{}", fig15::table(&bars));
+    println!(
+        "Average normalized GraphPIM uncore energy: {:.2} (paper: 0.63)",
+        fig15::average_graphpim_energy(&bars)
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 16 (analytical model validation) of the paper.
+
+use graphpim::experiments::{fig16, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[fig16] running at scale {} ...", ctx.size());
+    let rows = fig16::run(&mut ctx);
+    println!("{}", fig16::table(&rows));
+    println!(
+        "Mean relative error: {:.2}% (paper: 7.72%)",
+        fig16::mean_error(&rows) * 100.0
+    );
+}

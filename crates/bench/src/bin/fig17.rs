@@ -1,0 +1,12 @@
+//! Regenerates Figure 17 and Table VIII (real-world applications).
+//!
+//! Stand-in graph scale: `GRAPHPIM_APP_SCALE` = log2 vertices (default 13).
+
+use graphpim::experiments::fig17;
+
+fn main() {
+    eprintln!("[fig17] running FD and RS at RMAT scale {} ...", fig17::app_scale());
+    let results = fig17::run();
+    println!("{}", fig17::table8(&results));
+    println!("{}", fig17::table17(&results));
+}

@@ -1,0 +1,11 @@
+//! Hybrid HMC + DRAM deployment sweep (the Section III-B discussion the
+//! paper describes but does not plot).
+
+use graphpim::experiments::{hybrid, Experiments};
+
+fn main() {
+    let mut ctx = Experiments::from_env();
+    eprintln!("[hybrid] running at scale {} ...", ctx.size());
+    let points = hybrid::run(&mut ctx, &["BFS", "DC", "CComp"]);
+    println!("{}", hybrid::table(&points));
+}

@@ -1,0 +1,14 @@
+//! Prints Tables I–VI of the paper from the implementation itself.
+
+use graphpim::experiments::tables;
+
+fn main() {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+    println!("{}", tables::table4());
+    println!("{}", tables::table5());
+    // Pass GRAPHPIM_TABLE6_FULL=1 to also generate the LDBC-1M row.
+    let full = std::env::var("GRAPHPIM_TABLE6_FULL").is_ok();
+    println!("{}", tables::table6(full));
+}

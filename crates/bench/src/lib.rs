@@ -1,0 +1,10 @@
+//! Benchmark harness crate for the GraphPIM reproduction.
+//!
+//! This crate carries no library code; it exists for its binaries (one per
+//! paper table/figure — see `src/bin/`) and its Criterion benches
+//! (`benches/`). Start with:
+//!
+//! ```text
+//! cargo run --release -p graphpim-bench --bin all_figures
+//! cargo run --release -p graphpim-bench --bin run_kernel -- BFS --scale 10k
+//! ```

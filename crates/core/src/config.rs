@@ -1,0 +1,160 @@
+//! System configurations of the evaluation (Section IV-B).
+
+use graphpim_sim::config::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which offloading policy the system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PimMode {
+    /// Conventional architecture with HMC as main memory; no instruction
+    /// offloading.
+    Baseline,
+    /// Upper-bound PEI (Ahn et al.): offloading requests that hit in the
+    /// cache are processed in the host at cache latency, misses are
+    /// offloaded after the cache check, and coherence is assumed free.
+    UPei,
+    /// GraphPIM: atomics to the PIM memory region bypass the caches and
+    /// offload to HMC; all other PMR accesses bypass the caches too
+    /// (uncacheable semantics).
+    GraphPim,
+}
+
+impl PimMode {
+    /// The three evaluated configurations, in the paper's legend order.
+    pub const ALL: [PimMode; 3] = [PimMode::Baseline, PimMode::UPei, PimMode::GraphPim];
+
+    /// Display label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PimMode::Baseline => "Baseline",
+            PimMode::UPei => "U-PEI",
+            PimMode::GraphPim => "GraphPIM",
+        }
+    }
+}
+
+impl std::fmt::Display for PimMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full system configuration: substrate parameters + offloading policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Substrate (cores, caches, HMC) parameters.
+    pub sim: SimConfig,
+    /// Offloading policy.
+    pub mode: PimMode,
+    /// Whether the HMC implements the paper's proposed FP add/sub atomics
+    /// (Section III-C). Required for PRank and BC offloading.
+    pub fp_extension: bool,
+    /// Probability an unpredictable (data-dependent) branch mispredicts.
+    pub mispredict_rate: f64,
+    /// RNG seed for the misprediction model.
+    pub seed: u64,
+    /// Figure 4 micro-benchmark knob: execute every atomic as a plain
+    /// read + write (no synchronization cost). Functionally unsound on
+    /// real hardware — used only to measure atomic-instruction overhead.
+    pub atomics_as_plain: bool,
+    /// Hybrid HMC + DRAM deployments (Section III-B): the fraction of the
+    /// graph property placed in the HMC (and hence in the PMR). The rest
+    /// lives in conventional, cacheable memory and is processed
+    /// host-side. 1.0 = the paper's all-HMC system.
+    pub hmc_property_fraction: f64,
+}
+
+impl SystemConfig {
+    /// The paper's Table IV system under the given policy, with the FP
+    /// extension enabled (as in the BC/PRank bars of Figure 7).
+    pub fn hpca(mode: PimMode) -> Self {
+        SystemConfig {
+            sim: SimConfig::hpca_default(),
+            mode,
+            fp_extension: true,
+            mispredict_rate: 0.12,
+            seed: 12345,
+            atomics_as_plain: false,
+            hmc_property_fraction: 1.0,
+        }
+    }
+
+    /// Hybrid-memory variant: only `fraction` of the property lives in the
+    /// HMC-backed PMR (Section III-B discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_hmc_property_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        self.hmc_property_fraction = fraction;
+        self
+    }
+
+    /// Figure 4 variant: atomics execute as plain read + write.
+    pub fn with_atomics_as_plain(mut self) -> Self {
+        self.atomics_as_plain = true;
+        self
+    }
+
+    /// Disables the FP extension (plain HMC 2.0 command set).
+    pub fn without_fp_extension(mut self) -> Self {
+        self.fp_extension = false;
+        self
+    }
+
+    /// Overrides the number of atomic functional units per vault (Fig. 11).
+    pub fn with_fus_per_vault(mut self, fus: usize) -> Self {
+        self.sim.hmc.fus_per_vault = fus;
+        self
+    }
+
+    /// Scales the per-link bandwidth (Fig. 13: 0.5 = half, 2.0 = double).
+    pub fn with_link_bandwidth_factor(mut self, factor: f64) -> Self {
+        self.sim.hmc.link_gbps *= factor;
+        self
+    }
+
+    /// A smaller configuration for fast tests (2 cores, tiny caches).
+    pub fn tiny(mode: PimMode) -> Self {
+        SystemConfig {
+            sim: SimConfig::test_tiny(),
+            mode,
+            fp_extension: true,
+            mispredict_rate: 0.12,
+            seed: 12345,
+            atomics_as_plain: false,
+            hmc_property_fraction: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(PimMode::Baseline.label(), "Baseline");
+        assert_eq!(PimMode::UPei.label(), "U-PEI");
+        assert_eq!(PimMode::GraphPim.label(), "GraphPIM");
+    }
+
+    #[test]
+    fn hpca_defaults() {
+        let c = SystemConfig::hpca(PimMode::GraphPim);
+        assert_eq!(c.sim.core.cores, 16);
+        assert!(c.fp_extension);
+    }
+
+    #[test]
+    fn knobs_apply() {
+        let c = SystemConfig::hpca(PimMode::GraphPim)
+            .without_fp_extension()
+            .with_fus_per_vault(1)
+            .with_link_bandwidth_factor(0.5);
+        assert!(!c.fp_extension);
+        assert_eq!(c.sim.hmc.fus_per_vault, 1);
+        assert_eq!(c.sim.hmc.link_gbps, 60.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Uncore energy model (Figure 15).
+//!
+//! Event-count model in the spirit of the paper's CACTI 6.5 + HMC power
+//! references (Jeddeloh & Keeth; Pugsley et al.): per-access dynamic
+//! energies plus static power integrated over the run. Constants are
+//! representative 32 nm-class values chosen so that, at the baseline, the
+//! SerDes links account for roughly the 43% of HMC power the paper quotes.
+//! Figure 15 is a *relative* comparison, so the component ratios — not the
+//! absolute joules — are what matters.
+
+use crate::metrics::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic energy per L1 access, joules.
+pub const E_L1_ACCESS: f64 = 0.10e-9;
+/// Dynamic energy per L2 access, joules.
+pub const E_L2_ACCESS: f64 = 0.25e-9;
+/// Dynamic energy per L3 access, joules.
+pub const E_L3_ACCESS: f64 = 0.80e-9;
+/// Cache static power (whole hierarchy), watts.
+pub const P_CACHE_STATIC: f64 = 1.5;
+/// SerDes energy per transferred bit, joules (≈ 2 pJ/bit).
+pub const E_LINK_PER_BIT: f64 = 2.0e-12;
+/// SerDes static power (4 links, both directions), watts.
+pub const P_LINK_STATIC: f64 = 5.2;
+/// HMC logic-layer (vault controllers, crossbar) energy per request.
+pub const E_LOGIC_PER_REQ: f64 = 1.2e-9;
+/// HMC logic-layer static power, watts.
+pub const P_LOGIC_STATIC: f64 = 2.6;
+/// DRAM energy per activation (row open + precharge), joules.
+pub const E_DRAM_ACTIVATE: f64 = 2.5e-9;
+/// DRAM energy per column access (row-buffer read/write), joules.
+pub const E_DRAM_COLUMN: f64 = 0.5e-9;
+/// DRAM static (refresh + background) power, watts.
+pub const P_DRAM_STATIC: f64 = 1.9;
+/// Integer atomic FU energy per operation, joules.
+pub const E_FU_INT_OP: f64 = 15.0e-12;
+/// Floating-point FU energy per operation (low-power design, one FP FU per
+/// vault — Section IV-B4), joules.
+pub const E_FU_FP_OP: f64 = 180.0e-12;
+/// Static power of the FU pool per vault-FU, watts.
+pub const P_FU_STATIC_PER_FU: f64 = 0.001;
+
+/// Uncore energy split by component (the Figure 15 stack).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Host cache hierarchy.
+    pub caches: f64,
+    /// HMC SerDes links and data transfer.
+    pub hmc_link: f64,
+    /// HMC atomic functional units.
+    pub hmc_fu: f64,
+    /// HMC logic layer.
+    pub hmc_logic: f64,
+    /// HMC DRAM dies.
+    pub hmc_dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total uncore energy, joules.
+    pub fn total(&self) -> f64 {
+        self.caches + self.hmc_link + self.hmc_fu + self.hmc_logic + self.hmc_dram
+    }
+
+    /// HMC-only energy (excludes host caches).
+    pub fn hmc_total(&self) -> f64 {
+        self.hmc_link + self.hmc_fu + self.hmc_logic + self.hmc_dram
+    }
+
+    /// Fraction of HMC energy spent in the SerDes links.
+    pub fn link_share_of_hmc(&self) -> f64 {
+        self.hmc_link / self.hmc_total().max(1e-30)
+    }
+}
+
+/// Computes the uncore energy of a run at the given core clock and FU
+/// provisioning (`fp_fus_per_vault` matters only for FP-extension runs).
+pub fn uncore_energy(
+    metrics: &RunMetrics,
+    clock_ghz: f64,
+    vaults: usize,
+    fus_per_vault: usize,
+) -> EnergyBreakdown {
+    let seconds = metrics.seconds(clock_ghz);
+
+    let l1 = (metrics.l1.hits + metrics.l1.misses) as f64;
+    let l2 = (metrics.l2.hits + metrics.l2.misses) as f64;
+    let l3 = (metrics.l3.hits + metrics.l3.misses) as f64;
+    let caches = l1 * E_L1_ACCESS
+        + l2 * E_L2_ACCESS
+        + l3 * E_L3_ACCESS
+        + P_CACHE_STATIC * seconds;
+
+    let bits = metrics.hmc.total_flits() as f64 * 128.0;
+    let hmc_link = bits * E_LINK_PER_BIT + P_LINK_STATIC * seconds;
+
+    let requests =
+        (metrics.hmc.reads + metrics.hmc.writes + metrics.hmc.atomics) as f64;
+    let hmc_logic = requests * E_LOGIC_PER_REQ + P_LOGIC_STATIC * seconds;
+
+    let hmc_dram = metrics.hmc.dram_activations as f64 * E_DRAM_ACTIVATE
+        + metrics.hmc.dram_accesses as f64 * E_DRAM_COLUMN
+        + P_DRAM_STATIC * seconds;
+
+    // FP ops are the posted FpAdd atomics; everything else is integer.
+    let fp_ops = metrics.offloaded_fp_estimate();
+    let int_ops = (metrics.hmc.atomics as f64 - fp_ops).max(0.0);
+    let hmc_fu = int_ops * E_FU_INT_OP
+        + fp_ops * E_FU_FP_OP
+        + (vaults * fus_per_vault) as f64 * P_FU_STATIC_PER_FU * seconds;
+
+    EnergyBreakdown {
+        caches,
+        hmc_link,
+        hmc_fu,
+        hmc_logic,
+        hmc_dram,
+    }
+}
+
+impl RunMetrics {
+    /// Offloaded floating-point atomics (tracked exactly by the cube).
+    pub fn offloaded_fp_estimate(&self) -> f64 {
+        self.hmc.fp_atomics as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PimMode, SystemConfig};
+    use crate::system::SystemSim;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_workloads::kernels::{DCentr, PRank};
+
+    fn run(mode: PimMode) -> RunMetrics {
+        let config = SystemConfig::tiny(mode);
+        // Larger than the tiny L3 so property atomics miss (the paper's
+        // regime).
+        let graph = GraphSpec::uniform(20_000, 60_000).seed(4).build();
+        SystemSim::run_kernel(&mut DCentr::new(), &graph, &config)
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn breakdown_components_positive() {
+        let e = uncore_energy(&run(PimMode::Baseline), 2.0, 32, 16);
+        assert!(e.caches > 0.0);
+        assert!(e.hmc_link > 0.0);
+        assert!(e.hmc_logic > 0.0);
+        assert!(e.hmc_dram > 0.0);
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn links_dominate_hmc_power_at_baseline() {
+        // The paper cites ~43% of HMC power in the SerDes links.
+        let e = uncore_energy(&run(PimMode::Baseline), 2.0, 32, 16);
+        let share = e.link_share_of_hmc();
+        assert!(
+            (0.25..0.65).contains(&share),
+            "link share of HMC energy: {share}"
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn graphpim_reduces_uncore_energy_on_dc() {
+        let base = uncore_energy(&run(PimMode::Baseline), 2.0, 32, 16);
+        let pim = uncore_energy(&run(PimMode::GraphPim), 2.0, 32, 16);
+        assert!(
+            pim.total() < base.total(),
+            "GraphPIM {} vs baseline {}",
+            pim.total(),
+            base.total()
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn fu_energy_appears_under_graphpim() {
+        let base_metrics = run(PimMode::Baseline);
+        let pim_metrics = run(PimMode::GraphPim);
+        let pim = uncore_energy(&pim_metrics, 2.0, 32, 16);
+        // Baseline never exercises the FUs; GraphPIM's FU energy exceeds
+        // the static floor by the dynamic per-op contribution.
+        assert_eq!(base_metrics.hmc.atomics, 0);
+        let static_floor = 32.0 * 16.0 * P_FU_STATIC_PER_FU * pim_metrics.seconds(2.0);
+        assert!(
+            pim.hmc_fu > static_floor,
+            "FU energy {} vs static floor {static_floor}",
+            pim.hmc_fu
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn fp_ops_estimated_for_prank() {
+        let config = SystemConfig::tiny(PimMode::GraphPim);
+        let graph = GraphSpec::uniform(200, 1500).seed(4).build();
+        let m = SystemSim::run_kernel(&mut PRank::new(2), &graph, &config);
+        assert!(m.offloaded_fp_estimate() > 0.0);
+    }
+}

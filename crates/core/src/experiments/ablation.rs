@@ -1,0 +1,133 @@
+//! Ablation studies for the design choices the paper discusses but does
+//! not plot:
+//!
+//! * **Instruction-block translation** (Section III-B): SSSP's atomic-min
+//!   retry loop offloaded as repeated `CAS if equal` vs. translated into a
+//!   single `CAS if less` command.
+//! * **The FP extension and the bus-lock cliff** (Sections III-B/III-C):
+//!   PRank with the FP extension vs. without — without it, FP atomics on
+//!   the uncacheable PMR degrade to bus locking, the "huge performance
+//!   degradation" the paper warns about.
+
+use super::{pick_root, Experiments};
+use crate::config::{PimMode, SystemConfig};
+use crate::report::{fmt_speedup, Table};
+use crate::system::SystemSim;
+use graphpim_workloads::kernels::{PRank, Sssp};
+
+/// One ablation comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// What is being compared.
+    pub study: &'static str,
+    /// The two variants' names.
+    pub variants: [&'static str; 2],
+    /// Cycles of each variant (GraphPIM configuration).
+    pub cycles: [f64; 2],
+    /// HMC atomics issued by each variant.
+    pub atomics: [u64; 2],
+}
+
+impl Row {
+    /// Speedup of variant 1 over variant 0.
+    pub fn speedup(&self) -> f64 {
+        self.cycles[0] / self.cycles[1].max(1e-9)
+    }
+}
+
+/// Runs both ablations at the context scale.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    let size = ctx.size();
+    let weighted = ctx.weighted_graph(size).clone();
+    let plain_graph = ctx.graph(size).clone();
+    let root = pick_root(&weighted);
+    let config = SystemConfig::hpca(PimMode::GraphPim);
+
+    // Study 1: CAS retry loop vs translated CAS-if-less (SSSP).
+    let mut plain = Sssp::new(root);
+    let plain_m = SystemSim::run_kernel(&mut plain, &weighted, &config);
+    let mut translated = Sssp::with_translated_cas(root);
+    let translated_m = SystemSim::run_kernel(&mut translated, &weighted, &config);
+    assert_eq!(
+        plain.distances(),
+        translated.distances(),
+        "ablation variants must agree"
+    );
+    let study1 = Row {
+        study: "SSSP atomic-min idiom",
+        variants: ["CAS-if-equal retry", "translated CAS-if-less"],
+        cycles: [plain_m.total_cycles, translated_m.total_cycles],
+        atomics: [plain_m.hmc.atomics, translated_m.hmc.atomics],
+    };
+
+    // Study 2: FP extension vs bus-locked fallback (PRank).
+    let mut with_fp = PRank::new(3);
+    let with_m = SystemSim::run_kernel(&mut with_fp, &plain_graph, &config);
+    let mut without_fp = PRank::new(3);
+    let without_m = SystemSim::run_kernel(
+        &mut without_fp,
+        &plain_graph,
+        &config.clone().without_fp_extension(),
+    );
+    let study2 = Row {
+        study: "PRank FP atomics",
+        variants: ["bus-locked (no ext)", "FP extension"],
+        cycles: [without_m.total_cycles, with_m.total_cycles],
+        atomics: [without_m.hmc.atomics, with_m.hmc.atomics],
+    };
+
+    vec![study1, study2]
+}
+
+/// Formats the ablation rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Ablations: design choices under GraphPIM").header([
+        "Study", "Variant A", "Variant B", "B over A", "Atomics A", "Atomics B",
+    ]);
+    for r in rows {
+        t.row([
+            r.study.to_string(),
+            r.variants[0].to_string(),
+            r.variants[1].to_string(),
+            fmt_speedup(r.speedup()),
+            r.atomics[0].to_string(),
+            r.atomics[1].to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn ablations_have_expected_directions() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        assert_eq!(rows.len(), 2);
+
+        let idiom = &rows[0];
+        // The translated form issues at most as many atomics (no retries)
+        // and should not be slower.
+        assert!(idiom.atomics[1] <= idiom.atomics[0]);
+        assert!(
+            idiom.speedup() > 0.95,
+            "translation should not hurt: {:.2}",
+            idiom.speedup()
+        );
+
+        let fp = &rows[1];
+        // The FP extension offloads; the fallback bus-locks. Extension wins.
+        assert!(fp.atomics[1] > 0, "FP extension must offload");
+        assert_eq!(fp.atomics[0], 0, "without extension nothing offloads");
+        assert!(
+            fp.speedup() > 1.2,
+            "bus-locked fallback should be much slower: {:.2}",
+            fp.speedup()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 1: instructions per cycle (IPC) of graph workloads on a
+//! conventional system.
+//!
+//! The paper measures the full GraphBIG suite on a Xeon E5 and finds
+//! most workloads — especially the GT category — well below an IPC of 1.
+//! We reproduce it on the baseline simulator configuration.
+
+use super::Experiments;
+use crate::config::PimMode;
+use crate::report::Table;
+use graphpim_workloads::kernels::{full_set, Category, KernelParams};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Workload category (GT / RP / DG).
+    pub category: Category,
+    /// Measured per-core IPC under the baseline configuration.
+    pub ipc: f64,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    let names: Vec<(String, Category)> = full_set(KernelParams::default())
+        .iter()
+        .map(|k| (k.name().to_string(), k.category()))
+        .collect();
+    names
+        .into_iter()
+        .map(|(name, category)| {
+            let m = ctx.metrics(&name, PimMode::Baseline);
+            Row {
+                workload: name,
+                category,
+                ipc: m.ipc(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows as the paper's bar series.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Figure 1: IPC of graph workloads (baseline)")
+        .header(["Workload", "Category", "IPC"]);
+    for r in rows {
+        t.row([
+            r.workload.clone(),
+            r.category.to_string(),
+            format!("{:.3}", r.ipc),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn all_13_workloads_report_ipc() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            assert!(
+                r.ipc > 0.0 && r.ipc < 4.0,
+                "{}: IPC {} out of range",
+                r.workload,
+                r.ipc
+            );
+            if r.category == Category::GraphTraversal {
+                assert!(
+                    r.ipc < 1.5,
+                    "{}: GT workloads are memory bound, IPC {}",
+                    r.workload,
+                    r.ipc
+                );
+            }
+        }
+        assert_eq!(table(&rows).row_count(), 13);
+    }
+}

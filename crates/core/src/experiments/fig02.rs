@@ -1,0 +1,108 @@
+//! Figure 2: architectural behaviors — execution-cycle breakdown (top-down
+//! methodology) and per-level MPKI — of graph workloads on the baseline.
+//!
+//! The paper's headline observations: Backend dominates (>90% for some
+//! workloads) and L2/L3 provide little benefit (L3 MPKI up to ~145 for
+//! DCentr).
+
+use super::Experiments;
+use crate::config::PimMode;
+use crate::report::Table;
+use graphpim_sim::stats::CycleBreakdown;
+use graphpim_workloads::kernels::{full_set, KernelParams};
+
+/// One workload's bars in both panels of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Top-down cycle breakdown.
+    pub breakdown: CycleBreakdown,
+    /// L1 data-cache misses per kilo-instruction.
+    pub l1_mpki: f64,
+    /// L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// L3 misses per kilo-instruction.
+    pub l3_mpki: f64,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    let names: Vec<String> = full_set(KernelParams::default())
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let m = ctx.metrics(&name, PimMode::Baseline);
+            Row {
+                workload: name,
+                breakdown: m.breakdown(),
+                l1_mpki: m.l1_mpki(),
+                l2_mpki: m.l2_mpki(),
+                l3_mpki: m.l3_mpki(),
+            }
+        })
+        .collect()
+}
+
+/// Formats both panels.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Figure 2: cycle breakdown and MPKI (baseline)").header([
+        "Workload", "Backend", "Frontend", "BadSpec", "Retiring", "L1 MPKI", "L2 MPKI",
+        "L3 MPKI",
+    ]);
+    for r in rows {
+        t.row([
+            r.workload.clone(),
+            format!("{:.1}%", r.breakdown.backend * 100.0),
+            format!("{:.1}%", r.breakdown.frontend * 100.0),
+            format!("{:.1}%", r.breakdown.bad_speculation * 100.0),
+            format!("{:.1}%", r.breakdown.retiring * 100.0),
+            format!("{:.1}", r.l1_mpki),
+            format!("{:.1}", r.l2_mpki),
+            format!("{:.1}", r.l3_mpki),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn backend_dominates_for_traversal() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        let bfs = rows.iter().find(|r| r.workload == "BFS").expect("BFS row");
+        assert!(
+            bfs.breakdown.backend > 0.5,
+            "BFS backend share {}",
+            bfs.breakdown.backend
+        );
+        // MPKI ordering: L1 catches more than nothing; breakdown sums to 1.
+        assert!((bfs.breakdown.sum() - 1.0).abs() < 1e-6);
+        assert!(bfs.l1_mpki >= bfs.l3_mpki * 0.5);
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn dc_has_highest_llc_mpki() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        let dc = rows.iter().find(|r| r.workload == "DC").expect("DC row");
+        let gibbs = rows.iter().find(|r| r.workload == "Gibbs").expect("Gibbs");
+        assert!(
+            dc.l3_mpki > gibbs.l3_mpki,
+            "DC ({}) should out-miss Gibbs ({})",
+            dc.l3_mpki,
+            gibbs.l3_mpki
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 4: atomic instruction overhead.
+//!
+//! The paper's micro-benchmark runs one iteration of each workload with
+//! the graph-property atomics included vs. replaced by regular read/write
+//! instructions, finding a 29.8% average slowdown (up to 64% for DCentr)
+//! from the atomics themselves.
+
+use super::{geomean, Experiments, EVAL_KERNELS};
+use crate::report::Table;
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Execution time with atomics, normalized to the plain read/write
+    /// variant (1.0 = no overhead).
+    pub normalized_time: f64,
+}
+
+impl Row {
+    /// The overhead fraction (0.3 = 30% slower with atomics).
+    pub fn overhead(&self) -> f64 {
+        self.normalized_time - 1.0
+    }
+}
+
+/// Runs the experiment over the evaluation kernels.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    let mut rows: Vec<Row> = EVAL_KERNELS
+        .iter()
+        .map(|&name| {
+            let with = ctx
+                .metrics(name, crate::config::PimMode::Baseline)
+                .total_cycles;
+            let without = ctx.metrics_plain_atomics(name).total_cycles;
+            Row {
+                workload: name.to_string(),
+                normalized_time: with / without.max(1e-9),
+            }
+        })
+        .collect();
+    let avg = geomean(rows.iter().map(|r| r.normalized_time));
+    rows.push(Row {
+        workload: "Average".into(),
+        normalized_time: avg,
+    });
+    rows
+}
+
+/// Formats the rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Figure 4: atomic instruction overhead (baseline)")
+        .header(["Workload", "Normalized time", "Overhead"]);
+    for r in rows {
+        t.row([
+            r.workload.clone(),
+            format!("{:.2}", r.normalized_time),
+            format!("{:+.1}%", r.overhead() * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn atomics_cost_time_on_atomic_heavy_kernels() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        let dc = rows.iter().find(|r| r.workload == "DC").expect("DC");
+        assert!(
+            dc.overhead() > 0.05,
+            "DC atomic overhead should be visible: {:.3}",
+            dc.overhead()
+        );
+        let avg = rows.iter().find(|r| r.workload == "Average").expect("avg");
+        assert!(avg.overhead() > 0.0, "average overhead {:.3}", avg.overhead());
+        assert_eq!(rows.len(), 9);
+    }
+}

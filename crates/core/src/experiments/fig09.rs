@@ -1,0 +1,120 @@
+//! Figure 9: breakdown of normalized execution time.
+//!
+//! For baseline and GraphPIM, execution time splits into `Atomic-inCore`
+//! (pipeline freezing + write-buffer draining), `Atomic-inCache` (cache
+//! checking + coherence traffic), and `Other`. In the baseline, BFS /
+//! CComp / DC / PRank spend >50% in atomics; GraphPIM eliminates both
+//! atomic components.
+
+use super::{Experiments, EVAL_KERNELS};
+use crate::config::PimMode;
+use crate::report::Table;
+
+/// One stacked bar (one workload × one configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration of this bar.
+    pub mode: PimMode,
+    /// In-core atomic cycles, normalized to the *baseline* total.
+    pub atomic_incore: f64,
+    /// Cache/coherence/memory atomic cycles, normalized to baseline total.
+    pub atomic_incache: f64,
+    /// Everything else, normalized to baseline total.
+    pub other: f64,
+}
+
+impl Bar {
+    /// Total normalized height of the bar.
+    pub fn total(&self) -> f64 {
+        self.atomic_incore + self.atomic_incache + self.other
+    }
+}
+
+/// Runs the experiment: two bars (Baseline, GraphPIM) per workload.
+pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for &name in &EVAL_KERNELS {
+        let base = ctx.metrics(name, PimMode::Baseline);
+        let base_total = base.machine_cycles();
+        for mode in [PimMode::Baseline, PimMode::GraphPim] {
+            let m = ctx.metrics(name, mode);
+            let total = m.machine_cycles() / base_total;
+            let mut incore = m.core.atomic_incore_cycles / base_total;
+            let mut incache = m.core.atomic_incache_cycles / base_total;
+            // Attributed cycles are summed per instruction; on imbalanced
+            // runs (cores idling at barriers) the sum can exceed wall
+            // time x cores — cap the attribution at the bar height.
+            let attributed = incore + incache;
+            if attributed > total {
+                let scale = total / attributed;
+                incore *= scale;
+                incache *= scale;
+            }
+            bars.push(Bar {
+                workload: name.to_string(),
+                mode,
+                atomic_incore: incore,
+                atomic_incache: incache,
+                other: (total - incore - incache).max(0.0),
+            });
+        }
+    }
+    bars
+}
+
+/// Formats the bars.
+pub fn table(bars: &[Bar]) -> Table {
+    let mut t = Table::new("Figure 9: normalized execution time breakdown").header([
+        "Workload",
+        "Config",
+        "Atomic-inCore",
+        "Atomic-inCache",
+        "Other",
+        "Total",
+    ]);
+    for b in bars {
+        t.row([
+            b.workload.clone(),
+            b.mode.to_string(),
+            format!("{:.2}", b.atomic_incore),
+            format!("{:.2}", b.atomic_incache),
+            format!("{:.2}", b.other),
+            format!("{:.2}", b.total()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn baseline_atomics_visible_and_graphpim_eliminates_them() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let bars = run(&mut ctx);
+        assert_eq!(bars.len(), 16); // 8 workloads x 2 configs
+        let dc_base = bars
+            .iter()
+            .find(|b| b.workload == "DC" && b.mode == PimMode::Baseline)
+            .expect("DC baseline");
+        assert!(
+            dc_base.atomic_incore + dc_base.atomic_incache > 0.15,
+            "DC atomic share {:.2}",
+            dc_base.atomic_incore + dc_base.atomic_incache
+        );
+        assert!((dc_base.total() - 1.0).abs() < 1e-6, "baseline normalizes to 1");
+
+        let dc_pim = bars
+            .iter()
+            .find(|b| b.workload == "DC" && b.mode == PimMode::GraphPim)
+            .expect("DC GraphPIM");
+        assert_eq!(dc_pim.atomic_incore, 0.0);
+        assert!(dc_pim.total() < dc_base.total());
+    }
+}

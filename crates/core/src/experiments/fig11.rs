@@ -1,0 +1,90 @@
+//! Figure 11: sensitivity to the number of atomic functional units per
+//! vault.
+//!
+//! The paper sweeps 1/2/4/8/16 FUs per vault and finds essentially no
+//! performance difference: 32 vaults spread consecutive atomics, and
+//! dependent instructions interleave enough other memory traffic that
+//! PIM-Atomic throughput is never the bottleneck.
+
+use super::{Experiments, EVAL_KERNELS};
+use crate::config::PimMode;
+use crate::report::{fmt_speedup, Table};
+
+/// FU counts swept by the paper.
+pub const FU_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One workload's bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// GraphPIM speedup over baseline for each FU count in [`FU_SWEEP`].
+    pub speedups: [f64; 5],
+}
+
+impl Row {
+    /// Largest relative deviation across the sweep.
+    pub fn spread(&self) -> f64 {
+        let max = self.speedups.iter().copied().fold(f64::MIN, f64::max);
+        let min = self.speedups.iter().copied().fold(f64::MAX, f64::min);
+        (max - min) / min.max(1e-9)
+    }
+}
+
+/// Runs the sweep.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    let size = ctx.size();
+    EVAL_KERNELS
+        .iter()
+        .map(|&name| {
+            let base = ctx
+                .metrics_at(name, PimMode::Baseline, size, 16, 10)
+                .total_cycles;
+            let mut speedups = [0.0; 5];
+            for (i, &fus) in FU_SWEEP.iter().enumerate() {
+                let m = ctx.metrics_at(name, PimMode::GraphPim, size, fus, 10);
+                speedups[i] = base / m.total_cycles.max(1e-9);
+            }
+            Row {
+                workload: name.to_string(),
+                speedups,
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Figure 11: speedup vs functional units per vault").header([
+        "Workload", "1 FU", "2 FU", "4 FU", "8 FU", "16 FU",
+    ]);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.speedups.iter().map(|&s| fmt_speedup(s)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn performance_insensitive_to_fu_count() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        for r in &rows {
+            assert!(
+                r.spread() < 0.10,
+                "{}: FU sweep spread {:.3} (speedups {:?})",
+                r.workload,
+                r.spread(),
+                r.speedups
+            );
+        }
+    }
+}

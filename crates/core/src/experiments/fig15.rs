@@ -1,0 +1,123 @@
+//! Figure 15: uncore energy breakdown, normalized to baseline.
+//!
+//! GraphPIM cuts uncore energy ~37% on average: fewer cache accesses,
+//! fewer link FLITs, less logic-layer work, and shorter runtime. FU energy
+//! is negligible except where FP units run (BC, PRank).
+
+use super::{geomean, Experiments, EVAL_KERNELS};
+use crate::config::PimMode;
+use crate::energy::{uncore_energy, EnergyBreakdown};
+use crate::report::Table;
+
+/// One stacked bar (workload × configuration), normalized to the
+/// workload's baseline total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration.
+    pub mode: PimMode,
+    /// Energy components normalized to the baseline total.
+    pub energy: EnergyBreakdown,
+}
+
+impl Bar {
+    /// Total normalized energy.
+    pub fn total(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+/// Runs the experiment: Baseline and GraphPIM bars per workload.
+pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for &name in &EVAL_KERNELS {
+        let base = ctx.metrics(name, PimMode::Baseline);
+        let base_energy = uncore_energy(&base, 2.0, 32, 16);
+        let norm = base_energy.total().max(1e-30);
+        for mode in [PimMode::Baseline, PimMode::GraphPim] {
+            let m = ctx.metrics(name, mode);
+            let e = uncore_energy(&m, 2.0, 32, 16);
+            bars.push(Bar {
+                workload: name.to_string(),
+                mode,
+                energy: EnergyBreakdown {
+                    caches: e.caches / norm,
+                    hmc_link: e.hmc_link / norm,
+                    hmc_fu: e.hmc_fu / norm,
+                    hmc_logic: e.hmc_logic / norm,
+                    hmc_dram: e.hmc_dram / norm,
+                },
+            });
+        }
+    }
+    bars
+}
+
+/// Average normalized GraphPIM energy (the paper reports 0.63, i.e. a
+/// 37% reduction).
+pub fn average_graphpim_energy(bars: &[Bar]) -> f64 {
+    geomean(
+        bars.iter()
+            .filter(|b| b.mode == PimMode::GraphPim)
+            .map(|b| b.total()),
+    )
+}
+
+/// Formats the bars.
+pub fn table(bars: &[Bar]) -> Table {
+    let mut t = Table::new("Figure 15: normalized uncore energy breakdown").header([
+        "Workload", "Config", "Caches", "HMC Link", "HMC FU", "HMC LL", "HMC DRAM", "Total",
+    ]);
+    for b in bars {
+        t.row([
+            b.workload.clone(),
+            b.mode.to_string(),
+            format!("{:.2}", b.energy.caches),
+            format!("{:.2}", b.energy.hmc_link),
+            format!("{:.3}", b.energy.hmc_fu),
+            format!("{:.2}", b.energy.hmc_logic),
+            format!("{:.2}", b.energy.hmc_dram),
+            format!("{:.2}", b.total()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn graphpim_energy_normalized_and_bounded() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let bars = run(&mut ctx);
+        assert_eq!(bars.len(), 16);
+        // Baselines normalize to 1; GraphPIM bars never blow past baseline
+        // ("even in the worst case", Section IV-B4); atomic-dense kernels
+        // save energy at any scale (shorter runtime + fewer cache
+        // accesses).
+        for b in &bars {
+            match b.mode {
+                PimMode::Baseline => {
+                    assert!((b.total() - 1.0).abs() < 1e-6, "{}", b.workload)
+                }
+                _ => assert!(
+                    b.total() < 1.2,
+                    "{}: GraphPIM energy {:.2}",
+                    b.workload,
+                    b.total()
+                ),
+            }
+        }
+        let dc = bars
+            .iter()
+            .find(|b| b.workload == "DC" && b.mode == PimMode::GraphPim)
+            .expect("DC");
+        assert!(dc.total() < 1.0, "DC GraphPIM energy {:.2}", dc.total());
+        assert!(average_graphpim_energy(&bars) < 1.05);
+    }
+}

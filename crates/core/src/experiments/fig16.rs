@@ -1,0 +1,105 @@
+//! Figure 16: validation of the analytical model against simulation.
+//!
+//! The paper derives Equation 1–2 inputs from baseline measurements and
+//! compares the predicted GraphPIM speedup with the simulated one,
+//! reporting a 7.72% average error.
+
+use super::{Experiments, EVAL_KERNELS};
+use crate::analytic::AnalyticalModel;
+use crate::config::PimMode;
+use crate::report::{fmt_speedup, Table};
+
+/// One workload's pair of bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated GraphPIM speedup.
+    pub simulated: f64,
+    /// Analytical-model speedup.
+    pub analytical: f64,
+}
+
+impl Row {
+    /// Relative error of the model vs. simulation.
+    pub fn error(&self) -> f64 {
+        (self.analytical - self.simulated).abs() / self.simulated.max(1e-9)
+    }
+}
+
+/// Runs the comparison.
+pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+    EVAL_KERNELS
+        .iter()
+        .map(|&name| {
+            let base = ctx.metrics(name, PimMode::Baseline);
+            let pim = ctx.metrics(name, PimMode::GraphPim);
+            let simulated = base.total_cycles / pim.total_cycles.max(1e-9);
+            // Lat_PIM comes from design parameters, as in the paper.
+            let lat_pim = AnalyticalModel::default_lat_pim(
+                &crate::config::SystemConfig::hpca(PimMode::GraphPim).sim,
+            );
+            let model = AnalyticalModel::from_baseline(&base, lat_pim);
+            let _ = &pim;
+            Row {
+                workload: name.to_string(),
+                simulated,
+                analytical: model.speedup(),
+            }
+        })
+        .collect()
+}
+
+/// Mean relative error across workloads.
+pub fn mean_error(rows: &[Row]) -> f64 {
+    rows.iter().map(Row::error).sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Formats the rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new("Figure 16: analytical model vs simulation")
+        .header(["Workload", "Simulated", "Analytical", "Error"]);
+    for r in rows {
+        t.row([
+            r.workload.clone(),
+            fmt_speedup(r.simulated),
+            fmt_speedup(r.analytical),
+            format!("{:.1}%", r.error() * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn model_tracks_simulation_directionally() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let rows = run(&mut ctx);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.analytical > 0.2 && r.analytical < 20.0, "{r:?}");
+            assert!(r.simulated > 0.2 && r.simulated < 20.0, "{r:?}");
+        }
+        // The model agrees on the direction for the atomic-dense winners
+        // (kernels whose speedup comes from non-atomic effects — e.g.
+        // kCore's cold-miss behavior at smoke scale — are outside the
+        // model's scope, exactly as in the paper's Eq. 1).
+        for r in rows.iter().filter(|r| {
+            r.simulated > 1.5 && ["BFS", "CComp", "DC", "PRank"].contains(&r.workload.as_str())
+        }) {
+            assert!(
+                r.analytical > 1.0,
+                "{}: model {:.2} vs sim {:.2}",
+                r.workload,
+                r.analytical,
+                r.simulated
+            );
+        }
+    }
+}

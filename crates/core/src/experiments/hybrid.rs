@@ -1,0 +1,120 @@
+//! Hybrid HMC + DRAM deployment sweep (Section III-B discussion).
+//!
+//! "GraphPIM can be applied on systems equipped with both HMCs and DRAMs.
+//! In this case, the graph property data allocated in DRAMs will be
+//! processed in the conventional way, while the graph data in HMCs can
+//! still receive the same benefit from PIM-Atomic." This sweep varies the
+//! HMC-resident share of the property and shows the benefit scaling
+//! smoothly between the baseline and the all-HMC GraphPIM system.
+
+use super::{pick_root, Experiments};
+use crate::config::{PimMode, SystemConfig};
+use crate::report::{fmt_pct, fmt_speedup, Table};
+use crate::system::SystemSim;
+use graphpim_workloads::kernels::{by_name, KernelParams};
+
+/// HMC property shares swept.
+pub const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One (workload × fraction) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Workload name.
+    pub workload: String,
+    /// HMC-resident property share.
+    pub fraction: f64,
+    /// Speedup over the baseline (all-conventional) system.
+    pub speedup: f64,
+    /// Share of candidate atomics actually offloaded.
+    pub offloaded_share: f64,
+}
+
+/// Runs the sweep for the given kernels.
+pub fn run(ctx: &mut Experiments, kernels: &[&str]) -> Vec<Point> {
+    let size = ctx.size();
+    let mut out = Vec::new();
+    for &name in kernels {
+        let graph = if name == "SSSP" {
+            ctx.weighted_graph(size).clone()
+        } else {
+            ctx.graph(size).clone()
+        };
+        let mut params = KernelParams::scaled_for(graph.vertex_count());
+        params.root = pick_root(&graph);
+        let base = {
+            let mut k = by_name(name, params).expect(name);
+            SystemSim::run_kernel(k.as_mut(), &graph, &SystemConfig::hpca(PimMode::Baseline))
+        };
+        for &fraction in &FRACTIONS {
+            let mut k = by_name(name, params).expect(name);
+            let config = SystemConfig::hpca(PimMode::GraphPim)
+                .with_hmc_property_fraction(fraction);
+            let m = SystemSim::run_kernel(k.as_mut(), &graph, &config);
+            out.push(Point {
+                workload: name.to_string(),
+                fraction,
+                speedup: base.total_cycles / m.total_cycles.max(1e-9),
+                offloaded_share: if m.core.host_atomics + m.offloaded_atomics == 0 {
+                    0.0
+                } else {
+                    m.offloaded_atomics as f64
+                        / (m.core.host_atomics + m.offloaded_atomics) as f64
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Formats the sweep.
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new("Hybrid HMC+DRAM: speedup vs HMC-resident property share")
+        .header(["Workload", "HMC share", "Offloaded", "Speedup"]);
+    for p in points {
+        t.row([
+            p.workload.clone(),
+            fmt_pct(p.fraction),
+            fmt_pct(p.offloaded_share),
+            fmt_speedup(p.speedup),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::LdbcSize;
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn benefit_scales_with_hmc_share() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let points = run(&mut ctx, &["DC"]);
+        assert_eq!(points.len(), FRACTIONS.len());
+        // Offloaded share tracks the placement fraction.
+        for p in &points {
+            assert!(
+                (p.offloaded_share - p.fraction).abs() < 0.15,
+                "share {:.2} vs fraction {:.2}",
+                p.offloaded_share,
+                p.fraction
+            );
+        }
+        // Full HMC placement is at least as fast as none.
+        let at = |f: f64| {
+            points
+                .iter()
+                .find(|p| p.fraction == f)
+                .map(|p| p.speedup)
+                .expect("point")
+        };
+        assert!(
+            at(1.0) >= at(0.0) * 0.95,
+            "full placement {:.2} vs none {:.2}",
+            at(1.0),
+            at(0.0)
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Experiment drivers: one module per table/figure of the paper.
+//!
+//! All figures share one [`Experiments`] context, which memoizes
+//! (kernel × configuration) simulation runs so that e.g. Figures 7, 9, 10
+//! and 12 — different views of the same three-configuration sweep — cost
+//! one simulation each.
+//!
+//! The input scale defaults to LDBC-10k so the whole harness finishes in
+//! minutes; set `GRAPHPIM_SCALE=1k|10k|100k|1m` to change it (the paper
+//! uses LDBC-1M; shapes are stable across scales — Figure 14 is the scale
+//! sweep itself).
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod hybrid;
+pub mod tables;
+
+use crate::config::{PimMode, SystemConfig};
+use crate::metrics::RunMetrics;
+use crate::system::SystemSim;
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_graph::{CsrGraph, VertexId};
+use graphpim_workloads::kernels::{by_name, KernelParams};
+use std::collections::HashMap;
+
+/// A memoization key for one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RunKey {
+    kernel: String,
+    mode: PimMode,
+    size: LdbcSize,
+    fus: usize,
+    /// Link bandwidth factor in tenths (5 = half, 10 = paper, 20 = double).
+    bw_tenths: u32,
+    /// Figure 4 variant: atomics replaced by plain read + write.
+    plain_atomics: bool,
+}
+
+/// Shared context: input graphs and memoized runs.
+pub struct Experiments {
+    size: LdbcSize,
+    graphs: HashMap<LdbcSize, CsrGraph>,
+    weighted: HashMap<LdbcSize, CsrGraph>,
+    runs: HashMap<RunKey, RunMetrics>,
+    verbose: bool,
+}
+
+impl Experiments {
+    /// Context at the scale selected by `GRAPHPIM_SCALE` (default 10k).
+    pub fn from_env() -> Self {
+        let size = match std::env::var("GRAPHPIM_SCALE").as_deref() {
+            Ok("1k") => LdbcSize::K1,
+            Ok("100k") => LdbcSize::K100,
+            Ok("1m") => LdbcSize::M1,
+            _ => LdbcSize::K10,
+        };
+        Experiments::at_scale(size)
+    }
+
+    /// Context at an explicit scale.
+    pub fn at_scale(size: LdbcSize) -> Self {
+        Experiments {
+            size,
+            graphs: HashMap::new(),
+            weighted: HashMap::new(),
+            runs: HashMap::new(),
+            verbose: std::env::var("GRAPHPIM_VERBOSE").is_ok(),
+        }
+    }
+
+    /// The context's default input size.
+    pub fn size(&self) -> LdbcSize {
+        self.size
+    }
+
+    /// The (unweighted) LDBC-like graph at `size`, generated once.
+    pub fn graph(&mut self, size: LdbcSize) -> &CsrGraph {
+        self.graphs
+            .entry(size)
+            .or_insert_with(|| GraphSpec::ldbc(size).seed(7).build())
+    }
+
+    /// The weighted variant (for SSSP).
+    pub fn weighted_graph(&mut self, size: LdbcSize) -> &CsrGraph {
+        self.weighted
+            .entry(size)
+            .or_insert_with(|| GraphSpec::ldbc(size).seed(7).weighted().build())
+    }
+
+    /// Runs (or recalls) `kernel` under `mode` at the context scale with
+    /// the paper's Table IV configuration.
+    pub fn metrics(&mut self, kernel: &str, mode: PimMode) -> RunMetrics {
+        let size = self.size;
+        self.metrics_full(kernel, mode, size, 16, 10, false)
+    }
+
+    /// Figure 4 variant: baseline with atomics executed as plain
+    /// read + write.
+    pub fn metrics_plain_atomics(&mut self, kernel: &str) -> RunMetrics {
+        let size = self.size;
+        self.metrics_full(kernel, PimMode::Baseline, size, 16, 10, true)
+    }
+
+    /// Parameterized run: FU count and link-bandwidth tenths.
+    pub fn metrics_at(
+        &mut self,
+        kernel: &str,
+        mode: PimMode,
+        size: LdbcSize,
+        fus: usize,
+        bw_tenths: u32,
+    ) -> RunMetrics {
+        self.metrics_full(kernel, mode, size, fus, bw_tenths, false)
+    }
+
+    fn metrics_full(
+        &mut self,
+        kernel: &str,
+        mode: PimMode,
+        size: LdbcSize,
+        fus: usize,
+        bw_tenths: u32,
+        plain_atomics: bool,
+    ) -> RunMetrics {
+        let key = RunKey {
+            kernel: kernel.to_string(),
+            mode,
+            size,
+            fus,
+            bw_tenths,
+            plain_atomics,
+        };
+        if let Some(hit) = self.runs.get(&key) {
+            return hit.clone();
+        }
+        let weighted = kernel == "SSSP";
+        // Generate (and cache) the graph before timing the run.
+        let graph = if weighted {
+            self.weighted_graph(size).clone()
+        } else {
+            self.graph(size).clone()
+        };
+        let mut params = KernelParams::scaled_for(graph.vertex_count());
+        params.root = pick_root(&graph);
+        let mut k = by_name(kernel, params)
+            .unwrap_or_else(|| panic!("unknown kernel {kernel}"));
+        let mut config = SystemConfig::hpca(mode)
+            .with_fus_per_vault(fus)
+            .with_link_bandwidth_factor(bw_tenths as f64 / 10.0);
+        if plain_atomics {
+            config = config.with_atomics_as_plain();
+        }
+        if self.verbose {
+            eprintln!("[run] {kernel} {mode} {size} fus={fus} bw={bw_tenths}");
+        }
+        let metrics = SystemSim::run_kernel(k.as_mut(), &graph, &config);
+        self.runs.insert(key, metrics.clone());
+        metrics
+    }
+
+    /// Speedup of `mode` over baseline for `kernel` at the default scale.
+    pub fn speedup(&mut self, kernel: &str, mode: PimMode) -> f64 {
+        let base = self.metrics(kernel, PimMode::Baseline).total_cycles;
+        let m = self.metrics(kernel, mode).total_cycles;
+        base / m.max(1e-9)
+    }
+}
+
+impl std::fmt::Debug for Experiments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiments")
+            .field("size", &self.size)
+            .field("cached_runs", &self.runs.len())
+            .finish()
+    }
+}
+
+/// The eight evaluation workloads, in Figure 7's x-axis order.
+pub const EVAL_KERNELS: [&str; 8] = ["BFS", "CComp", "DC", "kCore", "SSSP", "TC", "BC", "PRank"];
+
+/// Picks a high-degree root so traversals cover the giant component.
+pub fn pick_root(graph: &CsrGraph) -> VertexId {
+    (0..graph.vertex_count() as VertexId)
+        .max_by_key(|&v| graph.out_degree(v))
+        .unwrap_or(0)
+}
+
+/// Geometric mean helper used by "Average" columns.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut product = 1.0f64;
+    let mut count = 0usize;
+    for v in values {
+        product *= v.max(1e-12);
+        count += 1;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        product.powf(1.0 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::GraphBuilder;
+
+    #[test]
+    fn pick_root_prefers_hub() {
+        let g = GraphBuilder::new(4)
+            .edge(1, 0)
+            .edge(1, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build();
+        assert_eq!(pick_root(&g), 1);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn memoization_reuses_runs() {
+        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let a = ctx.metrics("DC", PimMode::Baseline);
+        let b = ctx.metrics("DC", PimMode::Baseline);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(ctx.runs.len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The PIM offloading unit (POU).
+//!
+//! One POU sits in each host core (Figure 6). It inspects every atomic
+//! memory instruction: if the target address falls inside the PIM memory
+//! region and the operation maps onto an HMC command the cube implements,
+//! the instruction is sent to memory as a PIM-Atomic request instead of
+//! executing host-side. No ISA change is involved — plain `lock`-prefixed
+//! instructions are recognized by *address*.
+//!
+//! The module also implements the instruction-block translation the paper
+//! sketches for `CAS if greater / less`: compilers emit these idioms as a
+//! small loop of `load; cmp; lock cmpxchg`; [`translate_idiom`] recognizes
+//! the pattern so the whole block can offload as a single HMC command.
+
+use crate::config::{PimMode, SystemConfig};
+use graphpim_sim::hmc::HmcAtomicOp;
+use graphpim_sim::mem::addr::{Addr, Region};
+
+/// Where an atomic instruction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicPath {
+    /// Execute in the host core (conventional RMW with cache/coherence).
+    Host,
+    /// Offload to the HMC atomic units unconditionally (GraphPIM).
+    Offload,
+    /// U-PEI path: probe the caches; execute host-side on a hit, offload on
+    /// a miss.
+    LocalityDependent,
+}
+
+/// The per-core PIM offloading unit.
+#[derive(Debug, Clone)]
+pub struct Pou {
+    mode: PimMode,
+    fp_extension: bool,
+    /// Per-mille threshold for the hybrid HMC/DRAM property split.
+    hmc_share_permille: u64,
+}
+
+impl Pou {
+    /// Builds the POU for a system configuration.
+    pub fn new(config: &SystemConfig) -> Self {
+        Pou {
+            mode: config.mode,
+            fp_extension: config.fp_extension,
+            hmc_share_permille: (config.hmc_property_fraction * 1000.0).round() as u64,
+        }
+    }
+
+    /// Whether `addr` lies in the PIM memory region: the property region,
+    /// restricted to the HMC-resident share in hybrid deployments
+    /// (Section III-B: property data allocated in conventional DRAM is
+    /// processed the conventional way).
+    pub fn in_pmr(&self, addr: Addr) -> bool {
+        if Region::of(addr) != Region::Property {
+            return false;
+        }
+        if self.hmc_share_permille >= 1000 {
+            return true;
+        }
+        // Deterministic per-line placement hash.
+        let line = addr >> 6;
+        let h = line
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (h % 1000) < self.hmc_share_permille
+    }
+
+    /// Whether the cube implements `op` under this configuration.
+    pub fn op_supported(&self, op: HmcAtomicOp) -> bool {
+        op.in_hmc20() || self.fp_extension
+    }
+
+    /// Whether plain loads/stores to `addr` bypass the cache hierarchy
+    /// (uncacheable PMR semantics — GraphPIM only).
+    pub fn bypass_cache(&self, addr: Addr) -> bool {
+        self.mode == PimMode::GraphPim && self.in_pmr(addr)
+    }
+
+    /// Routes an atomic instruction.
+    pub fn route_atomic(&self, addr: Addr, op: HmcAtomicOp) -> AtomicPath {
+        match self.mode {
+            PimMode::Baseline => AtomicPath::Host,
+            PimMode::UPei => {
+                if self.in_pmr(addr) && self.op_supported(op) {
+                    AtomicPath::LocalityDependent
+                } else {
+                    AtomicPath::Host
+                }
+            }
+            PimMode::GraphPim => {
+                if self.in_pmr(addr) && self.op_supported(op) {
+                    AtomicPath::Offload
+                } else {
+                    AtomicPath::Host
+                }
+            }
+        }
+    }
+
+    /// Whether an atomic to `addr` counts as an *offloading candidate*
+    /// (atomic on the graph property — the denominator of Figure 10).
+    pub fn is_candidate(&self, addr: Addr) -> bool {
+        self.in_pmr(addr)
+    }
+}
+
+/// A host instruction inside a candidate translation block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostInstr {
+    /// Plain load of the target location.
+    Load,
+    /// Compare the loaded value with a register (greater / less).
+    CmpGreater,
+    /// Compare (less-than direction).
+    CmpLess,
+    /// Conditional backward branch closing the retry loop.
+    LoopBranch,
+    /// `lock cmpxchg` on the target location.
+    LockCmpxchg,
+}
+
+/// Recognizes the compiler idiom for conditional-swap loops and returns the
+/// single HMC command the block translates to (Section III-B, "Offloading
+/// Target" discussion). Returns `None` when the block is not one of the
+/// known idioms.
+pub fn translate_idiom(block: &[HostInstr]) -> Option<HmcAtomicOp> {
+    use HostInstr::*;
+    match block {
+        [Load, CmpGreater, LockCmpxchg, LoopBranch] => Some(HmcAtomicOp::CasIfGreater16),
+        [Load, CmpLess, LockCmpxchg, LoopBranch] => Some(HmcAtomicOp::CasIfLess16),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pou(mode: PimMode) -> Pou {
+        Pou::new(&SystemConfig::hpca(mode))
+    }
+
+    fn prop_addr() -> Addr {
+        Region::Property.addr(0x100)
+    }
+
+    fn meta_addr() -> Addr {
+        Region::Meta.addr(0x100)
+    }
+
+    #[test]
+    fn baseline_never_offloads() {
+        let p = pou(PimMode::Baseline);
+        assert_eq!(
+            p.route_atomic(prop_addr(), HmcAtomicOp::CasIfEqual8),
+            AtomicPath::Host
+        );
+        assert!(!p.bypass_cache(prop_addr()));
+    }
+
+    #[test]
+    fn graphpim_offloads_pmr_atomics_only() {
+        let p = pou(PimMode::GraphPim);
+        assert_eq!(
+            p.route_atomic(prop_addr(), HmcAtomicOp::CasIfEqual8),
+            AtomicPath::Offload
+        );
+        assert_eq!(
+            p.route_atomic(meta_addr(), HmcAtomicOp::CasIfEqual8),
+            AtomicPath::Host
+        );
+    }
+
+    #[test]
+    fn graphpim_bypasses_cache_for_pmr() {
+        let p = pou(PimMode::GraphPim);
+        assert!(p.bypass_cache(prop_addr()));
+        assert!(!p.bypass_cache(meta_addr()));
+    }
+
+    #[test]
+    fn upei_is_locality_dependent() {
+        let p = pou(PimMode::UPei);
+        assert_eq!(
+            p.route_atomic(prop_addr(), HmcAtomicOp::Add16),
+            AtomicPath::LocalityDependent
+        );
+        assert!(!p.bypass_cache(prop_addr()), "PEI keeps data cacheable");
+    }
+
+    #[test]
+    fn fp_atomics_need_extension() {
+        let with = pou(PimMode::GraphPim);
+        assert_eq!(
+            with.route_atomic(prop_addr(), HmcAtomicOp::FpAdd64),
+            AtomicPath::Offload
+        );
+        let without = Pou::new(&SystemConfig::hpca(PimMode::GraphPim).without_fp_extension());
+        assert_eq!(
+            without.route_atomic(prop_addr(), HmcAtomicOp::FpAdd64),
+            AtomicPath::Host
+        );
+        // Integer atomics still offload without the extension.
+        assert_eq!(
+            without.route_atomic(prop_addr(), HmcAtomicOp::Add16),
+            AtomicPath::Offload
+        );
+    }
+
+    #[test]
+    fn idiom_translation() {
+        use HostInstr::*;
+        assert_eq!(
+            translate_idiom(&[Load, CmpGreater, LockCmpxchg, LoopBranch]),
+            Some(HmcAtomicOp::CasIfGreater16)
+        );
+        assert_eq!(
+            translate_idiom(&[Load, CmpLess, LockCmpxchg, LoopBranch]),
+            Some(HmcAtomicOp::CasIfLess16)
+        );
+        assert_eq!(translate_idiom(&[Load, LockCmpxchg]), None);
+        assert_eq!(translate_idiom(&[]), None);
+    }
+
+    #[test]
+    fn hybrid_split_is_deterministic_and_proportional() {
+        let config = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(0.5);
+        let p = Pou::new(&config);
+        let mut in_hmc = 0usize;
+        const LINES: usize = 4000;
+        for i in 0..LINES {
+            let addr = Region::Property.addr(i as u64 * 64);
+            if p.in_pmr(addr) {
+                in_hmc += 1;
+            }
+            // Deterministic: same answer twice.
+            assert_eq!(p.in_pmr(addr), p.in_pmr(addr));
+        }
+        let share = in_hmc as f64 / LINES as f64;
+        assert!(
+            (share - 0.5).abs() < 0.05,
+            "placement share {share:.3} should track the fraction"
+        );
+    }
+
+    #[test]
+    fn hybrid_zero_fraction_disables_offloading() {
+        let config = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(0.0);
+        let p = Pou::new(&config);
+        assert_eq!(
+            p.route_atomic(prop_addr(), HmcAtomicOp::Add16),
+            AtomicPath::Host
+        );
+        assert!(!p.bypass_cache(prop_addr()));
+    }
+
+    #[test]
+    fn candidates_are_property_atomics() {
+        let p = pou(PimMode::Baseline);
+        assert!(p.is_candidate(prop_addr()));
+        assert!(!p.is_candidate(meta_addr()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text table formatting for the experiment drivers.
+//!
+//! Every figure/table binary prints through these helpers so the harness
+//! output is uniform and easy to diff against EXPERIMENTS.md.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header, &widths));
+            out.push('\n');
+            out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio as `"1.83x"`.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as `"37.2%"`.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_rows() {
+        let mut t = Table::new("Demo").header(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("a"));
+        assert!(s.contains("333"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new("x").header(["col", "v"]);
+        t.row(["aa", "1"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        // Header and data rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_speedup(1.8349), "1.83x");
+        assert_eq!(fmt_pct(0.372), "37.2%");
+    }
+}

@@ -1,0 +1,531 @@
+//! The full-system simulator.
+//!
+//! [`SystemSim`] consumes the instruction streams emitted by the framework
+//! layer (it implements `TraceConsumer`) and drives them through the
+//! substrate: one interval-model core per simulated thread, the shared
+//! MESI cache hierarchy, and the HMC cube. The [`crate::pou::Pou`] decides,
+//! per atomic and per PMR access, which data path applies for the
+//! configured [`crate::config::PimMode`].
+//!
+//! Barriers synchronize the per-core clocks and wait for in-flight posted
+//! PIM atomics — the consistency argument of Section II-D.
+
+use crate::config::{PimMode, SystemConfig};
+use crate::metrics::RunMetrics;
+use crate::pou::{AtomicPath, Pou};
+use graphpim_graph::generate::SplitMix64;
+use graphpim_graph::CsrGraph;
+use graphpim_sim::cpu::{CoreModel, CoreStats};
+use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
+use graphpim_sim::mem::hierarchy::{CacheHierarchy, ServiceLevel};
+use graphpim_sim::mem::Addr;
+use graphpim_sim::trace::{Superstep, TraceOp};
+use graphpim_sim::Cycle;
+use graphpim_workloads::framework::{Framework, TraceConsumer};
+use graphpim_workloads::kernels::Kernel;
+
+/// Extra penalty for a host atomic forced onto uncacheable memory (the
+/// cache-line lock degrades to bus locking; Section III-B discussion).
+const BUS_LOCK_PENALTY: f64 = 100.0;
+
+/// The assembled system.
+pub struct SystemSim {
+    config: SystemConfig,
+    pou: Pou,
+    cores: Vec<CoreModel>,
+    hierarchy: CacheHierarchy,
+    cube: HmcCube,
+    rng: SplitMix64,
+    max_pim_done: Cycle,
+    offload_candidates: u64,
+    candidate_cache_hits: u64,
+    offloaded_atomics: u64,
+    host_pei_atomics: u64,
+    uncached_reads: u64,
+    uncached_writes: u64,
+    memory_service_cycles: f64,
+}
+
+impl SystemSim {
+    /// Builds a system for `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        let cores = (0..config.sim.core.cores)
+            .map(|_| CoreModel::new(&config.sim.core))
+            .collect();
+        let hierarchy = CacheHierarchy::new(&config.sim.cache, config.sim.core.cores);
+        let cube = HmcCube::new(&config.sim.hmc, config.sim.core.clock_ghz);
+        let pou = Pou::new(&config);
+        let rng = SplitMix64::new(config.seed);
+        SystemSim {
+            config,
+            pou,
+            cores,
+            hierarchy,
+            cube,
+            rng,
+            max_pim_done: 0.0,
+            offload_candidates: 0,
+            candidate_cache_hits: 0,
+            offloaded_atomics: 0,
+            host_pei_atomics: 0,
+            uncached_reads: 0,
+            uncached_writes: 0,
+            memory_service_cycles: 0.0,
+        }
+    }
+
+    /// Runs a kernel end to end under `config` and returns the metrics.
+    pub fn run_kernel(
+        kernel: &mut dyn Kernel,
+        graph: &CsrGraph,
+        config: &SystemConfig,
+    ) -> RunMetrics {
+        Self::run_with(config, |fw| kernel.run(graph, fw))
+    }
+
+    /// Runs an arbitrary framework workload (used by the real-world
+    /// applications) and returns the metrics.
+    pub fn run_with<F>(config: &SystemConfig, workload: F) -> RunMetrics
+    where
+        F: FnOnce(&mut Framework<'_>),
+    {
+        let threads = config.sim.core.cores;
+        let mut sys = SystemSim::new(config.clone());
+        {
+            let mut fw = Framework::new(threads, &mut sys);
+            workload(&mut fw);
+            fw.finish();
+        }
+        sys.into_metrics()
+    }
+
+    /// Finalizes the run: waits for all in-flight work and aggregates.
+    pub fn into_metrics(mut self) -> RunMetrics {
+        let mut end: Cycle = self.max_pim_done;
+        for core in &mut self.cores {
+            end = end.max(core.finish());
+        }
+        let mut agg = CoreStats::default();
+        for core in &self.cores {
+            let s = core.stats();
+            agg.instructions += s.instructions;
+            agg.memory_ops += s.memory_ops;
+            agg.host_atomics += s.host_atomics;
+            agg.pim_atomics += s.pim_atomics;
+            agg.branches += s.branches;
+            agg.mispredicts += s.mispredicts;
+            agg.frontend_cycles += s.frontend_cycles;
+            agg.badspec_cycles += s.badspec_cycles;
+            agg.atomic_incore_cycles += s.atomic_incore_cycles;
+            agg.atomic_incache_cycles += s.atomic_incache_cycles;
+        }
+        let (l1, l2, l3) = self.hierarchy.level_counts();
+        RunMetrics {
+            mode: self.config.mode,
+            cores: self.cores.len(),
+            issue_width: self.config.sim.core.issue_width,
+            total_cycles: end.max(1e-9),
+            core: agg,
+            l1,
+            l2,
+            l3,
+            hmc: self.cube.stats().clone(),
+            offload_candidates: self.offload_candidates,
+            candidate_cache_hits: self.candidate_cache_hits,
+            offloaded_atomics: self.offloaded_atomics,
+            host_pei_atomics: self.host_pei_atomics,
+            uncached_reads: self.uncached_reads,
+            uncached_writes: self.uncached_writes,
+            memory_service_cycles: self.memory_service_cycles,
+        }
+    }
+
+    fn process(&mut self, t: usize, op: TraceOp) {
+        match op {
+            TraceOp::Compute(n) => self.cores[t].compute(n),
+            TraceOp::Branch { predictable, dep } => {
+                let mispredicted =
+                    !predictable && self.rng.next_f64() < self.config.mispredict_rate;
+                self.cores[t].branch(mispredicted, dep);
+            }
+            TraceOp::Load { addr, dep } => self.load(t, addr, dep),
+            TraceOp::Store { addr } => self.store(t, addr),
+            TraceOp::Atomic { addr, op, dep } => self.atomic(t, addr, op, dep),
+        }
+    }
+
+    fn load(&mut self, t: usize, addr: Addr, dep: bool) {
+        if self.pou.bypass_cache(addr) {
+            // Uncacheable PMR load: straight to the cube as a 16-byte read.
+            let t0 = self.cores[t].begin_mem(dep, true);
+            let served = self.cube.service(PacketKind::Read16, addr, t0);
+            self.memory_service_cycles += served.response_at - t0;
+            self.cores[t].complete_load(served.response_at, true);
+            self.uncached_reads += 1;
+            return;
+        }
+        let t0 = self.cores[t].begin_mem(dep, false);
+        let out = self.hierarchy.access(t, addr, false);
+        self.flush_writebacks(&out.writebacks, t0);
+        if out.level == ServiceLevel::Memory {
+            let t1 = self.cores[t].acquire_mshr();
+            let served = self
+                .cube
+                .service(PacketKind::Read64, addr, t1 + out.latency as f64);
+            self.memory_service_cycles += served.response_at - t1;
+            self.cores[t].complete_load(served.response_at, true);
+        } else {
+            self.cores[t].complete_load(t0 + out.latency as f64, false);
+        }
+    }
+
+    fn store(&mut self, t: usize, addr: Addr) {
+        if self.pou.bypass_cache(addr) {
+            // Posted uncacheable store: write-combining path, no MSHR.
+            let t0 = self.cores[t].begin_mem(false, false);
+            let served = self.cube.service(PacketKind::Write16, addr, t0);
+            self.max_pim_done = self.max_pim_done.max(served.memory_done);
+            self.cores[t].complete_store();
+            self.uncached_writes += 1;
+            return;
+        }
+        let t0 = self.cores[t].begin_mem(false, false);
+        let out = self.hierarchy.access(t, addr, true);
+        self.flush_writebacks(&out.writebacks, t0);
+        if out.level == ServiceLevel::Memory {
+            // Read-for-ownership line fill; the store itself is posted.
+            let served = self
+                .cube
+                .service(PacketKind::Read64, addr, t0 + out.latency as f64);
+            self.max_pim_done = self.max_pim_done.max(served.memory_done);
+        }
+        self.cores[t].complete_store();
+    }
+
+    fn atomic(&mut self, t: usize, addr: Addr, op: HmcAtomicOp, dep: bool) {
+        if self.config.atomics_as_plain {
+            // Figure 4 micro-benchmark: the same data access without any
+            // synchronization semantics.
+            self.load(t, addr, dep);
+            self.store(t, addr);
+            return;
+        }
+        if self.pou.is_candidate(addr) {
+            self.offload_candidates += 1;
+        }
+        match self.pou.route_atomic(addr, op) {
+            AtomicPath::Host => self.host_atomic(t, addr),
+            AtomicPath::LocalityDependent => self.upei_atomic(t, addr, op, dep),
+            AtomicPath::Offload => self.pim_atomic(t, addr, op, dep),
+        }
+    }
+
+    /// Conventional host-side atomic (Baseline; any non-PMR atomic; FP
+    /// atomics without the extension).
+    fn host_atomic(&mut self, t: usize, addr: Addr) {
+        let start = self.cores[t].host_atomic_begin();
+        if self.pou.bypass_cache(addr) {
+            // Atomic on uncacheable memory without PIM support: the
+            // cache-line lock degrades to bus locking (Section III-B).
+            let read = self.cube.service(PacketKind::Read16, addr, start);
+            let write = self
+                .cube
+                .service(PacketKind::Write16, addr, read.response_at);
+            let service = (write.memory_done - start) + BUS_LOCK_PENALTY;
+            self.memory_service_cycles += service;
+            self.cores[t].host_atomic_finish(service, 0.0);
+            return;
+        }
+        let out = self.hierarchy.access(t, addr, true);
+        self.flush_writebacks(&out.writebacks, start);
+        if self.pou.is_candidate(addr) && out.level != ServiceLevel::Memory {
+            self.candidate_cache_hits += 1;
+        }
+        let cache_part = out.latency as f64;
+        let mut service = cache_part;
+        if out.level == ServiceLevel::Memory {
+            let served = self
+                .cube
+                .service(PacketKind::Read64, addr, start + cache_part);
+            service += served.response_at - (start + cache_part);
+        }
+        self.memory_service_cycles += service;
+        self.cores[t].host_atomic_finish(service, cache_part);
+    }
+
+    /// U-PEI: the idealized PEI of Section IV-B. PEI operations are
+    /// cacheable and locality aware: the data stays in the cache hierarchy
+    /// (the access fills, with ideal zero-cost coherence against the
+    /// memory-side copy), operations that hit execute host-side at cache
+    /// latency with no locked-RMW penalty, and operations that miss are
+    /// offloaded after paying the cache-checking latency. Every PEI
+    /// operation traverses the host cache/LSQ path, so offloaded ones
+    /// (posted or not) occupy an MSHR until the memory side completes —
+    /// the cache-involvement cost GraphPIM's bypass avoids.
+    fn upei_atomic(&mut self, t: usize, addr: Addr, op: HmcAtomicOp, dep: bool) {
+        let t0 = self.cores[t].begin_mem(dep, false);
+        let out = self.hierarchy.access(t, addr, true);
+        self.flush_writebacks(&out.writebacks, t0);
+        if out.level != ServiceLevel::Memory {
+            self.candidate_cache_hits += 1;
+            self.host_pei_atomics += 1;
+            self.cores[t].complete_pim_atomic(t0 + out.latency as f64, op.has_return());
+            return;
+        }
+        let t1 = self.cores[t].acquire_mshr();
+        let served = self
+            .cube
+            .service(PacketKind::Atomic(op), addr, t1 + out.latency as f64);
+        if op.has_return() {
+            self.finish_pim(t, op, t1, served.response_at, served.memory_done);
+        } else {
+            self.offloaded_atomics += 1;
+            self.cores[t].complete_posted_tracked(served.response_at);
+            self.max_pim_done = self.max_pim_done.max(served.memory_done);
+        }
+    }
+
+    /// GraphPIM: offload directly, no cache involvement. Posted atomics
+    /// behave like stores (no MSHR); returning atomics occupy an MSHR
+    /// like loads.
+    fn pim_atomic(&mut self, t: usize, addr: Addr, op: HmcAtomicOp, dep: bool) {
+        let t0 = self.cores[t].begin_mem(dep, false);
+        let t1 = if op.has_return() {
+            self.cores[t].acquire_mshr()
+        } else {
+            t0
+        };
+        let served = self.cube.service(PacketKind::Atomic(op), addr, t1);
+        self.finish_pim(t, op, t1, served.response_at, served.memory_done);
+    }
+
+    fn finish_pim(
+        &mut self,
+        t: usize,
+        op: HmcAtomicOp,
+        issued: Cycle,
+        response_at: Cycle,
+        memory_done: Cycle,
+    ) {
+        self.offloaded_atomics += 1;
+        let returns = op.has_return();
+        if returns {
+            self.memory_service_cycles += response_at - issued;
+        }
+        self.cores[t].complete_pim_atomic(response_at, returns);
+        self.max_pim_done = self.max_pim_done.max(memory_done);
+    }
+
+    fn flush_writebacks(&mut self, writebacks: &[Addr], now: Cycle) {
+        for &wb in writebacks {
+            // Posted dirty-line writeback; consumes link/bank resources but
+            // never stalls the core.
+            self.cube.service(PacketKind::Write64, wb, now);
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> PimMode {
+        self.config.mode
+    }
+}
+
+impl TraceConsumer for SystemSim {
+    fn chunk(&mut self, step: Superstep) {
+        // Interleave threads by core-local time: always advance the
+        // earliest core. Shared busy-until resources (links, banks, FUs)
+        // then see requests in roughly monotone time order, which keeps
+        // the contention model honest across cores.
+        let cores = self.cores.len();
+        let mut index = vec![0usize; step.threads.len()];
+        const BATCH: usize = 1;
+        loop {
+            let mut best: Option<usize> = None;
+            for (t, ops) in step.threads.iter().enumerate() {
+                if index[t] < ops.len() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => self.cores[t % cores].now() < self.cores[b % cores].now(),
+                    };
+                    if better {
+                        best = Some(t);
+                    }
+                }
+            }
+            let Some(t) = best else { break };
+            let ops = &step.threads[t];
+            let end = (index[t] + BATCH).min(ops.len());
+            for &op in &ops[index[t]..end] {
+                self.process(t % cores, op);
+            }
+            index[t] = end;
+        }
+    }
+
+    fn barrier(&mut self) {
+        let mut release: Cycle = self.max_pim_done;
+        for core in &self.cores {
+            release = release.max(core.drain_time());
+        }
+        for core in &mut self.cores {
+            core.barrier(release);
+        }
+        self.max_pim_done = release;
+    }
+}
+
+impl std::fmt::Debug for SystemSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSim")
+            .field("mode", &self.config.mode)
+            .field("cores", &self.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_workloads::kernels::{Bfs, DCentr, PRank};
+
+    fn graph() -> CsrGraph {
+        // Property array (8 B/vertex) far exceeds the tiny config's 16 KB
+        // L3, so property accesses are genuinely irregular-missing — the
+        // regime the paper evaluates (Fig. 14 covers the cache-resident
+        // counter-case).
+        GraphSpec::uniform(20_000, 60_000).seed(2).build()
+    }
+
+    fn run(mode: PimMode) -> RunMetrics {
+        let config = SystemConfig::tiny(mode);
+        SystemSim::run_kernel(&mut DCentr::new(), &graph(), &config)
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn graphpim_beats_baseline_on_atomic_heavy_kernel() {
+        let base = run(PimMode::Baseline);
+        let pim = run(PimMode::GraphPim);
+        assert!(
+            pim.total_cycles < base.total_cycles,
+            "GraphPIM {} vs baseline {}",
+            pim.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn offload_counters_by_mode() {
+        let base = run(PimMode::Baseline);
+        assert_eq!(base.offloaded_atomics, 0);
+        assert!(base.offload_candidates > 0);
+        assert!(base.core.host_atomics > 0);
+
+        let pim = run(PimMode::GraphPim);
+        assert_eq!(pim.offloaded_atomics, pim.offload_candidates);
+        assert_eq!(pim.core.host_atomics, 0);
+
+        let upei = run(PimMode::UPei);
+        assert_eq!(
+            upei.offloaded_atomics + upei.host_pei_atomics,
+            upei.offload_candidates
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn graphpim_bypasses_caches_for_property() {
+        let pim = run(PimMode::GraphPim);
+        assert!(pim.uncached_reads > 0 || pim.uncached_writes > 0);
+        let base = run(PimMode::Baseline);
+        assert_eq!(base.uncached_reads, 0);
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn atomic_overhead_only_in_baseline() {
+        let base = run(PimMode::Baseline);
+        let pim = run(PimMode::GraphPim);
+        assert!(base.core.atomic_incore_cycles > 0.0);
+        assert_eq!(pim.core.atomic_incore_cycles, 0.0);
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn bandwidth_lower_under_graphpim_for_dc() {
+        let base = run(PimMode::Baseline);
+        let pim = run(PimMode::GraphPim);
+        assert!(
+            pim.total_flits() < base.total_flits(),
+            "GraphPIM flits {} vs baseline {}",
+            pim.total_flits(),
+            base.total_flits()
+        );
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn bfs_results_identical_across_modes() {
+        let g = graph();
+        let mut depths = Vec::new();
+        for mode in PimMode::ALL {
+            let mut bfs = Bfs::new(0);
+            SystemSim::run_kernel(&mut bfs, &g, &SystemConfig::tiny(mode));
+            depths.push(bfs.depths().to_vec());
+        }
+        assert_eq!(depths[0], depths[1]);
+        assert_eq!(depths[1], depths[2]);
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn deterministic_metrics() {
+        let a = run(PimMode::GraphPim);
+        let b = run(PimMode::GraphPim);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.total_flits(), b.total_flits());
+    }
+
+    #[test]
+
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn fp_extension_needed_for_prank_offload() {
+        let g = graph();
+        let with = SystemSim::run_kernel(
+            &mut PRank::new(2),
+            &g,
+            &SystemConfig::tiny(PimMode::GraphPim),
+        );
+        let without = SystemSim::run_kernel(
+            &mut PRank::new(2),
+            &g,
+            &SystemConfig::tiny(PimMode::GraphPim).without_fp_extension(),
+        );
+        assert!(with.offloaded_atomics > 0);
+        assert_eq!(without.offloaded_atomics, 0);
+        assert!(
+            with.total_cycles < without.total_cycles,
+            "FP extension should help PRank"
+        );
+    }
+
+    #[test]
+    fn run_with_closure_api() {
+        let g = graph();
+        let metrics = SystemSim::run_with(&SystemConfig::tiny(PimMode::Baseline), |fw| {
+            let mut bfs = Bfs::new(0);
+            bfs.run(&g, fw);
+        });
+        assert!(metrics.total_cycles > 0.0);
+        assert!(metrics.core.instructions > 0);
+    }
+}

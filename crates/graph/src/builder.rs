@@ -1,0 +1,215 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::VertexId;
+
+/// Accumulates edges and produces a [`CsrGraph`].
+///
+/// Duplicate edges are removed and self-loops may optionally be dropped.
+/// Adjacency lists in the produced graph are always sorted.
+///
+/// # Example
+///
+/// ```
+/// use graphpim_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .undirected()
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .build();
+/// // Undirected: both directions exist.
+/// assert!(g.has_edge(1, 0));
+/// assert!(g.has_edge(2, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    vertex_count: usize,
+    edges: Vec<(VertexId, VertexId, u32)>,
+    undirected: bool,
+    drop_self_loops: bool,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        GraphBuilder {
+            vertex_count,
+            edges: Vec::new(),
+            undirected: false,
+            drop_self_loops: false,
+            weighted: false,
+        }
+    }
+
+    /// Mirror every edge so the result is symmetric.
+    pub fn undirected(mut self) -> Self {
+        self.undirected = true;
+        self
+    }
+
+    /// Silently drop `v -> v` edges.
+    pub fn drop_self_loops(mut self) -> Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Adds a directed edge with weight 1.
+    pub fn edge(mut self, from: VertexId, to: VertexId) -> Self {
+        self.edges.push((from, to, 1));
+        self
+    }
+
+    /// Adds a directed weighted edge; the resulting graph stores weights.
+    pub fn weighted_edge(mut self, from: VertexId, to: VertexId, weight: u32) -> Self {
+        self.weighted = true;
+        self.edges.push((from, to, weight));
+        self
+    }
+
+    /// Adds many unweighted edges.
+    pub fn edges<I>(mut self, iter: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        self.edges
+            .extend(iter.into_iter().map(|(u, v)| (u, v, 1)));
+        self
+    }
+
+    /// Number of edges accumulated so far (before dedup/mirroring).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the CSR graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a vertex outside the declared range.
+    /// Use [`GraphBuilder::try_build`] for a fallible version.
+    pub fn build(self) -> CsrGraph {
+        self.try_build().expect("edge endpoints within range")
+    }
+
+    /// Builds the CSR graph, reporting out-of-range endpoints as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if any edge endpoint is
+    /// `>= vertex_count`.
+    pub fn try_build(mut self) -> Result<CsrGraph, GraphError> {
+        let n = self.vertex_count;
+        for &(u, v, _) in &self.edges {
+            for endpoint in [u, v] {
+                if endpoint as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: endpoint as u64,
+                        vertex_count: n as u64,
+                    });
+                }
+            }
+        }
+        if self.drop_self_loops {
+            self.edges.retain(|&(u, v, _)| u != v);
+        }
+        if self.undirected {
+            let mirrored: Vec<_> = self
+                .edges
+                .iter()
+                .filter(|&&(u, v, _)| u != v)
+                .map(|&(u, v, w)| (v, u, w))
+                .collect();
+            self.edges.extend(mirrored);
+        }
+        // Sort by (src, dst); dedup keeps the first weight seen.
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = self.edges.iter().map(|&(_, v, _)| v).collect();
+        let weights = if self.weighted {
+            Some(self.edges.iter().map(|&(_, _, w)| w).collect())
+        } else {
+            None
+        };
+        Ok(CsrGraph::from_parts(offsets, neighbors, weights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let g = GraphBuilder::new(2).edge(0, 1).edge(0, 1).build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn undirected_mirrors() {
+        let g = GraphBuilder::new(3).undirected().edge(0, 2).build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn undirected_does_not_duplicate_self_loop() {
+        let g = GraphBuilder::new(2).undirected().edge(1, 1).build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn drop_self_loops_works() {
+        let g = GraphBuilder::new(2)
+            .drop_self_loops()
+            .edge(0, 0)
+            .edge(0, 1)
+            .build();
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let err = GraphBuilder::new(2).edge(0, 5).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 5,
+                vertex_count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn weighted_edges_preserved() {
+        let g = GraphBuilder::new(2).weighted_edge(0, 1, 42).build();
+        assert!(g.is_weighted());
+        assert_eq!(g.weight_at(0), 42);
+    }
+
+    #[test]
+    fn edges_iterator_ingestion() {
+        let g = GraphBuilder::new(3)
+            .edges(vec![(0, 1), (1, 2), (2, 0)])
+            .build();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn pending_edges_counts_raw_inserts() {
+        let b = GraphBuilder::new(2).edge(0, 1).edge(0, 1);
+        assert_eq!(b.pending_edges(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Compressed-sparse-row (CSR) static graph.
+//!
+//! The CSR layout mirrors how GraphBIG-style frameworks store the *graph
+//! structure* component (Section II-C of the paper): each vertex's neighbor
+//! list is a contiguous slice of one large adjacency array, so structure
+//! accesses have good spatial locality, while *property* arrays (owned by the
+//! framework layer, not this crate) are indexed by vertex id and accessed
+//! irregularly.
+
+use crate::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// Immutable after construction; build one with [`crate::GraphBuilder`] or a
+/// generator from [`crate::generate`].
+///
+/// # Example
+///
+/// ```
+/// use graphpim_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(0, 2)
+///     .edge(1, 2)
+///     .build();
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<EdgeId>,
+    /// Concatenated adjacency lists, each sorted ascending.
+    neighbors: Vec<VertexId>,
+    /// Optional per-edge weights, parallel to `neighbors`.
+    weights: Option<Vec<u32>>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically increasing, do not start
+    /// at 0, do not end at `neighbors.len()`, or if `weights` (when present)
+    /// is not parallel to `neighbors`. These invariants are enforced here so
+    /// every accessor can index without bounds surprises.
+    pub fn from_parts(
+        offsets: Vec<EdgeId>,
+        neighbors: Vec<VertexId>,
+        weights: Option<Vec<u32>>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            neighbors.len(),
+            "last offset must equal neighbor count"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), neighbors.len(), "weights must parallel neighbors");
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The CSR index range of `v`'s adjacency slice.
+    ///
+    /// The framework layer uses this to derive the *addresses* of structure
+    /// accesses.
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<EdgeId> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// Weight of the edge at CSR index `e`, or 1 if the graph is unweighted.
+    #[inline]
+    pub fn weight_at(&self, e: EdgeId) -> u32 {
+        match &self.weights {
+            Some(w) => w[e as usize],
+            None => 1,
+        }
+    }
+
+    /// Whether per-edge weights are stored.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// True if an edge `u -> v` exists (binary search over sorted adjacency).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all `(source, target)` pairs in CSR order.
+    pub fn iter_edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            vertex: 0,
+            index: 0,
+        }
+    }
+
+    /// Builds the transpose (all edges reversed), preserving weights.
+    ///
+    /// Used by kernels that need in-edges (e.g. PageRank pull variants).
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.vertex_count();
+        let mut in_deg = vec![0u64; n + 1];
+        for &t in &self.neighbors {
+            in_deg[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_deg[i + 1] += in_deg[i];
+        }
+        let offsets = in_deg.clone();
+        let mut cursor = in_deg;
+        let mut neighbors = vec![0 as VertexId; self.edge_count()];
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0u32; self.edge_count()]);
+        for u in 0..n as VertexId {
+            for e in self.edge_range(u) {
+                let t = self.neighbors[e as usize] as usize;
+                let slot = cursor[t];
+                cursor[t] += 1;
+                neighbors[slot as usize] = u;
+                if let (Some(dst), Some(src)) = (&mut weights, &self.weights) {
+                    dst[slot as usize] = src[e as usize];
+                }
+            }
+        }
+        // Per-vertex lists must be sorted; counting placement emits sources
+        // in ascending order already because `u` ascends, so no sort needed.
+        CsrGraph::from_parts(offsets, neighbors, weights)
+    }
+
+    /// Approximate memory footprint of structure + one 8-byte property per
+    /// vertex, in bytes. Matches the "footprint" column of Table VI in
+    /// spirit: it scales linearly with vertices and edges.
+    pub fn footprint_bytes(&self) -> u64 {
+        let structure = (self.offsets.len() * 8 + self.neighbors.len() * 4) as u64;
+        let weights = self
+            .weights
+            .as_ref()
+            .map_or(0, |w| (w.len() * 4) as u64);
+        let property = self.vertex_count() as u64 * 8;
+        structure + weights + property
+    }
+}
+
+/// Iterator over all edges of a [`CsrGraph`] in CSR order.
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    graph: &'a CsrGraph,
+    vertex: usize,
+    index: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.vertex_count();
+        while self.vertex < n {
+            let end = self.graph.offsets[self.vertex + 1] as usize;
+            if self.index < end {
+                let item = (self.vertex as VertexId, self.graph.neighbors[self.index]);
+                self.index += 1;
+                return Some(item);
+            }
+            self.vertex += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = GraphBuilder::new(3).edge(0, 2).edge(0, 1).build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert!(t.has_edge(1, 0));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let g = diamond();
+        assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let g = GraphBuilder::new(3)
+            .weighted_edge(0, 1, 10)
+            .weighted_edge(1, 2, 20)
+            .build();
+        let t = g.transpose();
+        assert!(t.is_weighted());
+        let e = t.edge_range(1).start;
+        assert_eq!(t.weight_at(e), 10);
+    }
+
+    #[test]
+    fn weight_defaults_to_one() {
+        let g = diamond();
+        assert!(!g.is_weighted());
+        assert_eq!(g.weight_at(0), 1);
+    }
+
+    #[test]
+    fn footprint_scales_with_size() {
+        let small = diamond();
+        let big = GraphBuilder::new(1000).edge(0, 999).build();
+        assert!(big.footprint_bytes() > small.footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn from_parts_rejects_bad_start() {
+        CsrGraph::from_parts(vec![1, 1], vec![], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_decreasing() {
+        CsrGraph::from_parts(vec![0, 2, 1], vec![0, 0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must parallel")]
+    fn from_parts_rejects_mismatched_weights() {
+        CsrGraph::from_parts(vec![0, 1], vec![0], Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.iter_edges().count(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Mutable adjacency-list graph for the dynamic-graph (DG) kernels.
+//!
+//! The paper's DG category (graph construction, graph update, topology
+//! morphing) performs frequent structure *and* property mutation with
+//! irregular access patterns and heavy writes; PIM-Atomic is *not*
+//! applicable to it (Table III), but the kernels still need a substrate
+//! to run on so Figures 1/2/4 can include them.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// A mutable directed graph stored as per-vertex adjacency vectors.
+///
+/// # Example
+///
+/// ```
+/// use graphpim_graph::DynamicGraph;
+///
+/// let mut g = DynamicGraph::new();
+/// let a = g.add_vertex();
+/// let b = g.add_vertex();
+/// g.add_edge(a, b);
+/// assert_eq!(g.out_degree(a), 1);
+/// g.remove_edge(a, b);
+/// assert_eq!(g.out_degree(a), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynamicGraph {
+    adjacency: Vec<Vec<VertexId>>,
+    edge_count: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DynamicGraph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Creates a mutable copy of a CSR graph.
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        let mut g = DynamicGraph::with_vertices(csr.vertex_count());
+        for (u, v) in csr.iter_edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices (including ones with no edges).
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new isolated vertex, returning its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adjacency.push(Vec::new());
+        (self.adjacency.len() - 1) as VertexId
+    }
+
+    /// Adds edge `u -> v` if not already present; returns whether it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!((v as usize) < self.adjacency.len(), "target out of range");
+        let list = &mut self.adjacency[u as usize];
+        match list.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, v);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes edge `u -> v`; returns whether it existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let list = &mut self.adjacency[u as usize];
+        match list.binary_search(&v) {
+            Ok(pos) => {
+                list.remove(pos);
+                self.edge_count -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Detaches `v` from the graph: clears its out-edges and removes every
+    /// in-edge pointing at it. The vertex id remains valid (isolated), which
+    /// mirrors tombstone-style deletion in streaming graph stores.
+    pub fn isolate_vertex(&mut self, v: VertexId) {
+        self.edge_count -= self.adjacency[v as usize].len();
+        self.adjacency[v as usize].clear();
+        for u in 0..self.adjacency.len() {
+            let list = &mut self.adjacency[u];
+            if let Ok(pos) = list.binary_search(&v) {
+                list.remove(pos);
+                self.edge_count -= 1;
+            }
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// True if edge `u -> v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Freezes into an immutable CSR graph.
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.vertex_count();
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + self.adjacency[v].len() as u64;
+        }
+        let neighbors = self.adjacency.iter().flatten().copied().collect();
+        CsrGraph::from_parts(offsets, neighbors, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = DynamicGraph::with_vertices(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_vertex_grows() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn isolate_vertex_removes_both_directions() {
+        let mut g = DynamicGraph::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.isolate_vertex(1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(1), 0);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let csr = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(3, 0)
+            .build();
+        let dynamic = DynamicGraph::from_csr(&csr);
+        assert_eq!(dynamic.to_csr(), csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn add_edge_checks_target() {
+        let mut g = DynamicGraph::with_vertices(1);
+        g.add_edge(0, 9);
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = DynamicGraph::with_vertices(4);
+        g.add_edge(0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+}

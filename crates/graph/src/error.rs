@@ -1,0 +1,78 @@
+//! Error types for graph construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building, generating, or parsing a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a vertex id outside `0..vertex_count`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        vertex_count: u64,
+    },
+    /// The requested generator parameters are inconsistent
+    /// (e.g. more edges than a simple graph of that size can hold).
+    InvalidSpec(String),
+    /// A textual edge list could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {vertex_count} vertices"
+            ),
+            GraphError::InvalidSpec(msg) => write!(f, "invalid graph specification: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_vertex_and_bound() {
+        let err = GraphError::VertexOutOfRange {
+            vertex: 12,
+            vertex_count: 10,
+        };
+        let text = err.to_string();
+        assert!(text.contains("12"));
+        assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn display_parse_error_mentions_line() {
+        let err = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

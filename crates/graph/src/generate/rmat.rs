@@ -1,0 +1,131 @@
+//! RMAT (recursive-matrix / Kronecker) graph generator.
+//!
+//! Stands in for the paper's real-world bitcoin transaction graph and twitter
+//! follower graph (Section IV-B5): both are heavy-tailed, scale-free networks,
+//! which is exactly the regime RMAT reproduces. Scale is configurable so the
+//! real-world application experiments can run at laptop footprint while the
+//! generator itself supports the paper-size inputs.
+
+use super::SplitMix64;
+use crate::csr::CsrGraph;
+use crate::GraphBuilder;
+use crate::VertexId;
+
+/// Default RMAT quadrant probabilities (the classic Graph500 parameters).
+pub const DEFAULT_PROBS: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+/// Generates an RMAT graph with `2^scale` vertices and roughly
+/// `edge_factor * 2^scale` directed edges (duplicates removed), using the
+/// Graph500 quadrant probabilities.
+///
+/// # Panics
+///
+/// Panics if `scale >= 32` (vertex ids are `u32`).
+pub fn generate(scale: u32, edge_factor: u32, seed: u64) -> CsrGraph {
+    generate_with_probs(scale, edge_factor, seed, DEFAULT_PROBS)
+}
+
+/// Generates an RMAT graph with explicit quadrant probabilities `(a, b, c, d)`.
+///
+/// # Panics
+///
+/// Panics if `scale >= 32` or the probabilities do not sum to ~1.
+pub fn generate_with_probs(
+    scale: u32,
+    edge_factor: u32,
+    seed: u64,
+    (a, b, c, d): (f64, f64, f64, f64),
+) -> CsrGraph {
+    assert!(scale < 32, "scale must fit u32 vertex ids");
+    let sum = a + b + c + d;
+    assert!((sum - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+
+    let n = 1usize << scale;
+    let edges_target = n * edge_factor as usize;
+    let mut rng = SplitMix64::new(seed ^ 0x4d41_5452_4d41_5452);
+    let mut edges = Vec::with_capacity(edges_target);
+    for _ in 0..edges_target {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            // Add ±5% noise per level, as common RMAT practice to avoid
+            // staircase artifacts.
+            let noise = 0.95 + 0.1 * rng.next_f64();
+            let r = rng.next_f64();
+            if r < a * noise {
+                // quadrant (0,0)
+            } else if r < (a + b) * noise {
+                v |= 1;
+            } else if r < (a + b + c) * noise {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    GraphBuilder::new(n).edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = generate(10, 8, 1);
+        assert_eq!(g.vertex_count(), 1024);
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = generate(10, 8, 1);
+        let target = 1024 * 8;
+        // Duplicates and self-loops remove some edges, but most survive.
+        assert!(g.edge_count() > target / 2, "edges {}", g.edge_count());
+        assert!(g.edge_count() <= target);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(8, 4, 11), generate(8, 4, 11));
+    }
+
+    #[test]
+    fn skewed_in_degree() {
+        let g = generate(12, 16, 2);
+        let t = g.transpose();
+        let max_in = (0..t.vertex_count())
+            .map(|v| t.out_degree(v as VertexId))
+            .max()
+            .unwrap_or(0);
+        let avg = t.edge_count() / t.vertex_count();
+        assert!(
+            max_in > avg * 10,
+            "max in-degree {max_in} should dwarf average {avg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probs_rejected() {
+        generate_with_probs(4, 2, 1, (0.5, 0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn uniform_probs_are_less_skewed() {
+        let skewed = generate(10, 8, 3);
+        let flat = generate_with_probs(10, 8, 3, (0.25, 0.25, 0.25, 0.25));
+        let max_deg = |g: &CsrGraph| {
+            (0..g.vertex_count())
+                .map(|v| g.out_degree(v as VertexId))
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_deg(&skewed) > max_deg(&flat));
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniform (Erdős–Rényi style) random graph generator.
+//!
+//! Used as a locality control in tests: a uniform graph has no degree skew,
+//! so cache-behaviour differences against the LDBC-like family isolate the
+//! effect of hubs.
+
+use super::SplitMix64;
+use crate::csr::CsrGraph;
+use crate::GraphBuilder;
+use crate::VertexId;
+
+/// Generates a uniform random directed graph with `vertices` vertices and at
+/// most `edges` edges (duplicates and self-loops removed).
+///
+/// # Panics
+///
+/// Panics if `vertices == 0` and `edges > 0`.
+pub fn generate(vertices: usize, edges: usize, seed: u64) -> CsrGraph {
+    if vertices == 0 {
+        assert_eq!(edges, 0, "cannot place edges in an empty graph");
+        return GraphBuilder::new(0).build();
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x554e_4946_4f52_4d21);
+    let mut list = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let u = rng.next_below(vertices as u64) as VertexId;
+        let v = rng.next_below(vertices as u64) as VertexId;
+        if u != v {
+            list.push((u, v));
+        }
+    }
+    GraphBuilder::new(vertices).edges(list).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_close_to_request() {
+        let g = generate(1000, 5000, 1);
+        assert_eq!(g.vertex_count(), 1000);
+        assert!(g.edge_count() > 4500);
+        assert!(g.edge_count() <= 5000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(100, 400, 9), generate(100, 400, 9));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = generate(0, 0, 1);
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn degrees_are_flat() {
+        let g = generate(1000, 20_000, 4);
+        let max = (0..1000).map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.edge_count() / 1000;
+        // Without preferential attachment the max degree stays near the mean.
+        assert!(max < avg * 4, "max {max}, avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn edges_in_empty_graph_panic() {
+        generate(0, 5, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Bounded Zipf sampling used by the power-law generators.
+
+use super::SplitMix64;
+
+/// Samples from a Zipf distribution over `0..n` with exponent `s`:
+/// `P(k) ∝ 1 / (k + 1)^s`.
+///
+/// Uses a precomputed cumulative table with binary-search inversion — exact,
+/// deterministic, and fast enough for the graph sizes in this repository
+/// (the table is built once per generator invocation).
+///
+/// # Example
+///
+/// ```
+/// use graphpim_graph::generate::{SplitMix64, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.2);
+/// let mut rng = SplitMix64::new(7);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        let norm = total;
+        for c in &mut cumulative {
+            *c /= norm;
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Size of the support.
+    pub fn support(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one rank in `0..support()`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in table"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_range() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(1000, 1.5);
+        let mut rng = SplitMix64::new(2);
+        let mut head = 0usize;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1.5 the top-10 ranks carry well over half the mass.
+        assert!(head > DRAWS / 2, "head draws: {head}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = Zipf::new(50, 0.8);
+        let sum: f64 = (0..50).map(|k| zipf.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_monotone_decreasing() {
+        let zipf = Zipf::new(20, 1.1);
+        for k in 1..20 {
+            assert!(zipf.pmf(k) <= zipf.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

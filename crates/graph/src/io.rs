@@ -1,0 +1,150 @@
+//! Plain-text edge-list I/O.
+//!
+//! Real deployments would load the bitcoin/twitter graphs from disk; this
+//! module provides the loader so externally produced edge lists can be fed
+//! to the framework. Format: one `src dst [weight]` triple per line,
+//! `#`-prefixed comment lines ignored.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::{GraphBuilder, VertexId};
+use std::io::{BufRead, Write};
+
+/// Parses an edge-list from a reader into a CSR graph.
+///
+/// Vertex ids may be sparse; the graph is sized to `max_id + 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and I/O failures.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut edges: Vec<(VertexId, VertexId, Option<u32>)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: idx + 1,
+            message: format!("i/o error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse = |field: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            field
+                .ok_or_else(|| GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<u64>()
+                .map_err(|_| GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("invalid {what}"),
+                })
+        };
+        let src = parse(fields.next(), "source")?;
+        let dst = parse(fields.next(), "target")?;
+        let weight = match fields.next() {
+            Some(w) => Some(w.parse::<u32>().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: "invalid weight".into(),
+            })?),
+            None => None,
+        };
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: "vertex id exceeds u32".into(),
+            });
+        }
+        max_id = max_id.max(src).max(dst);
+        edges.push((src as VertexId, dst as VertexId, weight));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let weighted = edges.iter().any(|&(_, _, w)| w.is_some());
+    let mut builder = GraphBuilder::new(n);
+    for (u, v, w) in edges {
+        builder = if weighted {
+            builder.weighted_edge(u, v, w.unwrap_or(1))
+        } else {
+            builder.edge(u, v)
+        };
+    }
+    builder.try_build()
+}
+
+/// Writes `g` as a text edge list (with weights if the graph is weighted).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# vertices={} edges={}", g.vertex_count(), g.edge_count())?;
+    for v in 0..g.vertex_count() as VertexId {
+        for (&t, e) in g.neighbors(v).iter().zip(g.edge_range(v)) {
+            if g.is_weighted() {
+                writeln!(writer, "{v} {t} {}", g.weight_at(e))?;
+            } else {
+                writeln!(writer, "{v} {t}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_unweighted() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let g = GraphBuilder::new(2).weighted_edge(0, 1, 7).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0 1\n# mid\n1 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_number() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_is_error() {
+        let err = read_edge_list(Cursor::new("5\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Graph data structures and synthetic graph generators for the GraphPIM
+//! reproduction.
+//!
+//! This crate provides the *data substrate* of the GraphPIM stack:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row static graph used by the
+//!   traversal (GT) and rich-property (RP) kernels.
+//! * [`DynamicGraph`] — an adjacency-list mutable graph used by the
+//!   dynamic-graph (DG) kernels (graph construction, update, morphing).
+//! * [`generate`] — deterministic synthetic generators: the LDBC-like
+//!   power-law family of Table VI, RMAT graphs standing in for the paper's
+//!   bitcoin/twitter inputs, and uniform random graphs.
+//! * [`partition`] — vertex partitioning across simulated threads.
+//! * [`stats`] — degree and footprint statistics used by the experiment
+//!   reports.
+//!
+//! # Example
+//!
+//! ```
+//! use graphpim_graph::generate::{GraphSpec, LdbcSize};
+//!
+//! let graph = GraphSpec::ldbc(LdbcSize::K1).seed(7).build();
+//! assert_eq!(graph.vertex_count(), 1_000);
+//! assert!(graph.edge_count() > 20_000);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod dynamic;
+pub mod error;
+pub mod generate;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use dynamic::DynamicGraph;
+pub use error::GraphError;
+
+/// Identifier of a vertex.
+///
+/// A plain `u32` index keeps the hot loops of the kernels and the trace
+/// recorder allocation-free; all graphs in the reproduction stay below
+/// 2^32 vertices (the paper's largest input has 71.7M vertices).
+pub type VertexId = u32;
+
+/// Identifier of an edge, indexing into CSR adjacency storage.
+pub type EdgeId = u64;

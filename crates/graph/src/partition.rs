@@ -1,0 +1,139 @@
+//! Vertex partitioning across simulated worker threads.
+//!
+//! The paper's simulated system runs 16 cores; the workloads split vertex
+//! ranges across threads the way GraphBIG's OpenMP loops do. Two policies are
+//! provided: contiguous blocks (default, matches `#pragma omp for` static
+//! scheduling) and round-robin interleaving.
+
+use crate::VertexId;
+
+/// How vertices map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Thread `t` owns one contiguous block of vertex ids.
+    Contiguous,
+    /// Vertex `v` belongs to thread `v % threads`.
+    Interleaved,
+}
+
+impl Partition {
+    /// The vertices owned by `thread` out of `threads` for a graph of
+    /// `vertex_count` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `thread >= threads`.
+    pub fn owned(
+        self,
+        vertex_count: usize,
+        thread: usize,
+        threads: usize,
+    ) -> Vec<VertexId> {
+        assert!(threads > 0, "need at least one thread");
+        assert!(thread < threads, "thread index out of range");
+        match self {
+            Partition::Contiguous => {
+                let (start, end) = self.block_bounds(vertex_count, thread, threads);
+                (start as VertexId..end as VertexId).collect()
+            }
+            Partition::Interleaved => (thread..vertex_count)
+                .step_by(threads)
+                .map(|v| v as VertexId)
+                .collect(),
+        }
+    }
+
+    /// Owner thread of vertex `v`.
+    pub fn owner(self, v: VertexId, vertex_count: usize, threads: usize) -> usize {
+        match self {
+            Partition::Contiguous => {
+                let per = vertex_count.div_ceil(threads);
+                ((v as usize) / per.max(1)).min(threads - 1)
+            }
+            Partition::Interleaved => (v as usize) % threads,
+        }
+    }
+
+    fn block_bounds(self, vertex_count: usize, thread: usize, threads: usize) -> (usize, usize) {
+        let per = vertex_count.div_ceil(threads);
+        let start = (thread * per).min(vertex_count);
+        let end = ((thread + 1) * per).min(vertex_count);
+        (start, end)
+    }
+}
+
+/// Splits an arbitrary item count into `threads` contiguous ranges; used for
+/// frontier and edge-list chunking.
+pub fn split_range(items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(threads > 0, "need at least one thread");
+    let per = items.div_ceil(threads);
+    (0..threads)
+        .map(|t| {
+            let start = (t * per).min(items);
+            let end = ((t + 1) * per).min(items);
+            start..end
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn contiguous_covers_all_exactly_once() {
+        let mut seen = HashSet::new();
+        for t in 0..4 {
+            for v in Partition::Contiguous.owned(103, t, 4) {
+                assert!(seen.insert(v), "vertex {v} seen twice");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn interleaved_covers_all_exactly_once() {
+        let mut seen = HashSet::new();
+        for t in 0..7 {
+            for v in Partition::Interleaved.owned(100, t, 7) {
+                assert!(seen.insert(v), "vertex {v} seen twice");
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn owner_agrees_with_owned() {
+        for policy in [Partition::Contiguous, Partition::Interleaved] {
+            for t in 0..3 {
+                for v in policy.owned(50, t, 3) {
+                    assert_eq!(policy.owner(v, 50, 3), t, "policy {policy:?}, v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices() {
+        let total: usize = (0..8)
+            .map(|t| Partition::Contiguous.owned(3, t, 8).len())
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn split_range_covers() {
+        let ranges = split_range(10, 3);
+        assert_eq!(ranges.len(), 3);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(ranges[0], 0..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        split_range(5, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Degree and footprint statistics for generated graphs.
+//!
+//! Used by the experiment reports (EXPERIMENTS.md) to document the inputs,
+//! mirroring the dataset tables of the paper (Table VI / Table VII).
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Fraction of edges owned by the top 1% highest-degree vertices.
+    pub top1pct_edge_share: f64,
+    /// Count of isolated (degree-0, in and out) vertices.
+    pub isolated: usize,
+    /// Estimated footprint in bytes (structure + an 8-byte property array).
+    pub footprint_bytes: u64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &CsrGraph) -> GraphStats {
+        let n = g.vertex_count();
+        let m = g.edge_count();
+        let mut degrees: Vec<usize> = (0..n).map(|v| g.out_degree(v as VertexId)).collect();
+        let mut has_in = vec![false; n];
+        for (_, t) in g.iter_edges() {
+            has_in[t as usize] = true;
+        }
+        let isolated = (0..n)
+            .filter(|&v| degrees[v] == 0 && !has_in[v])
+            .count();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let head = (n / 100).max(1).min(n.max(1));
+        let top: usize = degrees.iter().take(head).sum();
+        GraphStats {
+            vertices: n,
+            edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_degree,
+            top1pct_edge_share: if m == 0 { 0.0 } else { top as f64 / m as f64 },
+            isolated,
+            footprint_bytes: g.footprint_bytes(),
+        }
+    }
+
+    /// Human-readable footprint, e.g. `"12.3 MB"`.
+    pub fn footprint_display(&self) -> String {
+        let b = self.footprint_bytes as f64;
+        if b >= 1e9 {
+            format!("{:.1} GB", b / 1e9)
+        } else if b >= 1e6 {
+            format!("{:.1} MB", b / 1e6)
+        } else if b >= 1e3 {
+            format!("{:.1} KB", b / 1e3)
+        } else {
+            format!("{b} B")
+        }
+    }
+}
+
+/// Degree histogram with power-of-two buckets, for skew inspection.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in 0..g.vertex_count() {
+        let d = g.out_degree(v as VertexId);
+        let bucket = (usize::BITS - d.leading_zeros()) as usize; // 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+        if bucket >= buckets.len() {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(b, count)| {
+            let lo = if b == 0 { 0 } else { 1usize << (b - 1) };
+            (lo, count)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GraphSpec, LdbcSize};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).edge(1, 2).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 1); // vertex 3
+        assert!((s.avg_degree - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldbc_stats_match_table6_scale() {
+        let g = GraphSpec::ldbc(LdbcSize::K1).build();
+        let s = GraphStats::compute(&g);
+        assert!(s.avg_degree > 20.0, "avg degree {}", s.avg_degree);
+        assert!(s.top1pct_edge_share > 0.03);
+    }
+
+    #[test]
+    fn footprint_display_units() {
+        let mut s = GraphStats::compute(&GraphBuilder::new(1).build());
+        s.footprint_bytes = 500;
+        assert!(s.footprint_display().ends_with('B'));
+        s.footprint_bytes = 5_000;
+        assert!(s.footprint_display().contains("KB"));
+        s.footprint_bytes = 5_000_000;
+        assert!(s.footprint_display().contains("MB"));
+        s.footprint_bytes = 5_000_000_000;
+        assert!(s.footprint_display().contains("GB"));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_vertices() {
+        let g = GraphSpec::ldbc(LdbcSize::K1).build();
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.vertex_count());
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_ascend() {
+        let g = GraphSpec::uniform(100, 300).build();
+        let hist = degree_histogram(&g);
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

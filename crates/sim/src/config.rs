@@ -1,0 +1,257 @@
+//! Simulation configuration (Table IV of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Core pipeline parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Number of cores (Table IV: 16).
+    pub cores: usize,
+    /// Core clock in GHz (Table IV: 2 GHz).
+    pub clock_ghz: f64,
+    /// Issue width in instructions per cycle (Table IV: 4).
+    pub issue_width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: usize,
+    /// Outstanding cache-missing memory operations per core (MSHRs).
+    pub mshrs: usize,
+    /// Fixed in-core cost of a host atomic instruction, in cycles: pipeline
+    /// freeze plus write-buffer drain beyond the data access itself
+    /// (Section II-D; Schweizer et al. measure ~tens of cycles on Xeon).
+    pub atomic_incore_cycles: f64,
+    /// Branch misprediction flush penalty, in cycles.
+    pub mispredict_penalty: f64,
+    /// Frontend (fetch/decode) stall cycles charged per instruction; models
+    /// the small constant frontend component of Figure 2.
+    pub frontend_stall_per_instr: f64,
+}
+
+/// One cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency_cycles: u32,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self, line_bytes: usize) -> usize {
+        let lines = self.capacity_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "cache lines ({lines}) must divide evenly into {} ways",
+            self.ways
+        );
+        lines / self.ways
+    }
+}
+
+/// The three-level hierarchy (Table IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Cache line size in bytes (Table IV: 64).
+    pub line_bytes: usize,
+    /// Private L1 data cache (Table IV: 32 KB).
+    pub l1: CacheLevelConfig,
+    /// Private L2 (Table IV: 256 KB, inclusive).
+    pub l2: CacheLevelConfig,
+    /// Shared L3 (Table IV: 16 MB, inclusive).
+    pub l3: CacheLevelConfig,
+    /// Extra latency for invalidating sharers when a host atomic needs
+    /// exclusive ownership of a line another core caches.
+    pub invalidate_cycles: u32,
+}
+
+/// HMC cube parameters (Table IV / HMC 2.0 specification).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HmcConfig {
+    /// Number of vaults (Table IV: 32).
+    pub vaults: usize,
+    /// DRAM banks per vault (Table IV: 512 total / 32 vaults = 16).
+    pub banks_per_vault: usize,
+    /// Atomic functional units per vault (Figure 11 sweeps 1..16).
+    pub fus_per_vault: usize,
+    /// tCL = tRCD = tRP in nanoseconds (Table IV: 13.75 ns).
+    pub t_cl_ns: f64,
+    /// tRAS in nanoseconds (Table IV: 27.5 ns).
+    pub t_ras_ns: f64,
+    /// Column-to-column delay (bank occupancy of one burst) in
+    /// nanoseconds; bounds a single bank's sustainable access rate.
+    pub t_ccd_ns: f64,
+    /// Number of SerDes links (Table IV: 4).
+    pub links: usize,
+    /// Peak bandwidth per link in GB/s (Table IV: 120 GB/s).
+    pub link_gbps: f64,
+    /// One-way link propagation + SerDes latency in nanoseconds.
+    pub link_latency_ns: f64,
+    /// Vault-controller overhead per request in nanoseconds.
+    pub vault_overhead_ns: f64,
+    /// Latency of one atomic functional-unit operation in nanoseconds.
+    pub fu_op_ns: f64,
+    /// Interleaving granularity across vaults, in bytes.
+    pub vault_interleave_bytes: u64,
+}
+
+impl HmcConfig {
+    /// Seconds to move one 128-bit FLIT across the aggregate link budget.
+    pub fn flit_seconds(&self) -> f64 {
+        const FLIT_BYTES: f64 = 16.0;
+        FLIT_BYTES / (self.link_gbps * 1e9 * self.links as f64)
+    }
+}
+
+/// Complete substrate configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub cache: CacheConfig,
+    /// HMC parameters.
+    pub hmc: HmcConfig,
+}
+
+impl SimConfig {
+    /// The paper's Table IV system: 16 OoO cores at 2 GHz, 4-issue;
+    /// 32 KB L1 / 256 KB L2 / 16 MB shared L3, 64 B lines, MESI; one 8 GB
+    /// HMC 2.0 cube with 32 vaults, 512 banks, 4 links at 120 GB/s.
+    pub fn hpca_default() -> Self {
+        SimConfig {
+            core: CoreConfig {
+                cores: 16,
+                clock_ghz: 2.0,
+                issue_width: 4,
+                rob_size: 192,
+                mshrs: 10,
+                atomic_incore_cycles: 25.0,
+                mispredict_penalty: 14.0,
+                frontend_stall_per_instr: 0.05,
+            },
+            cache: CacheConfig {
+                line_bytes: 64,
+                l1: CacheLevelConfig {
+                    capacity_bytes: 32 * 1024,
+                    ways: 8,
+                    latency_cycles: 4,
+                },
+                l2: CacheLevelConfig {
+                    capacity_bytes: 256 * 1024,
+                    ways: 8,
+                    latency_cycles: 12,
+                },
+                l3: CacheLevelConfig {
+                    capacity_bytes: 16 * 1024 * 1024,
+                    ways: 16,
+                    latency_cycles: 38,
+                },
+                invalidate_cycles: 30,
+            },
+            hmc: HmcConfig {
+                vaults: 32,
+                banks_per_vault: 16,
+                fus_per_vault: 16,
+                t_cl_ns: 13.75,
+                t_ras_ns: 27.5,
+                t_ccd_ns: 4.0,
+                links: 4,
+                link_gbps: 120.0,
+                link_latency_ns: 4.0,
+                vault_overhead_ns: 2.0,
+                fu_op_ns: 1.0,
+                vault_interleave_bytes: 256,
+            },
+        }
+    }
+
+    /// Cycles per nanosecond at the configured core clock.
+    pub fn cycles_per_ns(&self) -> f64 {
+        self.core.clock_ghz
+    }
+
+    /// A small configuration for fast unit tests: 2 cores, tiny caches.
+    pub fn test_tiny() -> Self {
+        let mut c = Self::hpca_default();
+        c.core.cores = 2;
+        c.cache.l1 = CacheLevelConfig {
+            capacity_bytes: 1024,
+            ways: 2,
+            latency_cycles: 4,
+        };
+        c.cache.l2 = CacheLevelConfig {
+            capacity_bytes: 4096,
+            ways: 4,
+            latency_cycles: 12,
+        };
+        c.cache.l3 = CacheLevelConfig {
+            capacity_bytes: 16 * 1024,
+            ways: 4,
+            latency_cycles: 38,
+        };
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let c = SimConfig::hpca_default();
+        assert_eq!(c.core.cores, 16);
+        assert_eq!(c.core.issue_width, 4);
+        assert_eq!(c.core.clock_ghz, 2.0);
+        assert_eq!(c.cache.line_bytes, 64);
+        assert_eq!(c.cache.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(c.cache.l2.capacity_bytes, 256 * 1024);
+        assert_eq!(c.cache.l3.capacity_bytes, 16 * 1024 * 1024);
+        assert_eq!(c.hmc.vaults, 32);
+        assert_eq!(c.hmc.vaults * c.hmc.banks_per_vault, 512);
+        assert_eq!(c.hmc.links, 4);
+        assert_eq!(c.hmc.link_gbps, 120.0);
+        assert!((c.hmc.t_cl_ns - 13.75).abs() < 1e-12);
+        assert!((c.hmc.t_ras_ns - 27.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_geometry_divides() {
+        let c = SimConfig::hpca_default();
+        assert_eq!(c.cache.l1.sets(64), 64);
+        assert_eq!(c.cache.l2.sets(64), 512);
+        assert_eq!(c.cache.l3.sets(64), 16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_geometry_panics() {
+        CacheLevelConfig {
+            capacity_bytes: 1024,
+            ways: 3,
+            latency_cycles: 1,
+        }
+        .sets(64);
+    }
+
+    #[test]
+    fn flit_time_matches_aggregate_bandwidth() {
+        let c = SimConfig::hpca_default();
+        // 4 links x 120 GB/s = 480 GB/s; a 16-byte FLIT takes 16/480e9 s.
+        let expect = 16.0 / 480e9;
+        assert!((c.hmc.flit_seconds() - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn tiny_config_is_smaller() {
+        let t = SimConfig::test_tiny();
+        assert!(t.cache.l1.capacity_bytes < 32 * 1024);
+        assert_eq!(t.core.cores, 2);
+    }
+}

@@ -1,0 +1,539 @@
+//! Interval-based approximation of an out-of-order core.
+//!
+//! Instead of ticking every pipeline stage, the model tracks the few
+//! quantities that determine graph-workload performance (Section II of the
+//! paper):
+//!
+//! * **issue bandwidth** — every instruction consumes `1/width` cycles;
+//! * **ROB occupancy** — completions enter a FIFO window; when the window
+//!   fills, the core stalls until the oldest entry retires (this is what
+//!   makes dependent long-latency misses expensive);
+//! * **MSHR-bounded MLP** — only `mshrs` long memory operations may be in
+//!   flight; further misses stall until one completes;
+//! * **dependent issue** — an op marked `dep` cannot issue before the
+//!   previous result-producing op completes (pointer chasing);
+//! * **host atomics** — pay a fixed in-core serialization (store-buffer
+//!   drain + locked-RMW pipeline cost, Section II-D) that stalls issue,
+//!   while the RMW's data path overlaps like an ordinary miss. Cycles are
+//!   attributed to the `Atomic-inCore` / `Atomic-inCache` buckets of Fig. 9;
+//! * **PIM atomics** — issue like ordinary (posted or returning) memory
+//!   operations: no serialization at all — GraphPIM's speedup mechanism.
+
+use std::collections::VecDeque;
+
+use crate::config::CoreConfig;
+use crate::Cycle;
+
+/// Per-core event counters and attributed cycles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Memory operations (loads, stores, atomics).
+    pub memory_ops: u64,
+    /// Atomics executed host-side.
+    pub host_atomics: u64,
+    /// Atomics offloaded to the HMC.
+    pub pim_atomics: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Cycles lost to frontend fetch/decode stalls.
+    pub frontend_cycles: f64,
+    /// Cycles lost to misprediction flushes.
+    pub badspec_cycles: f64,
+    /// Host-atomic cycles: pipeline freeze + write-buffer drain
+    /// (`Atomic-inCore` in Figure 9).
+    pub atomic_incore_cycles: f64,
+    /// Host-atomic cycles: cache checking, coherence, and memory service
+    /// (`Atomic-inCache` in Figure 9).
+    pub atomic_incache_cycles: f64,
+}
+
+impl CoreStats {
+    /// Cycles spent usefully retiring at full width.
+    pub fn retiring_cycles(&self, width: u32) -> f64 {
+        self.instructions as f64 / width as f64
+    }
+}
+
+/// One simulated core.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    issue_cost: f64,
+    frontend_stall: f64,
+    rob_size: usize,
+    mshrs: usize,
+    atomic_incore: f64,
+    mispredict_penalty: f64,
+    clock: Cycle,
+    rob: VecDeque<Cycle>,
+    outstanding: Vec<Cycle>,
+    last_result: Cycle,
+    stats: CoreStats,
+}
+
+impl CoreModel {
+    /// Builds a core from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width`, `rob_size`, or `mshrs` is zero.
+    pub fn new(config: &CoreConfig) -> Self {
+        assert!(config.issue_width > 0, "issue width must be positive");
+        assert!(config.rob_size > 0, "ROB must be non-empty");
+        assert!(config.mshrs > 0, "need at least one MSHR");
+        CoreModel {
+            issue_cost: 1.0 / config.issue_width as f64,
+            frontend_stall: config.frontend_stall_per_instr,
+            rob_size: config.rob_size,
+            mshrs: config.mshrs,
+            atomic_incore: config.atomic_incore_cycles,
+            mispredict_penalty: config.mispredict_penalty,
+            clock: 0.0,
+            rob: VecDeque::new(),
+            outstanding: Vec::new(),
+            last_result: 0.0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Current core-local time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Executes `n` ALU instructions.
+    pub fn compute(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.advance_issue(n as u64);
+        let completion = self.clock + 1.0;
+        self.retire_push(completion);
+        self.last_result = completion;
+    }
+
+    /// Executes a conditional branch.
+    ///
+    /// Correctly predicted branches are free: the OoO core speculates past
+    /// them even when the condition depends on an outstanding load. A
+    /// mispredicted `dep` branch, however, cannot *resolve* until its data
+    /// arrives — the flush happens at data arrival plus the recovery
+    /// penalty (this is the dependent-instruction-block effect of the
+    /// paper's Figure 8).
+    pub fn branch(&mut self, mispredicted: bool, dep: bool) {
+        self.advance_issue(1);
+        self.stats.branches += 1;
+        if mispredicted {
+            self.stats.mispredicts += 1;
+            if dep {
+                // Resolve only when the feeding result is available.
+                self.wait_for_result();
+            }
+            self.clock += self.mispredict_penalty;
+            self.stats.badspec_cycles += self.mispredict_penalty;
+        }
+    }
+
+    /// Begins a load/store/PIM-atomic: pays issue bandwidth, honors the
+    /// dependence, and acquires an MSHR slot if the access will be long
+    /// (`long` = known miss / uncached). Returns the absolute issue time to
+    /// hand to the memory system.
+    pub fn begin_mem(&mut self, dep: bool, long: bool) -> Cycle {
+        self.advance_issue(1);
+        self.stats.memory_ops += 1;
+        if dep {
+            self.wait_for_result();
+        }
+        if long {
+            self.mshr_acquire();
+        }
+        self.clock
+    }
+
+    /// Completes a load begun with [`CoreModel::begin_mem`]. `long` accesses
+    /// occupy an MSHR until done; loads produce a result later `dep` ops
+    /// wait on.
+    pub fn complete_load(&mut self, completion: Cycle, long: bool) {
+        self.retire_push(completion);
+        if long {
+            self.outstanding.push(completion);
+        }
+        self.last_result = completion;
+    }
+
+    /// Completes a store begun with [`CoreModel::begin_mem`]. Stores are
+    /// posted: they retire at issue + 1 regardless of memory service time.
+    pub fn complete_store(&mut self) {
+        self.retire_push(self.clock + 1.0);
+    }
+
+    /// Completes a posted operation that nevertheless occupies an MSHR
+    /// until `completion` (the U-PEI offload path: posted PEI atomics
+    /// still traverse the host cache/LSQ resources). Retires immediately;
+    /// the resource is held.
+    pub fn complete_posted_tracked(&mut self, completion: Cycle) {
+        self.stats.pim_atomics += 1;
+        self.retire_push(self.clock + 1.0);
+        self.outstanding.push(completion);
+    }
+
+    /// Completes a PIM atomic begun with [`CoreModel::begin_mem`].
+    /// Returning atomics behave like long loads (their response feeds
+    /// dependents); posted atomics retire immediately — the barrier is what
+    /// waits for their memory-side completion.
+    pub fn complete_pim_atomic(&mut self, response_at: Cycle, returns: bool) {
+        self.stats.pim_atomics += 1;
+        if returns {
+            self.retire_push(response_at);
+            self.outstanding.push(response_at);
+            self.last_result = response_at;
+        } else {
+            self.retire_push(self.clock + 1.0);
+        }
+    }
+
+    /// Executes a host atomic.
+    ///
+    /// The locked RMW pays a fixed in-core cost (store-buffer drain +
+    /// partial pipeline serialization — the `Atomic-inCore` bucket of
+    /// Figure 9) that stalls issue, plus the data-path service
+    /// (`service_latency`, of which `cache_latency` is the cache checking /
+    /// coherence component — `Atomic-inCache`). The data-path part behaves
+    /// like an ordinary memory operation: it overlaps with independent
+    /// work through the ROB/MSHR window, matching the paper's observation
+    /// that the *extra* cost of an atomic over a plain access is the
+    /// in-core serialization and coherence work, not a full pipeline
+    /// flush (Figures 4 and 9).
+    pub fn host_atomic(&mut self, service_latency: f64, cache_latency: f64) {
+        let _ = self.host_atomic_begin();
+        self.host_atomic_finish(service_latency, cache_latency);
+    }
+
+    /// First phase of a host atomic: pays issue bandwidth plus the fixed
+    /// in-core serialization, returning the time the RMW starts.
+    pub fn host_atomic_begin(&mut self) -> Cycle {
+        self.advance_issue(1);
+        self.stats.host_atomics += 1;
+        self.stats.memory_ops += 1;
+        self.stats.atomic_incore_cycles += self.atomic_incore;
+        self.clock += self.atomic_incore;
+        self.mshr_acquire();
+        self.clock
+    }
+
+    /// Second phase of a host atomic begun with
+    /// [`CoreModel::host_atomic_begin`]: the RMW's data path takes
+    /// `service_latency` cycles (of which `cache_latency` is cache
+    /// checking / coherence); it completes out of order like a load, and
+    /// its result feeds dependents.
+    pub fn host_atomic_finish(&mut self, service_latency: f64, cache_latency: f64) {
+        self.stats.atomic_incache_cycles += cache_latency;
+        let completion = self.clock + service_latency;
+        self.retire_push(completion);
+        self.outstanding.push(completion);
+        self.last_result = completion;
+    }
+
+    /// Acquires an MSHR slot for an access discovered to miss after the
+    /// cache lookup; returns the (possibly stalled) current time.
+    pub fn acquire_mshr(&mut self) -> Cycle {
+        self.mshr_acquire();
+        self.clock
+    }
+
+    /// Synchronizes this core to a barrier release time and clears
+    /// in-flight state.
+    pub fn barrier(&mut self, release: Cycle) {
+        self.clock = self.clock.max(release);
+        self.rob.clear();
+        self.outstanding.clear();
+        self.last_result = self.clock;
+    }
+
+    /// Time at which every in-flight op (ROB + MSHRs) has completed.
+    pub fn drain_time(&self) -> Cycle {
+        let rob_max = self.rob.iter().copied().fold(self.clock, f64::max);
+        self.outstanding.iter().copied().fold(rob_max, f64::max)
+    }
+
+    /// Finishes execution: waits for all in-flight work and returns the
+    /// final time.
+    pub fn finish(&mut self) -> Cycle {
+        self.clock = self.drain_time();
+        self.rob.clear();
+        self.outstanding.clear();
+        self.clock
+    }
+
+    fn advance_issue(&mut self, n: u64) {
+        self.stats.instructions += n;
+        self.clock += n as f64 * self.issue_cost;
+        let fe = n as f64 * self.frontend_stall;
+        self.clock += fe;
+        self.stats.frontend_cycles += fe;
+    }
+
+    fn wait_for_result(&mut self) {
+        self.clock = self.clock.max(self.last_result);
+    }
+
+    fn retire_push(&mut self, completion: Cycle) {
+        // Retire everything already complete.
+        while let Some(&head) = self.rob.front() {
+            if head <= self.clock {
+                self.rob.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.rob.len() >= self.rob_size {
+            let head = self.rob.pop_front().expect("non-empty at capacity");
+            self.clock = self.clock.max(head);
+        }
+        self.rob.push_back(completion);
+    }
+
+    fn mshr_acquire(&mut self) {
+        self.outstanding.retain(|&c| c > self.clock);
+        if self.outstanding.len() >= self.mshrs {
+            let earliest = self
+                .outstanding
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            self.clock = self.clock.max(earliest);
+            self.outstanding.retain(|&c| c > self.clock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn core() -> CoreModel {
+        CoreModel::new(&SimConfig::hpca_default().core)
+    }
+
+    #[test]
+    fn compute_advances_by_issue_width() {
+        let mut c = core();
+        c.compute(400);
+        // 400 instr / 4-wide = 100 cycles + frontend component.
+        assert!(c.now() >= 100.0);
+        assert!(c.now() < 140.0);
+        assert_eq!(c.stats().instructions, 400);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        let mut c = core();
+        // Ten independent 100-cycle loads: with MLP they complete in ~100
+        // cycles, not 1000.
+        for _ in 0..10 {
+            let at = c.begin_mem(false, true);
+            c.complete_load(at + 100.0, true);
+        }
+        let done = c.finish();
+        assert!(done < 250.0, "independent loads should overlap: {done}");
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        let mut c = core();
+        for _ in 0..10 {
+            let at = c.begin_mem(true, true);
+            c.complete_load(at + 100.0, true);
+        }
+        let done = c.finish();
+        assert!(done > 900.0, "dependent loads must serialize: {done}");
+    }
+
+    #[test]
+    fn mshrs_bound_parallelism() {
+        let mut few = CoreModel::new(&{
+            let mut cfg = SimConfig::hpca_default().core;
+            cfg.mshrs = 2;
+            cfg
+        });
+        let mut many = core(); // 10 MSHRs
+        for c in [&mut few, &mut many] {
+            for _ in 0..20 {
+                let at = c.begin_mem(false, true);
+                c.complete_load(at + 100.0, true);
+            }
+        }
+        assert!(few.finish() > many.finish());
+    }
+
+    #[test]
+    fn rob_bounds_window() {
+        let mut small = CoreModel::new(&{
+            let mut cfg = SimConfig::hpca_default().core;
+            cfg.rob_size = 4;
+            cfg.mshrs = 64;
+            cfg
+        });
+        let mut large = CoreModel::new(&{
+            let mut cfg = SimConfig::hpca_default().core;
+            cfg.rob_size = 512;
+            cfg.mshrs = 64;
+            cfg
+        });
+        for c in [&mut small, &mut large] {
+            for _ in 0..64 {
+                let at = c.begin_mem(false, true);
+                c.complete_load(at + 200.0, true);
+            }
+        }
+        assert!(small.finish() > large.finish());
+    }
+
+    #[test]
+    fn host_atomic_pays_incore_serialization() {
+        let mut with_atomic = core();
+        let mut without = core();
+        with_atomic.host_atomic(100.0, 50.0);
+        without.compute(1);
+        // The atomic stalls issue by the fixed in-core cost; the data path
+        // itself overlaps like a load.
+        let incore = SimConfig::hpca_default().core.atomic_incore_cycles;
+        assert!(with_atomic.now() >= without.now() + incore - 1.0);
+        assert!((with_atomic.stats().atomic_incore_cycles - incore).abs() < 1e-9);
+        assert!((with_atomic.stats().atomic_incache_cycles - 50.0).abs() < 1e-9);
+        assert_eq!(with_atomic.stats().host_atomics, 1);
+    }
+
+    #[test]
+    fn host_atomics_overlap_their_data_path() {
+        // Ten independent host atomics with 100-cycle service: the fixed
+        // in-core costs serialize, but the data paths overlap via MSHRs.
+        let mut c = core();
+        for _ in 0..10 {
+            c.host_atomic(100.0, 4.0);
+        }
+        let incore = SimConfig::hpca_default().core.atomic_incore_cycles;
+        let done = c.finish();
+        assert!(done < 10.0 * (incore + 100.0) * 0.8, "no overlap: {done}");
+        assert!(done >= 10.0 * incore, "in-core part serializes: {done}");
+    }
+
+    #[test]
+    fn pim_atomics_do_not_freeze() {
+        let mut host = core();
+        let mut pim = core();
+        for _ in 0..20 {
+            host.host_atomic(100.0, 100.0);
+        }
+        for _ in 0..20 {
+            let at = pim.begin_mem(false, true);
+            pim.complete_pim_atomic(at + 100.0, true);
+        }
+        let host_t = host.finish();
+        let pim_t = pim.finish();
+        assert!(
+            pim_t < host_t / 2.0,
+            "PIM atomics should overlap: pim {pim_t}, host {host_t}"
+        );
+        assert_eq!(pim.stats().pim_atomics, 20);
+        assert_eq!(host.stats().host_atomics, 20);
+    }
+
+    #[test]
+    fn posted_pim_atomic_retires_immediately() {
+        let mut c = core();
+        let at = c.begin_mem(false, true);
+        c.complete_pim_atomic(at + 10_000.0, false);
+        // Core time does not chase the memory completion.
+        assert!(c.now() < 100.0);
+    }
+
+    #[test]
+    fn posted_tracked_holds_mshr_without_stalling_retire() {
+        let mut c = CoreModel::new(&{
+            let mut cfg = SimConfig::hpca_default().core;
+            cfg.mshrs = 2;
+            cfg
+        });
+        // Two tracked posted ops fill the MSHRs; a third long op must wait.
+        for _ in 0..2 {
+            let at = c.begin_mem(false, true);
+            c.complete_posted_tracked(at + 500.0);
+        }
+        let before = c.now();
+        let _ = c.begin_mem(false, true);
+        assert!(c.now() >= 500.0, "MSHR-full stall expected, was {before}");
+    }
+
+    #[test]
+    fn mispredict_costs_penalty() {
+        let mut c = core();
+        let before = c.now();
+        c.branch(true, false);
+        assert!(c.now() >= before + 14.0);
+        assert_eq!(c.stats().mispredicts, 1);
+        assert!(c.stats().badspec_cycles >= 14.0);
+    }
+
+    #[test]
+    fn predictable_branch_is_cheap() {
+        let mut c = core();
+        c.branch(false, false);
+        assert!(c.now() < 1.0);
+        assert_eq!(c.stats().mispredicts, 0);
+    }
+
+    #[test]
+    fn predicted_dependent_branch_is_speculated_past() {
+        let mut c = core();
+        let at = c.begin_mem(false, true);
+        c.complete_load(at + 500.0, true);
+        c.branch(false, true);
+        // Correct prediction: no stall even though the condition is
+        // outstanding.
+        assert!(c.now() < 100.0);
+    }
+
+    #[test]
+    fn mispredicted_dependent_branch_resolves_at_data() {
+        let mut c = core();
+        let at = c.begin_mem(false, true);
+        c.complete_load(at + 500.0, true);
+        c.branch(true, true);
+        assert!(c.now() >= 500.0 + 14.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_clears() {
+        let mut c = core();
+        let at = c.begin_mem(false, true);
+        c.complete_load(at + 100.0, true);
+        c.barrier(1000.0);
+        assert_eq!(c.now(), 1000.0);
+        assert_eq!(c.drain_time(), 1000.0);
+    }
+
+    #[test]
+    fn finish_waits_for_outstanding() {
+        let mut c = core();
+        let at = c.begin_mem(false, true);
+        c.complete_load(at + 777.0, true);
+        assert!(c.finish() >= 777.0);
+    }
+
+    #[test]
+    fn retiring_cycles_formula() {
+        let mut c = core();
+        c.compute(100);
+        assert!((c.stats().retiring_cycles(4) - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,5 @@
+//! Core pipeline models.
+
+pub mod core;
+
+pub use core::{CoreModel, CoreStats};

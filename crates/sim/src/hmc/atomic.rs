@@ -1,0 +1,428 @@
+//! The HMC 2.0 atomic command set (Table I) and the paper's proposed
+//! floating-point extension, with functional semantics.
+//!
+//! Every command performs an atomic read-modify-write on a single 16-byte
+//! memory operand with an immediate operand from the request packet; the
+//! DRAM bank is locked for the duration (Section II-A). Commands may or may
+//! not return a response with the original data and an atomic flag.
+
+use serde::{Deserialize, Serialize};
+
+/// Table I categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicCategory {
+    /// Signed integer adds.
+    Arithmetic,
+    /// Swap and bit-write.
+    Bitwise,
+    /// AND/NAND/OR/NOR/XOR.
+    Boolean,
+    /// Compare-and-swap family and compare-if-equal.
+    Comparison,
+    /// The paper's proposed FP add/sub extension (Section III-C) — not part
+    /// of HMC 2.0.
+    FloatExtension,
+}
+
+/// One HMC atomic command.
+///
+/// The 18 HMC 2.0 commands plus the two floating-point extension commands
+/// the paper proposes for PageRank and Betweenness Centrality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HmcAtomicOp {
+    /// Dual 8-byte signed add, posted (no response).
+    DualAdd8,
+    /// 16-byte signed add, posted.
+    Add16,
+    /// Dual 8-byte signed add returning the original data.
+    DualAdd8Ret,
+    /// 16-byte signed add returning the original data.
+    Add16Ret,
+    /// 8-byte increment, posted.
+    Increment8,
+    /// 16-byte swap, returns the original data.
+    Swap16,
+    /// 8-byte bit write under mask, posted.
+    BitWrite8,
+    /// 8-byte bit write under mask returning the original data.
+    BitWrite8Ret,
+    /// 16-byte boolean AND, posted.
+    And16,
+    /// 16-byte boolean NAND, posted.
+    Nand16,
+    /// 16-byte boolean OR, posted.
+    Or16,
+    /// 16-byte boolean NOR, posted.
+    Nor16,
+    /// 16-byte boolean XOR, posted.
+    Xor16,
+    /// 8-byte compare-and-swap if equal; returns original data + flag.
+    CasIfEqual8,
+    /// 16-byte compare-and-swap if the memory operand is zero.
+    CasIfZero16,
+    /// 16-byte compare-and-swap if the operand is greater than memory.
+    CasIfGreater16,
+    /// 16-byte compare-and-swap if the operand is less than memory.
+    CasIfLess16,
+    /// 16-byte compare-if-equal: returns only the success flag.
+    CompareEqual16,
+    /// Extension: 32-bit floating-point add, posted.
+    FpAdd32,
+    /// Extension: 64-bit floating-point add, posted.
+    FpAdd64,
+}
+
+/// Response of a functional atomic execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicResponse {
+    /// Original memory data, for commands that return it.
+    pub original: Option<u128>,
+    /// The atomic flag: whether the operation "succeeded" (always true for
+    /// unconditional ops; the comparison result for conditional ones).
+    pub flag: bool,
+}
+
+impl HmcAtomicOp {
+    /// The 18 commands of the HMC 2.0 specification (Table I), excluding the
+    /// paper's FP extension.
+    pub const HMC20_SET: [HmcAtomicOp; 18] = [
+        HmcAtomicOp::DualAdd8,
+        HmcAtomicOp::Add16,
+        HmcAtomicOp::DualAdd8Ret,
+        HmcAtomicOp::Add16Ret,
+        HmcAtomicOp::Increment8,
+        HmcAtomicOp::Swap16,
+        HmcAtomicOp::BitWrite8,
+        HmcAtomicOp::BitWrite8Ret,
+        HmcAtomicOp::And16,
+        HmcAtomicOp::Nand16,
+        HmcAtomicOp::Or16,
+        HmcAtomicOp::Nor16,
+        HmcAtomicOp::Xor16,
+        HmcAtomicOp::CasIfEqual8,
+        HmcAtomicOp::CasIfZero16,
+        HmcAtomicOp::CasIfGreater16,
+        HmcAtomicOp::CasIfLess16,
+        HmcAtomicOp::CompareEqual16,
+    ];
+
+    /// Table I category of this command.
+    pub fn category(self) -> AtomicCategory {
+        use HmcAtomicOp::*;
+        match self {
+            DualAdd8 | Add16 | DualAdd8Ret | Add16Ret | Increment8 => AtomicCategory::Arithmetic,
+            Swap16 | BitWrite8 | BitWrite8Ret => AtomicCategory::Bitwise,
+            And16 | Nand16 | Or16 | Nor16 | Xor16 => AtomicCategory::Boolean,
+            CasIfEqual8 | CasIfZero16 | CasIfGreater16 | CasIfLess16 | CompareEqual16 => {
+                AtomicCategory::Comparison
+            }
+            FpAdd32 | FpAdd64 => AtomicCategory::FloatExtension,
+        }
+    }
+
+    /// Whether a response packet carries data or a flag back to the host.
+    pub fn has_return(self) -> bool {
+        use HmcAtomicOp::*;
+        !matches!(
+            self,
+            DualAdd8
+                | Add16
+                | Increment8
+                | BitWrite8
+                | And16
+                | Nand16
+                | Or16
+                | Nor16
+                | Xor16
+                | FpAdd32
+                | FpAdd64
+        )
+    }
+
+    /// Whether this command is part of HMC 2.0 (vs. the FP extension).
+    pub fn in_hmc20(self) -> bool {
+        self.category() != AtomicCategory::FloatExtension
+    }
+
+    /// Request packet size in FLITs (Table V: atomics carry one 16-byte
+    /// immediate — header/tail plus one data FLIT = 2 FLITs).
+    pub fn request_flits(self) -> u32 {
+        2
+    }
+
+    /// Response packet size in FLITs, following Table V rows exactly:
+    /// `add without return` and `compare if equal` respond with a bare
+    /// 1-FLIT acknowledgment; `add with return` and the
+    /// `boolean/bitwise/CAS` class respond with 2 FLITs.
+    pub fn response_flits(self) -> u32 {
+        use HmcAtomicOp::*;
+        match self {
+            // "add without return" row (posted arithmetic, incl. FP ext).
+            DualAdd8 | Add16 | Increment8 | FpAdd32 | FpAdd64 => 1,
+            // "compare if equal" row: flag only.
+            CompareEqual16 => 1,
+            // "add with return" and "boolean/bitwise/CAS" rows.
+            _ => 2,
+        }
+    }
+
+    /// Executes the command functionally against a 16-byte memory word.
+    ///
+    /// `memory` is the 16-byte operand in little-endian order; `operand` is
+    /// the immediate from the request. Returns the response (original data
+    /// and atomic flag).
+    pub fn execute(self, memory: &mut u128, operand: u128) -> AtomicResponse {
+        use HmcAtomicOp::*;
+        let original = *memory;
+        let lo = |x: u128| x as u64;
+        let hi = |x: u128| (x >> 64) as u64;
+        let join = |l: u64, h: u64| (l as u128) | ((h as u128) << 64);
+        let mut flag = true;
+        match self {
+            DualAdd8 | DualAdd8Ret => {
+                *memory = join(
+                    lo(original).wrapping_add(lo(operand)),
+                    hi(original).wrapping_add(hi(operand)),
+                );
+            }
+            Add16 | Add16Ret => {
+                *memory = original.wrapping_add(operand);
+            }
+            Increment8 => {
+                *memory = join(lo(original).wrapping_add(1), hi(original));
+            }
+            Swap16 => {
+                *memory = operand;
+            }
+            BitWrite8 | BitWrite8Ret => {
+                // operand: low 64 bits = data, high 64 bits = mask.
+                let data = lo(operand);
+                let mask = hi(operand);
+                let merged = (lo(original) & !mask) | (data & mask);
+                *memory = join(merged, hi(original));
+            }
+            And16 => *memory = original & operand,
+            Nand16 => *memory = !(original & operand),
+            Or16 => *memory = original | operand,
+            Nor16 => *memory = !(original | operand),
+            Xor16 => *memory = original ^ operand,
+            CasIfEqual8 => {
+                // operand: low 64 = compare value, high 64 = swap value.
+                if lo(original) == lo(operand) {
+                    *memory = join(hi(operand), hi(original));
+                } else {
+                    flag = false;
+                }
+            }
+            CasIfZero16 => {
+                if original == 0 {
+                    *memory = operand;
+                } else {
+                    flag = false;
+                }
+            }
+            CasIfGreater16 => {
+                if (operand as i128) > (original as i128) {
+                    *memory = operand;
+                } else {
+                    flag = false;
+                }
+            }
+            CasIfLess16 => {
+                if (operand as i128) < (original as i128) {
+                    *memory = operand;
+                } else {
+                    flag = false;
+                }
+            }
+            CompareEqual16 => {
+                flag = original == operand;
+            }
+            FpAdd32 => {
+                let m = f32::from_bits(lo(original) as u32);
+                let o = f32::from_bits(lo(operand) as u32);
+                *memory = join((m + o).to_bits() as u64, hi(original));
+            }
+            FpAdd64 => {
+                let m = f64::from_bits(lo(original));
+                let o = f64::from_bits(lo(operand));
+                *memory = join((m + o).to_bits(), hi(original));
+            }
+        }
+        AtomicResponse {
+            original: if self.has_return() { Some(original) } else { None },
+            flag,
+        }
+    }
+}
+
+impl std::fmt::Display for HmcAtomicOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_18_commands() {
+        assert_eq!(HmcAtomicOp::HMC20_SET.len(), 18);
+        assert!(HmcAtomicOp::HMC20_SET.iter().all(|op| op.in_hmc20()));
+        assert!(!HmcAtomicOp::FpAdd64.in_hmc20());
+    }
+
+    #[test]
+    fn table1_categories_cover_all_four() {
+        use std::collections::HashSet;
+        let cats: HashSet<_> = HmcAtomicOp::HMC20_SET
+            .iter()
+            .map(|op| op.category())
+            .collect();
+        assert!(cats.contains(&AtomicCategory::Arithmetic));
+        assert!(cats.contains(&AtomicCategory::Bitwise));
+        assert!(cats.contains(&AtomicCategory::Boolean));
+        assert!(cats.contains(&AtomicCategory::Comparison));
+        assert_eq!(cats.len(), 4);
+    }
+
+    #[test]
+    fn add16_wraps() {
+        let mut mem = u128::MAX;
+        let resp = HmcAtomicOp::Add16.execute(&mut mem, 1);
+        assert_eq!(mem, 0);
+        assert_eq!(resp.original, None); // posted
+        assert!(resp.flag);
+    }
+
+    #[test]
+    fn add16ret_returns_original() {
+        let mut mem = 5u128;
+        let resp = HmcAtomicOp::Add16Ret.execute(&mut mem, 7);
+        assert_eq!(mem, 12);
+        assert_eq!(resp.original, Some(5));
+    }
+
+    #[test]
+    fn dual_add_is_independent_halves() {
+        let mut mem = (1u128 << 64) | 1;
+        HmcAtomicOp::DualAdd8.execute(&mut mem, (2u128 << 64) | 3);
+        assert_eq!(mem as u64, 4);
+        assert_eq!((mem >> 64) as u64, 3);
+    }
+
+    #[test]
+    fn increment8_touches_low_half_only() {
+        let mut mem = (9u128 << 64) | 41;
+        HmcAtomicOp::Increment8.execute(&mut mem, 0);
+        assert_eq!(mem as u64, 42);
+        assert_eq!((mem >> 64) as u64, 9);
+    }
+
+    #[test]
+    fn swap_returns_old() {
+        let mut mem = 10u128;
+        let resp = HmcAtomicOp::Swap16.execute(&mut mem, 99);
+        assert_eq!(mem, 99);
+        assert_eq!(resp.original, Some(10));
+    }
+
+    #[test]
+    fn bit_write_respects_mask() {
+        let mut mem = 0b1010u128;
+        // data = 0b0101, mask = 0b0011 -> only low two bits change.
+        let operand = 0b0101u128 | (0b0011u128 << 64);
+        HmcAtomicOp::BitWrite8.execute(&mut mem, operand);
+        assert_eq!(mem, 0b1001);
+    }
+
+    #[test]
+    fn boolean_ops_match_scalar() {
+        let a = 0xF0F0u128;
+        let b = 0x0FF0u128;
+        let run = |op: HmcAtomicOp| {
+            let mut m = a;
+            op.execute(&mut m, b);
+            m
+        };
+        assert_eq!(run(HmcAtomicOp::And16), a & b);
+        assert_eq!(run(HmcAtomicOp::Or16), a | b);
+        assert_eq!(run(HmcAtomicOp::Xor16), a ^ b);
+        assert_eq!(run(HmcAtomicOp::Nand16), !(a & b));
+        assert_eq!(run(HmcAtomicOp::Nor16), !(a | b));
+    }
+
+    #[test]
+    fn cas_if_equal_success_and_failure() {
+        let mut mem = 7u128;
+        let operand = 7u128 | (100u128 << 64); // compare 7, swap 100
+        let ok = HmcAtomicOp::CasIfEqual8.execute(&mut mem, operand);
+        assert!(ok.flag);
+        assert_eq!(mem as u64, 100);
+        let fail = HmcAtomicOp::CasIfEqual8.execute(&mut mem, operand);
+        assert!(!fail.flag);
+        assert_eq!(mem as u64, 100);
+    }
+
+    #[test]
+    fn cas_if_zero_only_fires_on_zero() {
+        let mut mem = 0u128;
+        assert!(HmcAtomicOp::CasIfZero16.execute(&mut mem, 5).flag);
+        assert_eq!(mem, 5);
+        assert!(!HmcAtomicOp::CasIfZero16.execute(&mut mem, 9).flag);
+        assert_eq!(mem, 5);
+    }
+
+    #[test]
+    fn cas_greater_and_less_are_signed() {
+        let mut mem = 0u128;
+        // -1 (as i128) is not greater than 0.
+        let minus_one = (-1i128) as u128;
+        assert!(!HmcAtomicOp::CasIfGreater16.execute(&mut mem, minus_one).flag);
+        assert!(HmcAtomicOp::CasIfLess16.execute(&mut mem, minus_one).flag);
+        assert_eq!(mem, minus_one);
+    }
+
+    #[test]
+    fn compare_equal_does_not_modify() {
+        let mut mem = 3u128;
+        let resp = HmcAtomicOp::CompareEqual16.execute(&mut mem, 3);
+        assert!(resp.flag);
+        assert_eq!(mem, 3);
+        assert!(!HmcAtomicOp::CompareEqual16.execute(&mut mem, 4).flag);
+    }
+
+    #[test]
+    fn fp_add_extension() {
+        let mut mem = (1.5f64).to_bits() as u128;
+        HmcAtomicOp::FpAdd64.execute(&mut mem, (2.25f64).to_bits() as u128);
+        assert_eq!(f64::from_bits(mem as u64), 3.75);
+        assert_eq!(
+            HmcAtomicOp::FpAdd64.category(),
+            AtomicCategory::FloatExtension
+        );
+    }
+
+    #[test]
+    fn table5_flit_costs() {
+        // add without return: 2 req / 1 resp.
+        assert_eq!(HmcAtomicOp::Add16.request_flits(), 2);
+        assert_eq!(HmcAtomicOp::Add16.response_flits(), 1);
+        // add with return: 2 req / 2 resp.
+        assert_eq!(HmcAtomicOp::Add16Ret.response_flits(), 2);
+        // boolean/bitwise/CAS: 2 req / 2 resp.
+        assert_eq!(HmcAtomicOp::Swap16.response_flits(), 2);
+        assert_eq!(HmcAtomicOp::CasIfEqual8.response_flits(), 2);
+        // compare if equal: 2 req / 1 resp.
+        assert_eq!(HmcAtomicOp::CompareEqual16.response_flits(), 1);
+    }
+
+    #[test]
+    fn posted_ops_have_no_return() {
+        assert!(!HmcAtomicOp::Add16.has_return());
+        assert!(!HmcAtomicOp::Xor16.has_return());
+        assert!(HmcAtomicOp::CasIfEqual8.has_return());
+        assert!(HmcAtomicOp::CompareEqual16.has_return());
+    }
+}

@@ -1,0 +1,14 @@
+//! Hybrid Memory Cube (HMC 2.0) model.
+//!
+//! Structure follows Table IV of the paper: one 8 GB cube with 32 vaults of
+//! 16 DRAM banks each, four SerDes links at 120 GB/s, and per-vault atomic
+//! functional units executing the HMC 2.0 atomic command set of Table I.
+//! Link traffic is accounted in 128-bit FLITs exactly per Table V.
+
+pub mod atomic;
+pub mod cube;
+pub mod packet;
+
+pub use atomic::{AtomicCategory, AtomicResponse, HmcAtomicOp};
+pub use cube::{HmcCube, HmcServed, HmcStats};
+pub use packet::{FlitCost, PacketKind};

@@ -1,0 +1,155 @@
+//! Link packet classes and their FLIT costs (Table V).
+//!
+//! HMC links speak a packet protocol whose unit is the 128-bit FLIT.
+//! A 64-byte data payload is 4 FLITs; every packet carries one more FLIT of
+//! header/tail. Table V of the paper gives the resulting costs, reproduced
+//! here verbatim; the 16-byte sub-block accesses (supported by HMC 2.0 in
+//! 16-byte increments) are used for uncacheable PMR loads/stores.
+
+use super::atomic::HmcAtomicOp;
+use serde::{Deserialize, Serialize};
+
+/// FLIT cost of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlitCost {
+    /// FLITs on the request (host → cube) direction.
+    pub request: u32,
+    /// FLITs on the response (cube → host) direction.
+    pub response: u32,
+}
+
+impl FlitCost {
+    /// Total FLITs in both directions.
+    pub fn total(self) -> u32 {
+        self.request + self.response
+    }
+}
+
+/// A memory transaction class on the HMC links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// 64-byte cache-line read (line fill).
+    Read64,
+    /// 64-byte cache-line write (dirty writeback).
+    Write64,
+    /// 16-byte sub-block read (uncacheable PMR load).
+    Read16,
+    /// 16-byte sub-block write (uncacheable PMR store).
+    Write16,
+    /// An atomic command.
+    Atomic(HmcAtomicOp),
+}
+
+impl PacketKind {
+    /// FLIT cost of this transaction (Table V).
+    pub fn flits(self) -> FlitCost {
+        match self {
+            // 64-byte READ: 1 request FLIT, 5 response FLITs.
+            PacketKind::Read64 => FlitCost {
+                request: 1,
+                response: 5,
+            },
+            // 64-byte WRITE: 5 request FLITs, 1 response FLIT.
+            PacketKind::Write64 => FlitCost {
+                request: 5,
+                response: 1,
+            },
+            // 16-byte sub-block read: header/tail + 16B data response.
+            PacketKind::Read16 => FlitCost {
+                request: 1,
+                response: 2,
+            },
+            // 16-byte sub-block write: header/tail + 16B data request.
+            PacketKind::Write16 => FlitCost {
+                request: 2,
+                response: 1,
+            },
+            PacketKind::Atomic(op) => FlitCost {
+                request: op.request_flits(),
+                response: op.response_flits(),
+            },
+        }
+    }
+
+    /// Whether the issuing core must wait for the response (reads and
+    /// returning atomics) or the packet is posted.
+    pub fn expects_data(self) -> bool {
+        match self {
+            PacketKind::Read64 | PacketKind::Read16 => true,
+            PacketKind::Write64 | PacketKind::Write16 => false,
+            PacketKind::Atomic(op) => op.has_return(),
+        }
+    }
+
+    /// Whether this transaction needs an atomic functional unit.
+    pub fn is_atomic(self) -> bool {
+        matches!(self, PacketKind::Atomic(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_read_write_64() {
+        assert_eq!(
+            PacketKind::Read64.flits(),
+            FlitCost {
+                request: 1,
+                response: 5
+            }
+        );
+        assert_eq!(
+            PacketKind::Write64.flits(),
+            FlitCost {
+                request: 5,
+                response: 1
+            }
+        );
+        assert_eq!(PacketKind::Read64.flits().total(), 6);
+    }
+
+    #[test]
+    fn table5_atomics_cheaper_than_line_transfers() {
+        for op in HmcAtomicOp::HMC20_SET {
+            let atomic = PacketKind::Atomic(op).flits().total();
+            assert!(
+                atomic < PacketKind::Read64.flits().total(),
+                "{op}: {atomic} flits"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_add_rows() {
+        let no_ret = PacketKind::Atomic(HmcAtomicOp::Add16).flits();
+        assert_eq!((no_ret.request, no_ret.response), (2, 1));
+        let with_ret = PacketKind::Atomic(HmcAtomicOp::Add16Ret).flits();
+        assert_eq!((with_ret.request, with_ret.response), (2, 2));
+        let cas = PacketKind::Atomic(HmcAtomicOp::CasIfEqual8).flits();
+        assert_eq!((cas.request, cas.response), (2, 2));
+        let cmp = PacketKind::Atomic(HmcAtomicOp::CompareEqual16).flits();
+        assert_eq!((cmp.request, cmp.response), (2, 1));
+    }
+
+    #[test]
+    fn sub_block_cheaper_than_line() {
+        assert!(PacketKind::Read16.flits().total() < PacketKind::Read64.flits().total());
+        assert!(PacketKind::Write16.flits().total() < PacketKind::Write64.flits().total());
+    }
+
+    #[test]
+    fn expects_data_classification() {
+        assert!(PacketKind::Read64.expects_data());
+        assert!(!PacketKind::Write16.expects_data());
+        assert!(PacketKind::Atomic(HmcAtomicOp::CasIfEqual8).expects_data());
+        assert!(!PacketKind::Atomic(HmcAtomicOp::Add16).expects_data());
+    }
+
+    #[test]
+    fn is_atomic_classification() {
+        assert!(PacketKind::Atomic(HmcAtomicOp::Xor16).is_atomic());
+        assert!(!PacketKind::Read16.is_atomic());
+    }
+}

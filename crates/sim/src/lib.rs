@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Timing substrate for the GraphPIM reproduction.
+//!
+//! This crate implements, from scratch, the architectural components the
+//! paper obtained from SST + MacSim + VaultSim/DRAMSim2:
+//!
+//! * [`cpu`] — an interval-based approximation of a 4-issue out-of-order
+//!   core (ROB occupancy, MSHR-bounded memory-level parallelism, host
+//!   atomics with fixed in-core serialization plus an overlappable data
+//!   path, cycle attribution for the paper's breakdown figures).
+//! * [`mem`] — a three-level MESI-lite cache hierarchy (32 KB L1 / 256 KB
+//!   L2 private, 16 MB shared L3, 64 B lines, inclusive) with uncacheable
+//!   bypass support for the PIM memory region.
+//! * [`hmc`] — an HMC 2.0 cube: 32 vaults × 16 banks with Table IV timing,
+//!   per-vault atomic functional units with bank locking, FLIT-accurate
+//!   link accounting per Table V, and the full HMC 2.0 atomic command set
+//!   of Table I (plus the paper's proposed FP extension).
+//! * [`trace`] — the instruction-level trace format the graph framework
+//!   emits and the core model consumes.
+//!
+//! Times are modeled in *CPU cycles* at the configured clock (default 2 GHz,
+//! Table IV) and carried as `f64` so sub-cycle issue bandwidth accumulates
+//! exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use graphpim_sim::config::SimConfig;
+//! use graphpim_sim::hmc::HmcCube;
+//!
+//! let config = SimConfig::hpca_default();
+//! let cube = HmcCube::new(&config.hmc, config.core.clock_ghz);
+//! assert_eq!(config.hmc.vaults, 32);
+//! assert_eq!(cube.vault_count(), 32);
+//! ```
+
+pub mod config;
+pub mod cpu;
+pub mod hmc;
+pub mod mem;
+pub mod stats;
+pub mod trace;
+
+/// Simulation time in CPU cycles.
+///
+/// `f64` so that 4-wide issue (0.25 cycles per instruction) accumulates
+/// without rounding drift; all comparisons in the models are monotone
+/// max/min operations, which are exact in floating point.
+pub type Cycle = f64;

@@ -1,0 +1,139 @@
+//! Simulated physical address space.
+//!
+//! The graph framework places each data component of Section II-C in its own
+//! region so the simulator (and the POU) can classify accesses by address,
+//! exactly how GraphPIM's PIM memory region works:
+//!
+//! * **Meta** — task queues, frontiers, local variables (cache friendly);
+//! * **Structure** — CSR offsets/adjacency (streamed, good spatial locality);
+//! * **Property** — per-vertex property arrays (irregular; the PMR when
+//!   GraphPIM mode is on).
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated physical address.
+pub type Addr = u64;
+
+/// Which data component an address belongs to (Section II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Local variables, frontier queues, per-thread state.
+    Meta,
+    /// Graph structure: CSR offsets and adjacency arrays.
+    Structure,
+    /// Graph property arrays — the PIM memory region candidate.
+    Property,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 3] = [Region::Meta, Region::Structure, Region::Property];
+
+    const SHIFT: u32 = 44;
+
+    /// Base address of the region (regions are 16 TiB apart — effectively
+    /// disjoint for any workload in this repository).
+    pub const fn base(self) -> Addr {
+        match self {
+            Region::Meta => 0,
+            Region::Structure => 1 << Self::SHIFT,
+            Region::Property => 2 << Self::SHIFT,
+        }
+    }
+
+    /// Builds an address at `offset` within the region.
+    pub const fn addr(self, offset: u64) -> Addr {
+        self.base() | (offset & ((1 << Self::SHIFT) - 1))
+    }
+
+    /// Classifies an address.
+    pub fn of(addr: Addr) -> Region {
+        match addr >> Self::SHIFT {
+            0 => Region::Meta,
+            1 => Region::Structure,
+            _ => Region::Property,
+        }
+    }
+}
+
+/// The aligned cache-line address containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr, line_bytes: usize) -> Addr {
+    addr & !(line_bytes as u64 - 1)
+}
+
+/// Maps a line address to `(vault, bank)` for the HMC cube.
+///
+/// Consecutive `interleave`-byte blocks round-robin across vaults (the HMC
+/// "low interleave" default), and blocks within a vault spread across banks.
+#[inline]
+pub fn vault_bank_of(
+    addr: Addr,
+    vaults: usize,
+    banks_per_vault: usize,
+    interleave: u64,
+) -> (usize, usize) {
+    let block = addr / interleave;
+    let vault = (block % vaults as u64) as usize;
+    let bank = ((block / vaults as u64) % banks_per_vault as u64) as usize;
+    (vault, bank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_round_trip() {
+        for region in Region::ALL {
+            let a = region.addr(0x1234);
+            assert_eq!(Region::of(a), region);
+            assert_eq!(a & 0xFFFF, 0x1234);
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        assert_ne!(Region::Meta.base(), Region::Structure.base());
+        assert_ne!(Region::Structure.base(), Region::Property.base());
+    }
+
+    #[test]
+    fn line_alignment() {
+        assert_eq!(line_of(0x12345, 64), 0x12340);
+        assert_eq!(line_of(0x12340, 64), 0x12340);
+        assert_eq!(line_of(63, 64), 0);
+        assert_eq!(line_of(64, 64), 64);
+    }
+
+    #[test]
+    fn vault_mapping_round_robins() {
+        let (v0, _) = vault_bank_of(0, 32, 16, 256);
+        let (v1, _) = vault_bank_of(256, 32, 16, 256);
+        let (v32, b32) = vault_bank_of(256 * 32, 32, 16, 256);
+        assert_eq!(v0, 0);
+        assert_eq!(v1, 1);
+        assert_eq!(v32, 0);
+        assert_eq!(b32, 1); // wrapped to next bank
+    }
+
+    #[test]
+    fn vault_bank_in_range() {
+        for addr in (0..100_000u64).step_by(97) {
+            let (v, b) = vault_bank_of(addr, 32, 16, 256);
+            assert!(v < 32);
+            assert!(b < 16);
+        }
+    }
+
+    #[test]
+    fn consecutive_property_words_spread_vaults() {
+        // Adjacent 256-byte regions of the property array land in different
+        // vaults, so consecutive hot vertices do not serialize on one vault.
+        let a = Region::Property.addr(0);
+        let b = Region::Property.addr(256);
+        let (va, _) = vault_bank_of(a, 32, 16, 256);
+        let (vb, _) = vault_bank_of(b, 32, 16, 256);
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,264 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! One instance models one level for one owner (a private L1/L2, or the
+//! shared L3). Lines are identified by their aligned line address; the
+//! surrounding [`super::hierarchy::CacheHierarchy`] enforces inclusion and
+//! coherence between instances.
+
+use super::addr::Addr;
+use crate::config::CacheLevelConfig;
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Aligned address of the victim line.
+    pub addr: Addr,
+    /// Whether the victim held modified data (needs a writeback).
+    pub dirty: bool,
+}
+
+/// One set-associative cache array.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    /// `sets * ways` entries; `u64::MAX` marks an invalid way.
+    tags: Vec<Addr>,
+    dirty: Vec<bool>,
+    /// Last-use stamp per way for LRU.
+    stamp: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const INVALID: Addr = Addr::MAX;
+
+impl Cache {
+    /// Builds a cache from a level configuration and line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly (see
+    /// [`CacheLevelConfig::sets`]).
+    pub fn new(config: &CacheLevelConfig, line_bytes: usize) -> Self {
+        let sets = config.sets(line_bytes);
+        let ways = config.ways;
+        Cache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![INVALID; sets * ways],
+            dirty: vec![false; sets * ways],
+            stamp: vec![0; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: Addr) -> usize {
+        ((line / self.line_bytes as u64) % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn way_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `line`; on hit, refreshes LRU and returns `true`.
+    pub fn lookup(&mut self, line: Addr) -> bool {
+        let set = self.set_of(line);
+        self.tick += 1;
+        for i in self.way_range(set) {
+            if self.tags[i] == line {
+                self.stamp[i] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Looks up without disturbing LRU or hit/miss counters.
+    pub fn contains(&self, line: Addr) -> bool {
+        let set = self.set_of(line);
+        self.way_range(set).any(|i| self.tags[i] == line)
+    }
+
+    /// Inserts `line` (must not already be present), evicting the LRU way if
+    /// the set is full. Returns the victim, if any.
+    pub fn insert(&mut self, line: Addr) -> Option<EvictedLine> {
+        debug_assert!(!self.contains(line), "insert of resident line");
+        let set = self.set_of(line);
+        self.tick += 1;
+        let mut victim = None; // (index, stamp)
+        for i in self.way_range(set) {
+            if self.tags[i] == INVALID {
+                self.tags[i] = line;
+                self.dirty[i] = false;
+                self.stamp[i] = self.tick;
+                return None;
+            }
+            match victim {
+                None => victim = Some((i, self.stamp[i])),
+                Some((_, s)) if self.stamp[i] < s => victim = Some((i, self.stamp[i])),
+                _ => {}
+            }
+        }
+        let (i, _) = victim.expect("set has at least one way");
+        let evicted = EvictedLine {
+            addr: self.tags[i],
+            dirty: self.dirty[i],
+        };
+        self.tags[i] = line;
+        self.dirty[i] = false;
+        self.stamp[i] = self.tick;
+        Some(evicted)
+    }
+
+    /// Marks `line` dirty if present; returns whether it was present.
+    pub fn mark_dirty(&mut self, line: Addr) -> bool {
+        let set = self.set_of(line);
+        for i in self.way_range(set) {
+            if self.tags[i] == line {
+                self.dirty[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `line`; returns whether it was present and dirty.
+    pub fn invalidate(&mut self, line: Addr) -> Option<bool> {
+        let set = self.set_of(line);
+        for i in self.way_range(set) {
+            if self.tags[i] == line {
+                let was_dirty = self.dirty[i];
+                self.tags[i] = INVALID;
+                self.dirty[i] = false;
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears the hit/miss counters (e.g. after warmup).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways of 64-byte lines = 256 bytes.
+        Cache::new(
+            &CacheLevelConfig {
+                capacity_bytes: 256,
+                ways: 2,
+                latency_cycles: 1,
+            },
+            64,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(0));
+        c.insert(0);
+        assert!(c.lookup(0));
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 128, 256 all map to set 0 (line/64 % 2).
+        c.insert(0);
+        c.insert(128);
+        c.lookup(0); // 0 is now MRU
+        let victim = c.insert(256).expect("set full");
+        assert_eq!(victim.addr, 128);
+        assert!(c.contains(0));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = tiny();
+        c.insert(0);
+        assert!(c.mark_dirty(0));
+        c.insert(128);
+        let victim = c.insert(256).expect("evicts");
+        assert_eq!(victim.addr, 0);
+        assert!(victim.dirty);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.insert(64);
+        c.mark_dirty(64);
+        assert_eq!(c.invalidate(64), Some(true));
+        assert_eq!(c.invalidate(64), None);
+        assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..100u64 {
+            if !c.contains(i * 64) {
+                c.insert(i * 64);
+            }
+            assert!(c.resident_lines() <= c.capacity_lines());
+        }
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(0); // set 0
+        c.insert(64); // set 1
+        c.insert(128); // set 0
+        assert!(c.contains(64));
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_line_is_false() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(0));
+    }
+
+    #[test]
+    fn reset_counters_zeroes() {
+        let mut c = tiny();
+        c.lookup(0);
+        c.reset_counters();
+        assert_eq!(c.hit_miss(), (0, 0));
+    }
+}

@@ -1,0 +1,9 @@
+//! Memory subsystem: address space layout and the cache hierarchy.
+
+pub mod addr;
+pub mod cache;
+pub mod hierarchy;
+
+pub use addr::{Addr, Region};
+pub use cache::{Cache, EvictedLine};
+pub use hierarchy::{AccessOutcome, CacheHierarchy, ServiceLevel};

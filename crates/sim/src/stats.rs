@@ -1,0 +1,99 @@
+//! Derived statistics shared by the experiment drivers.
+
+use crate::cpu::CoreStats;
+use serde::{Deserialize, Serialize};
+
+/// Top-down cycle breakdown in the style of Figure 2 (Yasin's top-down
+/// methodology as exposed by Intel counters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Fraction of cycles retiring useful work.
+    pub retiring: f64,
+    /// Fraction lost to frontend stalls.
+    pub frontend: f64,
+    /// Fraction lost to misprediction recovery.
+    pub bad_speculation: f64,
+    /// Fraction lost to backend (memory and execution) stalls.
+    pub backend: f64,
+}
+
+impl CycleBreakdown {
+    /// Computes the breakdown from aggregated core statistics and the total
+    /// elapsed cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cycles` is not positive.
+    pub fn from_stats(stats: &CoreStats, issue_width: u32, total_cycles: f64) -> Self {
+        assert!(total_cycles > 0.0, "total cycles must be positive");
+        let retiring = stats.retiring_cycles(issue_width) / total_cycles;
+        let frontend = stats.frontend_cycles / total_cycles;
+        let bad_speculation = stats.badspec_cycles / total_cycles;
+        let backend = (1.0 - retiring - frontend - bad_speculation).max(0.0);
+        CycleBreakdown {
+            retiring,
+            frontend,
+            bad_speculation,
+            backend,
+        }
+    }
+
+    /// The four fractions sum (should be ~1 unless clipped).
+    pub fn sum(&self) -> f64 {
+        self.retiring + self.frontend + self.bad_speculation + self.backend
+    }
+}
+
+/// Misses per kilo-instruction.
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let stats = CoreStats {
+            instructions: 400,
+            frontend_cycles: 20.0,
+            badspec_cycles: 30.0,
+            ..CoreStats::default()
+        };
+        let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
+        assert!((b.sum() - 1.0).abs() < 1e-9);
+        assert!((b.retiring - 0.1).abs() < 1e-9);
+        assert!((b.frontend - 0.02).abs() < 1e-9);
+        assert!((b.bad_speculation - 0.03).abs() < 1e-9);
+        assert!((b.backend - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_clamped_at_zero() {
+        let stats = CoreStats {
+            instructions: 8000,
+            ..CoreStats::default()
+        };
+        let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
+        assert_eq!(b.backend, 0.0);
+        assert!(b.retiring > 1.0); // over-retired: clipped scenario
+    }
+
+    #[test]
+    fn mpki_formula() {
+        assert_eq!(mpki(5, 1000), 5.0);
+        assert_eq!(mpki(0, 1000), 0.0);
+        assert_eq!(mpki(10, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycles_panics() {
+        CycleBreakdown::from_stats(&CoreStats::default(), 4, 0.0);
+    }
+}

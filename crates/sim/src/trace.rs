@@ -1,0 +1,151 @@
+//! Instruction-level trace format.
+//!
+//! The graph framework (in `graphpim-workloads`) executes each kernel for
+//! real and, as a side effect, records one [`TraceOp`] stream per simulated
+//! thread per superstep. The system driver feeds these streams through the
+//! core and memory models. This is the same division of labor as the
+//! paper's MacSim frontend + SST memory backend, collapsed into one process.
+
+use crate::hmc::HmcAtomicOp;
+use crate::mem::addr::Addr;
+
+/// One dynamic instruction (or instruction group) in a thread's stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceOp {
+    /// `count` ALU/branch-free instructions with no memory access.
+    Compute(u32),
+    /// A load. `dep` means the load's address depends on the previous op's
+    /// result (pointer chasing — cannot issue until it completes).
+    Load {
+        /// Target address.
+        addr: Addr,
+        /// Serializes behind the previous op's result.
+        dep: bool,
+    },
+    /// A store (posted; never blocks retirement in this model).
+    Store {
+        /// Target address.
+        addr: Addr,
+    },
+    /// An atomic read-modify-write on `addr`. Executed host-side or
+    /// offloaded depending on the system configuration and the address.
+    Atomic {
+        /// Target address.
+        addr: Addr,
+        /// The HMC command this atomic maps to (Table II).
+        op: HmcAtomicOp,
+        /// Serializes behind the previous op's result.
+        dep: bool,
+    },
+    /// A conditional branch. `predictable` branches never mispredict;
+    /// unpredictable ones (data-dependent frontier checks) mispredict with
+    /// the core model's configured probability. `dep` means the condition
+    /// consumes the previous op's result (e.g. a CAS return value).
+    Branch {
+        /// Whether the direction is statically predictable.
+        predictable: bool,
+        /// Serializes behind the previous op's result.
+        dep: bool,
+    },
+}
+
+impl TraceOp {
+    /// How many instructions this op represents.
+    pub fn instruction_count(self) -> u64 {
+        match self {
+            TraceOp::Compute(n) => n as u64,
+            _ => 1,
+        }
+    }
+
+    /// Whether this op touches memory.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            TraceOp::Load { .. } | TraceOp::Store { .. } | TraceOp::Atomic { .. }
+        )
+    }
+}
+
+/// The per-thread instruction streams between two barriers.
+#[derive(Debug, Clone, Default)]
+pub struct Superstep {
+    /// One stream per simulated thread (index = thread = core).
+    pub threads: Vec<Vec<TraceOp>>,
+}
+
+impl Superstep {
+    /// Creates an empty superstep for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Superstep {
+            threads: vec![Vec::new(); threads],
+        }
+    }
+
+    /// Total instruction count across all threads.
+    pub fn instructions(&self) -> u64 {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|op| op.instruction_count())
+            .sum()
+    }
+
+    /// Total memory operations across all threads.
+    pub fn memory_ops(&self) -> u64 {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|op| op.is_memory())
+            .count() as u64
+    }
+
+    /// Whether no thread has any work.
+    pub fn is_empty(&self) -> bool {
+        self.threads.iter().all(|t| t.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::addr::Region;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(TraceOp::Compute(7).instruction_count(), 7);
+        assert_eq!(
+            TraceOp::Load {
+                addr: 0,
+                dep: false
+            }
+            .instruction_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(TraceOp::Store { addr: 4 }.is_memory());
+        assert!(!TraceOp::Compute(1).is_memory());
+        assert!(!TraceOp::Branch {
+            predictable: true,
+            dep: false
+        }
+        .is_memory());
+    }
+
+    #[test]
+    fn superstep_aggregates() {
+        let mut step = Superstep::new(2);
+        step.threads[0].push(TraceOp::Compute(3));
+        step.threads[1].push(TraceOp::Load {
+            addr: Region::Property.addr(8),
+            dep: true,
+        });
+        assert_eq!(step.instructions(), 4);
+        assert_eq!(step.memory_ops(), 1);
+        assert!(!step.is_empty());
+        assert!(Superstep::new(3).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Recommender system (RS).
+//!
+//! Item-to-item collaborative filtering (Sarwar et al. / the Amazon method
+//! the paper cites): for a set of query users, score candidate items by
+//! co-occurrence — users who follow `x` also follow `y`. On the follower
+//! graph this is a two-hop traversal per query with atomic score
+//! accumulation on the candidate property, making it dominated by the same
+//! irregular property atomics as the kernels (hence the 1.9× Figure 17
+//! speedup).
+
+use crate::framework::{Framework, GraphAccess, PropertyArray};
+use graphpim_graph::{CsrGraph, VertexId};
+
+/// A scored recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Recommended vertex (item/user).
+    pub item: VertexId,
+    /// Co-occurrence score.
+    pub score: u64,
+}
+
+/// Item-to-item collaborative-filtering recommender.
+#[derive(Debug)]
+pub struct Recommender {
+    queries: Vec<VertexId>,
+    top_k: usize,
+    results: Vec<Vec<Recommendation>>,
+}
+
+impl Recommender {
+    /// Recommends `top_k` items for each query vertex.
+    pub fn new(queries: Vec<VertexId>, top_k: usize) -> Self {
+        Recommender {
+            queries,
+            top_k,
+            results: Vec::new(),
+        }
+    }
+
+    /// Per-query recommendations after [`Recommender::run`].
+    pub fn results(&self) -> &[Vec<Recommendation>] {
+        &self.results
+    }
+
+    /// Runs the recommender.
+    pub fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        self.results.clear();
+        if n == 0 {
+            return;
+        }
+        let access = GraphAccess::new(fw, graph);
+        let mut score = PropertyArray::new(fw, n, 0u64);
+
+        for &q in &self.queries.clone() {
+            if (q as usize) >= n {
+                self.results.push(Vec::new());
+                continue;
+            }
+            // Reset scores (untraced bulk init models a fresh scratch
+            // allocation per query).
+            for v in 0..n {
+                score.poke(v, 0);
+            }
+            // Two-hop scatter: items of my items' co-followers.
+            let firsts: Vec<VertexId> = graph.neighbors(q).to_vec();
+            for (i, &mid) in firsts.iter().enumerate() {
+                fw.spread(i);
+                {
+                    access.degree(fw, mid);
+                    fw.compute(2);
+                    access.for_each_neighbor(fw, mid, |fw, item, _| {
+                        fw.compute(1);
+                        fw.branch(false, true);
+                        if item != q {
+                            score.fetch_add(fw, item as usize, 1);
+                        }
+                    });
+                }
+            }
+            fw.barrier();
+
+            // Top-k selection pass (meta-heavy scan).
+            let mut scored: Vec<Recommendation> = Vec::new();
+            for v in 0..n {
+                fw.spread(v);
+                {
+                    let s = score.get(fw, v, false);
+                    fw.branch(false, true);
+                    if s > 0 && !graph.has_edge(q, v as VertexId) {
+                        fw.compute(3);
+                        scored.push(Recommendation {
+                            item: v as VertexId,
+                            score: s,
+                        });
+                    }
+                }
+            }
+            fw.barrier();
+            scored.sort_by(|a, b| b.score.cmp(&a.score).then(a.item.cmp(&b.item)));
+            scored.truncate(self.top_k);
+            self.results.push(scored);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::GraphBuilder;
+
+    #[test]
+    fn co_follow_recommendation() {
+        // Users 0 and 1 both follow 2 and 3; user 1 also follows 4.
+        // Query 0 via co-follower structure: 0 -> {2,3}; who else is
+        // followed by followers of {2,3}? Build a bipartite-ish case:
+        // 0 -> 2, 2 -> 4: recommend 4.
+        let g = GraphBuilder::new(5)
+            .edge(0, 2)
+            .edge(2, 4)
+            .edge(2, 3)
+            .build();
+        let mut sink = CollectTrace::default();
+        let mut rs = Recommender::new(vec![0], 3);
+        let mut fw = Framework::new(2, &mut sink);
+        rs.run(&g, &mut fw);
+        fw.finish();
+        let recs = &rs.results()[0];
+        assert!(recs.iter().any(|r| r.item == 4));
+        assert!(recs.iter().any(|r| r.item == 3));
+    }
+
+    #[test]
+    fn does_not_recommend_existing_follows() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(0, 2).build();
+        let mut sink = CollectTrace::default();
+        let mut rs = Recommender::new(vec![0], 5);
+        let mut fw = Framework::new(1, &mut sink);
+        rs.run(&g, &mut fw);
+        fw.finish();
+        // 2 is reachable in two hops but already followed.
+        assert!(rs.results()[0].iter().all(|r| r.item != 2));
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let g = super::super::twitter_like(8, 3);
+        let mut sink = CollectTrace::default();
+        let mut rs = Recommender::new(vec![0, 1], 5);
+        let mut fw = Framework::new(4, &mut sink);
+        rs.run(&g, &mut fw);
+        fw.finish();
+        for recs in rs.results() {
+            assert!(recs.len() <= 5);
+            for w in recs.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_query_is_empty() {
+        let g = GraphBuilder::new(2).edge(0, 1).build();
+        let mut sink = CollectTrace::default();
+        let mut rs = Recommender::new(vec![42], 3);
+        let mut fw = Framework::new(1, &mut sink);
+        rs.run(&g, &mut fw);
+        fw.finish();
+        assert!(rs.results()[0].is_empty());
+    }
+}

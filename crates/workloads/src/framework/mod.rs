@@ -1,0 +1,342 @@
+//! The graph-framework layer.
+//!
+//! GraphBIG-style frameworks decouple user code from data management; the
+//! only GraphPIM-specific change the paper requires is that the framework
+//! allocate graph *property* storage through `pmr_malloc` so it lands in the
+//! PIM memory region. [`Framework::pmr_malloc`] is exactly that allocator;
+//! everything a kernel does through this API both performs the real
+//! computation and records the instruction-level trace that the timing
+//! substrate replays.
+
+mod graph_access;
+mod property;
+
+pub use graph_access::GraphAccess;
+pub use property::{MetaArray, MetaQueue, PropertyArray};
+
+use graphpim_sim::hmc::HmcAtomicOp;
+use graphpim_sim::mem::addr::{Addr, Region};
+use graphpim_sim::trace::{Superstep, TraceOp};
+
+/// Receives trace batches as the framework produces them.
+///
+/// The system driver implements this to simulate streams online (keeping
+/// memory bounded on large graphs); tests use [`CollectTrace`].
+pub trait TraceConsumer {
+    /// A batch of per-thread ops with **no** synchronization implied.
+    fn chunk(&mut self, step: Superstep);
+    /// A global barrier: all threads synchronize and in-flight PIM atomics
+    /// must complete.
+    fn barrier(&mut self);
+}
+
+/// A [`TraceConsumer`] that stores everything — for tests and inspection.
+#[derive(Debug, Default)]
+pub struct CollectTrace {
+    /// Collected chunks, in emission order.
+    pub chunks: Vec<Superstep>,
+    /// Number of barriers observed.
+    pub barriers: usize,
+}
+
+impl TraceConsumer for CollectTrace {
+    fn chunk(&mut self, step: Superstep) {
+        self.chunks.push(step);
+    }
+
+    fn barrier(&mut self) {
+        self.barriers += 1;
+    }
+}
+
+impl CollectTrace {
+    /// All ops of all chunks of `thread`, flattened.
+    pub fn thread_ops(&self, thread: usize) -> Vec<TraceOp> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.threads.get(thread).into_iter().flatten())
+            .copied()
+            .collect()
+    }
+
+    /// Total ops across all threads.
+    pub fn total_ops(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.threads.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Ops buffered per thread before a chunk is flushed to the consumer.
+const CHUNK_LIMIT: usize = 1 << 16;
+
+/// The framework: allocators, the active-thread cursor, and the recorder.
+pub struct Framework<'a> {
+    threads: usize,
+    thread: usize,
+    step: Superstep,
+    buffered: usize,
+    consumer: &'a mut dyn TraceConsumer,
+    meta_cursor: u64,
+    structure_cursor: u64,
+    property_cursor: u64,
+    atomics_emitted: u64,
+    property_atomics: u64,
+}
+
+impl<'a> Framework<'a> {
+    /// Creates a framework for `threads` simulated threads feeding
+    /// `consumer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize, consumer: &'a mut dyn TraceConsumer) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Framework {
+            threads,
+            thread: 0,
+            step: Superstep::new(threads),
+            buffered: 0,
+            consumer,
+            meta_cursor: 64, // keep null distinct
+            structure_cursor: 64,
+            property_cursor: 64,
+            atomics_emitted: 0,
+            property_atomics: 0,
+        }
+    }
+
+    /// Number of simulated threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Selects the thread subsequent emissions belong to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= threads`.
+    pub fn on_thread(&mut self, t: usize) {
+        assert!(t < self.threads, "thread {t} out of range");
+        self.thread = t;
+    }
+
+    /// Round-robin thread selection for data-parallel loops: item `index`
+    /// belongs to thread `index % threads`.
+    ///
+    /// Kernels must emit work *interleaved* across threads (rather than one
+    /// thread's whole portion at a time) so the streaming chunk boundaries
+    /// cut every thread at the same point in logical time — the timing
+    /// driver replays chunks in core-clock order and relies on this.
+    pub fn spread(&mut self, index: usize) {
+        self.thread = index % self.threads;
+    }
+
+    /// The customized property allocator of the paper: returns the base
+    /// address of `bytes` bytes inside the PIM memory region.
+    pub fn pmr_malloc(&mut self, bytes: u64) -> Addr {
+        let base = Region::Property.addr(self.property_cursor);
+        self.property_cursor += bytes.max(1).next_multiple_of(64);
+        base
+    }
+
+    /// Allocates meta-data storage (task queues, per-thread locals).
+    pub fn meta_malloc(&mut self, bytes: u64) -> Addr {
+        let base = Region::Meta.addr(self.meta_cursor);
+        self.meta_cursor += bytes.max(1).next_multiple_of(64);
+        base
+    }
+
+    /// Allocates graph-structure storage (CSR arrays).
+    pub fn structure_malloc(&mut self, bytes: u64) -> Addr {
+        let base = Region::Structure.addr(self.structure_cursor);
+        self.structure_cursor += bytes.max(1).next_multiple_of(64);
+        base
+    }
+
+    /// Emits a raw trace op on the active thread.
+    pub fn emit(&mut self, op: TraceOp) {
+        if let TraceOp::Atomic { addr, .. } = op {
+            self.atomics_emitted += 1;
+            if Region::of(addr) == Region::Property {
+                self.property_atomics += 1;
+            }
+        }
+        self.step.threads[self.thread].push(op);
+        self.buffered += 1;
+        if self.step.threads[self.thread].len() >= CHUNK_LIMIT {
+            self.flush();
+        }
+    }
+
+    /// Emits `n` ALU instructions (merged with a preceding compute op).
+    pub fn compute(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(TraceOp::Compute(prev)) = self.step.threads[self.thread].last_mut() {
+            *prev = prev.saturating_add(n);
+            return;
+        }
+        self.emit(TraceOp::Compute(n));
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, addr: Addr, dep: bool) {
+        self.emit(TraceOp::Load { addr, dep });
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, addr: Addr) {
+        self.emit(TraceOp::Store { addr });
+    }
+
+    /// Emits an atomic mapped to HMC command `op` (Table II).
+    pub fn atomic(&mut self, addr: Addr, op: HmcAtomicOp, dep: bool) {
+        self.emit(TraceOp::Atomic { addr, op, dep });
+    }
+
+    /// Emits a conditional branch.
+    pub fn branch(&mut self, predictable: bool, dep: bool) {
+        self.emit(TraceOp::Branch { predictable, dep });
+    }
+
+    /// Global synchronization: flushes buffered ops and signals a barrier.
+    pub fn barrier(&mut self) {
+        self.flush();
+        self.consumer.barrier();
+    }
+
+    /// Flushes any buffered ops and consumes the framework. Kernels should
+    /// end with a [`Framework::barrier`]; this catches stragglers.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    /// Atomics emitted so far, and how many target the property region
+    /// (the offload candidates).
+    pub fn atomic_counts(&self) -> (u64, u64) {
+        (self.atomics_emitted, self.property_atomics)
+    }
+
+    fn flush(&mut self) {
+        if self.buffered == 0 {
+            return;
+        }
+        let step = std::mem::replace(&mut self.step, Superstep::new(self.threads));
+        self.buffered = 0;
+        self.consumer.chunk(step);
+    }
+}
+
+impl std::fmt::Debug for Framework<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Framework")
+            .field("threads", &self.threads)
+            .field("thread", &self.thread)
+            .field("buffered", &self.buffered)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmr_malloc_lands_in_property_region() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let a = fw.pmr_malloc(100);
+        let b = fw.pmr_malloc(100);
+        assert_eq!(Region::of(a), Region::Property);
+        assert_eq!(Region::of(b), Region::Property);
+        assert!(b > a, "allocations must not overlap");
+        assert!(b - a >= 100);
+    }
+
+    #[test]
+    fn allocators_use_disjoint_regions() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        assert_eq!(Region::of(fw.meta_malloc(8)), Region::Meta);
+        assert_eq!(Region::of(fw.structure_malloc(8)), Region::Structure);
+        assert_eq!(Region::of(fw.pmr_malloc(8)), Region::Property);
+    }
+
+    #[test]
+    fn ops_route_to_active_thread() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(2, &mut sink);
+            fw.on_thread(1);
+            fw.load(0x10, false);
+            fw.on_thread(0);
+            fw.store(0x20);
+            fw.finish();
+        }
+        assert_eq!(sink.thread_ops(1).len(), 1);
+        assert_eq!(sink.thread_ops(0).len(), 1);
+    }
+
+    #[test]
+    fn compute_ops_coalesce() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(1, &mut sink);
+            fw.compute(3);
+            fw.compute(4);
+            fw.finish();
+        }
+        let ops = sink.thread_ops(0);
+        assert_eq!(ops, vec![TraceOp::Compute(7)]);
+    }
+
+    #[test]
+    fn barrier_flushes_and_signals() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(1, &mut sink);
+            fw.load(0x10, false);
+            fw.barrier();
+        }
+        assert_eq!(sink.barriers, 1);
+        assert_eq!(sink.total_ops(), 1);
+    }
+
+    #[test]
+    fn chunking_splits_large_streams() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(1, &mut sink);
+            for i in 0..(CHUNK_LIMIT + 10) {
+                fw.load(i as u64 * 8, false);
+            }
+            fw.finish();
+        }
+        assert!(sink.chunks.len() >= 2, "expected chunked flushes");
+        assert_eq!(sink.total_ops(), CHUNK_LIMIT + 10);
+    }
+
+    #[test]
+    fn atomic_counts_distinguish_property() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let prop = fw.pmr_malloc(64);
+        let meta = fw.meta_malloc(64);
+        fw.atomic(prop, HmcAtomicOp::Add16, false);
+        fw.atomic(meta, HmcAtomicOp::Add16, false);
+        assert_eq!(fw.atomic_counts(), (2, 1));
+        fw.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_thread_panics() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        fw.on_thread(3);
+    }
+}

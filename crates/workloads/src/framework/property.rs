@@ -1,0 +1,440 @@
+//! Property and meta-data arrays.
+//!
+//! A [`PropertyArray`] is the framework-managed, per-vertex property storage
+//! the paper identifies as *the* offloading target: it is allocated through
+//! [`super::Framework::pmr_malloc`], so its addresses fall in the PIM memory
+//! region, and all synchronized updates go through atomic methods that map
+//! one-to-one onto HMC commands (Table II). A [`MetaArray`] is ordinary
+//! cache-friendly storage (frontier queues, per-thread locals).
+
+use super::Framework;
+use graphpim_sim::hmc::HmcAtomicOp;
+use graphpim_sim::mem::addr::Addr;
+
+/// Property element spacing: one cache line per vertex property object.
+///
+/// GraphBIG-style frameworks store per-vertex properties inside scattered,
+/// heap-allocated vertex objects, so each property access touches its own
+/// line (this is what produces the paper's >80% candidate miss rates and
+/// the ~900 MB LDBC-1M footprint). The atomic operand within the object is
+/// still 8/16 bytes, matching the HMC command sizes.
+const STRIDE: u64 = 64;
+
+/// Meta-data element spacing: dense 8-byte slots (queues and locals are
+/// packed arrays, which is why they are cache friendly).
+const META_STRIDE: u64 = 8;
+
+/// A per-vertex property array living in the PIM memory region.
+#[derive(Debug, Clone)]
+pub struct PropertyArray<T> {
+    base: Addr,
+    data: Vec<T>,
+}
+
+impl<T: Copy> PropertyArray<T> {
+    /// Allocates a property array of `len` elements initialized to `init`.
+    pub fn new(fw: &mut Framework<'_>, len: usize, init: T) -> Self {
+        let base = fw.pmr_malloc(len as u64 * STRIDE);
+        PropertyArray {
+            base,
+            data: vec![init; len],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.base + i as u64 * STRIDE
+    }
+
+    /// Traced read of element `i`. `dep` marks the load as
+    /// address-dependent on the previous op (pointer chasing).
+    pub fn get(&self, fw: &mut Framework<'_>, i: usize, dep: bool) -> T {
+        fw.load(self.addr(i), dep);
+        self.data[i]
+    }
+
+    /// Traced unsynchronized write of element `i`.
+    pub fn set(&mut self, fw: &mut Framework<'_>, i: usize, value: T) {
+        fw.store(self.addr(i));
+        self.data[i] = value;
+    }
+
+    /// Untraced read — for result extraction and tests only.
+    pub fn peek(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Untraced write — for initialization outside the measured region.
+    pub fn poke(&mut self, i: usize, value: T) {
+        self.data[i] = value;
+    }
+
+    /// Untraced view of the whole array.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl PropertyArray<u64> {
+    /// Traced compare-and-swap: maps to the host `lock cmpxchg`, i.e. HMC
+    /// `CAS if equal` (Table II). Returns whether the swap happened.
+    pub fn cas(&mut self, fw: &mut Framework<'_>, i: usize, expected: u64, new: u64) -> bool {
+        self.cas_fetch(fw, i, expected, new).0
+    }
+
+    /// Traced compare-and-swap returning `(succeeded, original value)` —
+    /// both `lock cmpxchg` and the HMC command return the original data,
+    /// which lock-free graph code uses to avoid a separate read
+    /// (Section II-D: *all* neighbor property accesses go through CAS).
+    pub fn cas_fetch(
+        &mut self,
+        fw: &mut Framework<'_>,
+        i: usize,
+        expected: u64,
+        new: u64,
+    ) -> (bool, u64) {
+        fw.atomic(self.addr(i), HmcAtomicOp::CasIfEqual8, true);
+        let original = self.data[i];
+        if original == expected {
+            self.data[i] = new;
+            (true, original)
+        } else {
+            (false, original)
+        }
+    }
+
+    /// Traced atomic minimum via a CAS retry loop (the compiler idiom the
+    /// POU can also translate to `CAS if less`). Returns
+    /// `(lowered, original value)`; emits one atomic per retry.
+    pub fn cas_min(&mut self, fw: &mut Framework<'_>, i: usize, value: u64) -> (bool, u64) {
+        // Sequential emulation never races, so one attempt decides; the
+        // emitted trace still carries the full CAS + dependent-branch
+        // pattern of the retry loop.
+        let original = self.data[i];
+        fw.atomic(self.addr(i), HmcAtomicOp::CasIfEqual8, true);
+        fw.branch(false, true);
+        if value < original {
+            self.data[i] = value;
+            (true, original)
+        } else {
+            (false, original)
+        }
+    }
+
+    /// Traced atomic minimum through the POU's instruction-block
+    /// translation (Section III-B): the whole `load; cmp; lock cmpxchg`
+    /// retry idiom is recognized and emitted as a single HMC
+    /// `CAS if less` command. Semantics identical to
+    /// [`PropertyArray::cas_min`]; the trace differs (one signed-compare
+    /// command, no retry-loop branch).
+    pub fn cas_min_translated(
+        &mut self,
+        fw: &mut Framework<'_>,
+        i: usize,
+        value: u64,
+    ) -> (bool, u64) {
+        let original = self.data[i];
+        fw.atomic(self.addr(i), HmcAtomicOp::CasIfLess16, true);
+        fw.branch(false, true);
+        if (value as i64) < (original as i64) {
+            self.data[i] = value;
+            (true, original)
+        } else {
+            (false, original)
+        }
+    }
+
+    /// Traced atomic add: maps to host `lock add`, i.e. HMC posted
+    /// `Signed add` (Table II). Wrapping, like the hardware.
+    pub fn fetch_add(&mut self, fw: &mut Framework<'_>, i: usize, delta: u64) {
+        fw.atomic(self.addr(i), HmcAtomicOp::Add16, false);
+        self.data[i] = self.data[i].wrapping_add(delta);
+    }
+
+    /// Traced atomic subtract: maps to host `lock sub`, i.e. a posted
+    /// signed add of the negation (Table II, k-core row).
+    pub fn fetch_sub(&mut self, fw: &mut Framework<'_>, i: usize, delta: u64) {
+        fw.atomic(self.addr(i), HmcAtomicOp::Add16, false);
+        self.data[i] = self.data[i].wrapping_sub(delta);
+    }
+}
+
+impl PropertyArray<f64> {
+    /// Traced atomic floating-point add — the paper's proposed HMC
+    /// extension (Section III-C). On systems without the extension the POU
+    /// refuses to offload this and it executes host-side.
+    pub fn fp_add(&mut self, fw: &mut Framework<'_>, i: usize, delta: f64) {
+        fw.atomic(self.addr(i), HmcAtomicOp::FpAdd64, false);
+        self.data[i] += delta;
+    }
+}
+
+/// Cache-friendly meta-data storage (frontiers, locals, task queues).
+#[derive(Debug, Clone)]
+pub struct MetaArray<T> {
+    base: Addr,
+    data: Vec<T>,
+}
+
+impl<T: Copy> MetaArray<T> {
+    /// Allocates a meta array of `len` elements initialized to `init`.
+    pub fn new(fw: &mut Framework<'_>, len: usize, init: T) -> Self {
+        let base = fw.meta_malloc(len as u64 * META_STRIDE);
+        MetaArray {
+            base,
+            data: vec![init; len],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.base + i as u64 * META_STRIDE
+    }
+
+    /// Traced read.
+    pub fn get(&self, fw: &mut Framework<'_>, i: usize) -> T {
+        fw.load(self.addr(i), false);
+        self.data[i]
+    }
+
+    /// Traced write.
+    pub fn set(&mut self, fw: &mut Framework<'_>, i: usize, value: T) {
+        fw.store(self.addr(i));
+        self.data[i] = value;
+    }
+
+    /// Untraced read.
+    pub fn peek(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Untraced write.
+    pub fn poke(&mut self, i: usize, value: T) {
+        self.data[i] = value;
+    }
+}
+
+/// A growable meta-region queue (frontier) with traced push/pop.
+#[derive(Debug, Clone)]
+pub struct MetaQueue {
+    base: Addr,
+    capacity: u64,
+    items: Vec<u32>,
+}
+
+impl MetaQueue {
+    /// Allocates a queue with room for `capacity` 8-byte entries.
+    pub fn new(fw: &mut Framework<'_>, capacity: usize) -> Self {
+        MetaQueue {
+            base: fw.meta_malloc(capacity as u64 * META_STRIDE),
+            capacity: capacity as u64,
+            items: Vec::new(),
+        }
+    }
+
+    /// Address of slot `i` (modulo the ring capacity).
+    pub fn addr(&self, i: usize) -> Addr {
+        self.base + (i as u64 % self.capacity.max(1)) * META_STRIDE
+    }
+
+    /// Traced push.
+    pub fn push(&mut self, fw: &mut Framework<'_>, item: u32) {
+        let slot = self.items.len() as u64 % self.capacity.max(1);
+        fw.store(self.base + slot * META_STRIDE);
+        self.items.push(item);
+    }
+
+    /// Current contents (untraced).
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drains all items, emitting one traced load per drained entry.
+    pub fn drain(&mut self, fw: &mut Framework<'_>) -> Vec<u32> {
+        for i in 0..self.items.len() as u64 {
+            fw.load(self.base + (i % self.capacity.max(1)) * META_STRIDE, false);
+        }
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_sim::mem::addr::Region;
+    use graphpim_sim::trace::TraceOp;
+
+    #[test]
+    fn property_array_is_in_pmr() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let p = PropertyArray::new(&mut fw, 10, 0u64);
+        assert_eq!(Region::of(p.addr(0)), Region::Property);
+        assert_eq!(p.addr(1) - p.addr(0), STRIDE);
+        fw.finish();
+    }
+
+    #[test]
+    fn get_emits_load_and_returns_value() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(1, &mut sink);
+            let mut p = PropertyArray::new(&mut fw, 4, 7u64);
+            p.set(&mut fw, 2, 9);
+            assert_eq!(p.get(&mut fw, 2, true), 9);
+            assert_eq!(p.get(&mut fw, 0, false), 7);
+            fw.finish();
+        }
+        let ops = sink.thread_ops(0);
+        assert!(matches!(ops[0], TraceOp::Store { .. }));
+        assert!(matches!(ops[1], TraceOp::Load { dep: true, .. }));
+    }
+
+    #[test]
+    fn cas_success_and_failure_semantics() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 2, 0u64);
+        assert!(p.cas(&mut fw, 0, 0, 5));
+        assert_eq!(p.peek(0), 5);
+        assert!(!p.cas(&mut fw, 0, 0, 9));
+        assert_eq!(p.peek(0), 5);
+        fw.finish();
+    }
+
+    #[test]
+    fn cas_emits_cas_if_equal() {
+        let mut sink = CollectTrace::default();
+        {
+            let mut fw = Framework::new(1, &mut sink);
+            let mut p = PropertyArray::new(&mut fw, 1, 0u64);
+            p.cas(&mut fw, 0, 0, 1);
+            fw.finish();
+        }
+        let ops = sink.thread_ops(0);
+        assert!(matches!(
+            ops[0],
+            TraceOp::Atomic {
+                op: HmcAtomicOp::CasIfEqual8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fetch_add_and_sub_wrap() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 1, u64::MAX);
+        p.fetch_add(&mut fw, 0, 1);
+        assert_eq!(p.peek(0), 0);
+        p.fetch_sub(&mut fw, 0, 1);
+        assert_eq!(p.peek(0), u64::MAX);
+        fw.finish();
+    }
+
+    #[test]
+    fn fp_add_accumulates() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 1, 0.0f64);
+        p.fp_add(&mut fw, 0, 1.5);
+        p.fp_add(&mut fw, 0, 2.5);
+        assert_eq!(p.peek(0), 4.0);
+        fw.finish();
+    }
+
+    #[test]
+    fn cas_fetch_returns_original() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 1, 7u64);
+        let (ok, orig) = p.cas_fetch(&mut fw, 0, 7, 9);
+        assert!(ok);
+        assert_eq!(orig, 7);
+        let (fail, orig2) = p.cas_fetch(&mut fw, 0, 7, 11);
+        assert!(!fail);
+        assert_eq!(orig2, 9);
+        fw.finish();
+    }
+
+    #[test]
+    fn cas_min_lowers_only() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 1, 10u64);
+        let (lowered, orig) = p.cas_min(&mut fw, 0, 5);
+        assert!(lowered);
+        assert_eq!(orig, 10);
+        assert_eq!(p.peek(0), 5);
+        let (no, _) = p.cas_min(&mut fw, 0, 8);
+        assert!(!no);
+        assert_eq!(p.peek(0), 5);
+        fw.finish();
+    }
+
+    #[test]
+    fn cas_min_translated_uses_signed_compare() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut p = PropertyArray::new(&mut fw, 1, 10u64);
+        let (lowered, _) = p.cas_min_translated(&mut fw, 0, 3);
+        assert!(lowered);
+        assert_eq!(p.peek(0), 3);
+        fw.finish();
+    }
+
+    #[test]
+    fn meta_array_is_in_meta_region() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let m = MetaArray::new(&mut fw, 4, 0u64);
+        assert_eq!(Region::of(m.addr(0)), Region::Meta);
+        fw.finish();
+    }
+
+    #[test]
+    fn queue_push_drain_round_trip() {
+        let mut sink = CollectTrace::default();
+        let mut fw = Framework::new(1, &mut sink);
+        let mut q = MetaQueue::new(&mut fw, 8);
+        q.push(&mut fw, 3);
+        q.push(&mut fw, 4);
+        assert_eq!(q.len(), 2);
+        let items = q.drain(&mut fw);
+        assert_eq!(items, vec![3, 4]);
+        assert!(q.is_empty());
+        fw.finish();
+    }
+}

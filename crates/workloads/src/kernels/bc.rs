@@ -1,0 +1,253 @@
+//! Betweenness centrality (Brandes' algorithm, sampled sources).
+//!
+//! Two phases per source: a forward BFS counting shortest paths (`sigma`,
+//! updated with integer atomic adds; depth claimed by CAS) and a backward
+//! dependency accumulation updating centrality with atomic floating-point
+//! adds — which require the paper's FP extension to offload (Table III).
+//! The backward phase leans on thread-local accumulators, the data locality
+//! of which limits GraphPIM's benefit for BC (Section IV-B1).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, MetaArray, PropertyArray};
+use graphpim_graph::{CsrGraph, VertexId};
+
+/// Brandes betweenness centrality over sampled sources.
+#[derive(Debug)]
+pub struct Bc {
+    sources: usize,
+    seed: u64,
+    centrality: Vec<f64>,
+    chosen_sources: Vec<VertexId>,
+}
+
+impl Bc {
+    /// BC accumulated over `sources` deterministic pseudo-random sources.
+    pub fn new(sources: usize, seed: u64) -> Self {
+        Bc {
+            sources,
+            seed,
+            centrality: Vec::new(),
+            chosen_sources: Vec::new(),
+        }
+    }
+
+    /// Centrality scores after [`Kernel::run`].
+    pub fn centrality(&self) -> &[f64] {
+        &self.centrality
+    }
+
+    /// The sources the run actually used.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.chosen_sources
+    }
+}
+
+impl Kernel for Bc {
+    fn name(&self) -> &'static str {
+        "BC"
+    }
+
+    fn category(&self) -> Category {
+        Category::GraphTraversal
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::WithFpExtension
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        // Missing operation: floating-point add (Table III).
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let access = GraphAccess::new(fw, graph);
+        let mut centrality = PropertyArray::new(fw, n.max(1), 0.0f64);
+        if n == 0 {
+            self.centrality = Vec::new();
+            fw.barrier();
+            return;
+        }
+        // Deterministic source selection (prefer non-isolated vertices).
+        let mut pick = graphpim_graph::generate::SplitMix64::new(self.seed);
+        self.chosen_sources.clear();
+        let mut guard = 0;
+        while self.chosen_sources.len() < self.sources && guard < 32 * self.sources + 32 {
+            guard += 1;
+            let v = pick.next_below(n as u64) as VertexId;
+            if graph.out_degree(v) > 0 && !self.chosen_sources.contains(&v) {
+                self.chosen_sources.push(v);
+            }
+        }
+
+        let threads = fw.threads();
+        for &s in &self.chosen_sources.clone() {
+            // Forward phase: level-synchronous BFS with path counts.
+            let mut sigma = PropertyArray::new(fw, n, 0u64);
+            let mut dist = PropertyArray::new(fw, n, u64::MAX);
+            sigma.poke(s as usize, 1);
+            dist.poke(s as usize, 0);
+            let mut levels: Vec<Vec<VertexId>> = vec![vec![s]];
+            loop {
+                let frontier = levels.last().expect("at least the root").clone();
+                if frontier.is_empty() {
+                    levels.pop();
+                    break;
+                }
+                let depth = (levels.len() - 1) as u64;
+                let mut next = Vec::new();
+                {
+                    for (i, &v) in frontier.iter().enumerate() {
+                        fw.spread(i);
+                        fw.compute(6);
+                        let sv = sigma.get(fw, v as usize, false);
+                        access.degree(fw, v);
+                        access.for_each_neighbor(fw, v, |fw, nb, _| {
+                            fw.compute(3);
+                            // Claim attempt: the CAS is the visited check;
+                            // the returned original is the neighbor depth.
+                            let (won, _) =
+                                dist.cas_fetch(fw, nb as usize, u64::MAX, depth + 1);
+                            fw.branch(false, true);
+                            if won {
+                                next.push(nb);
+                            }
+                            if dist.peek(nb as usize) == depth + 1 {
+                                // Path-count accumulation: integer atomic.
+                                sigma.fetch_add(fw, nb as usize, sv);
+                            }
+                        });
+                    }
+                }
+                fw.barrier();
+                levels.push(next);
+            }
+
+            // Backward phase: dependency accumulation, deepest level first.
+            let mut delta = PropertyArray::new(fw, n, 0.0f64);
+            // Thread-local accumulator state (the locality the paper calls
+            // out for BC), one per thread.
+            let mut locals: Vec<MetaArray<u64>> =
+                (0..threads).map(|_| MetaArray::new(fw, 8, 0u64)).collect();
+            for level in levels.iter().rev() {
+                {
+                    for (i, &v) in level.iter().enumerate() {
+                        fw.spread(i);
+                        let local = &mut locals[i % threads];
+                        let dv = dist.peek(v as usize);
+                        let sv = sigma.get(fw, v as usize, false) as f64;
+                        let mut acc = 0.0f64;
+                        local.set(fw, 0, 0);
+                        access.for_each_neighbor(fw, v, |fw, w, _| {
+                            let dw = dist.get(fw, w as usize, true);
+                            fw.branch(false, true);
+                            if dw == dv + 1 {
+                                let sw = sigma.get(fw, w as usize, true) as f64;
+                                let deltaw = delta.get(fw, w as usize, true);
+                                // Heavy thread-local numeric work.
+                                fw.compute(6);
+                                local.get(fw, 0);
+                                local.set(fw, 1, 0);
+                                if sw > 0.0 {
+                                    acc += sv / sw * (1.0 + deltaw);
+                                }
+                            }
+                        });
+                        delta.set(fw, v as usize, acc);
+                        if v != s {
+                            // FP atomic on the shared centrality property.
+                            centrality.fp_add(fw, v as usize, acc);
+                        }
+                    }
+                }
+                fw.barrier();
+            }
+        }
+        self.centrality = centrality.as_slice().to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use crate::kernels::reference;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+
+    fn run_bc(graph: &CsrGraph, sources: usize, threads: usize) -> Bc {
+        let mut sink = CollectTrace::default();
+        let mut bc = Bc::new(sources, 7);
+        let mut fw = Framework::new(threads, &mut sink);
+        bc.run(graph, &mut fw);
+        fw.finish();
+        bc
+    }
+
+    #[test]
+    fn matches_reference_on_small_graph() {
+        let g = GraphBuilder::new(6)
+            .undirected()
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)])
+            .build();
+        let bc = run_bc(&g, 4, 2);
+        let oracle = reference::betweenness(&g, bc.sources());
+        for v in 0..6 {
+            assert!(
+                (bc.centrality()[v] - oracle[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                bc.centrality()[v],
+                oracle[v]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let g = GraphSpec::uniform(60, 300).seed(31).build();
+        let bc = run_bc(&g, 3, 4);
+        let oracle = reference::betweenness(&g, bc.sources());
+        for v in 0..60 {
+            assert!(
+                (bc.centrality()[v] - oracle[v]).abs() < 1e-6,
+                "vertex {v}: {} vs {}",
+                bc.centrality()[v],
+                oracle[v]
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_vertex_has_high_centrality() {
+        // Two stars joined through vertex 4.
+        let g = GraphBuilder::new(9)
+            .undirected()
+            .edges(vec![
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (4, 8),
+            ])
+            .build();
+        let bc = run_bc(&g, 6, 2);
+        let max_other = (0..9)
+            .filter(|&v| v != 4)
+            .map(|v| bc.centrality()[v])
+            .fold(0.0f64, f64::max);
+        assert!(bc.centrality()[4] > max_other);
+    }
+
+    #[test]
+    fn sources_are_deterministic() {
+        let g = GraphSpec::uniform(50, 200).seed(1).build();
+        let a = run_bc(&g, 3, 2);
+        let b = run_bc(&g, 3, 2);
+        assert_eq!(a.sources(), b.sources());
+        assert_eq!(a.centrality(), b.centrality());
+    }
+}

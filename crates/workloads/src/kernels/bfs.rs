@@ -1,0 +1,211 @@
+//! Breadth-first search — the paper's running example (Figure 3).
+//!
+//! Frontier-synchronized BFS: each superstep expands the current frontier in
+//! parallel; visiting a neighbor reads its depth property, and claims it
+//! with a `lock cmpxchg` (→ HMC `CAS if equal`, Table II). The newly claimed
+//! vertices form the next frontier.
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, MetaQueue, PropertyArray};
+use graphpim_graph::{CsrGraph, VertexId};
+
+/// Depth marker for unvisited vertices (the `∞` of Figure 3).
+pub const UNVISITED: u64 = u64::MAX;
+
+/// Frontier-based BFS.
+#[derive(Debug)]
+pub struct Bfs {
+    root: VertexId,
+    depths: Vec<u64>,
+}
+
+impl Bfs {
+    /// BFS from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Bfs {
+            root,
+            depths: Vec::new(),
+        }
+    }
+
+    /// Depth of `v` after [`Kernel::run`], or `None` if unreachable.
+    pub fn depth(&self, v: VertexId) -> Option<u64> {
+        match self.depths.get(v as usize) {
+            Some(&UNVISITED) | None => None,
+            Some(&d) => Some(d),
+        }
+    }
+
+    /// All depths (`UNVISITED` = unreachable).
+    pub fn depths(&self) -> &[u64] {
+        &self.depths
+    }
+}
+
+impl Kernel for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn category(&self) -> Category {
+        Category::GraphTraversal
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Applicable
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        Some(OffloadTarget {
+            host_instruction: "lock cmpxchg",
+            pim_atomic_type: "CAS if equal",
+        })
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let access = GraphAccess::new(fw, graph);
+        let mut depth = PropertyArray::new(fw, n.max(1), UNVISITED);
+        let mut frontier_q = MetaQueue::new(fw, n.max(1));
+        if n == 0 {
+            self.depths = Vec::new();
+            fw.barrier();
+            return;
+        }
+
+        depth.poke(self.root as usize, 0); // initialization phase, untraced
+        let mut frontier = vec![self.root];
+        let mut level: u64 = 0;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            {
+                for (i, &v) in frontier.iter().enumerate() {
+                    fw.spread(i);
+                    // Dequeue v and fetch its adjacency bounds (framework
+                    // iterator overhead included).
+                    fw.load(frontier_q.addr(0), false);
+                    fw.compute(6);
+                    access.degree(fw, v);
+                    access.for_each_neighbor(fw, v, |fw, nb, _| {
+                        fw.compute(3);
+                        // Visit attempt: the CAS *is* the visited check
+                        // (Section II-D: all neighbor property accesses go
+                        // through CAS). Its address depends on the
+                        // just-loaded neighbor id.
+                        let (won, _) = depth.cas_fetch(fw, nb as usize, UNVISITED, level);
+                        fw.branch(false, true); // branches on the CAS result
+                        if won {
+                            fw.compute(2);
+                            frontier_q.push(fw, nb);
+                            next.push(nb);
+                        }
+                    });
+                }
+            }
+            fw.barrier();
+            frontier_q.drain(fw);
+            frontier = next;
+        }
+        self.depths = depth.as_slice().to_vec();
+        fw.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use crate::kernels::reference;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+    use graphpim_sim::hmc::HmcAtomicOp;
+    use graphpim_sim::trace::TraceOp;
+
+    fn run_bfs(graph: &CsrGraph, root: VertexId, threads: usize) -> (Bfs, CollectTrace) {
+        let mut sink = CollectTrace::default();
+        let mut bfs = Bfs::new(root);
+        {
+            let mut fw = Framework::new(threads, &mut sink);
+            bfs.run(graph, &mut fw);
+            fw.finish();
+        }
+        (bfs, sink)
+    }
+
+    #[test]
+    fn matches_oracle_on_diamond() {
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .edge(3, 4)
+            .build();
+        let (bfs, _) = run_bfs(&g, 0, 2);
+        let oracle = reference::bfs_depths(&g, 0);
+        for v in 0..5u32 {
+            assert_eq!(bfs.depth(v), oracle[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        let g = GraphSpec::uniform(300, 1500).seed(3).build();
+        let (bfs, _) = run_bfs(&g, 0, 4);
+        let oracle = reference::bfs_depths(&g, 0);
+        for v in 0..300u32 {
+            assert_eq!(bfs.depth(v), oracle[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_unvisited() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let (bfs, _) = run_bfs(&g, 0, 1);
+        assert_eq!(bfs.depth(2), None);
+    }
+
+    #[test]
+    fn emits_cas_atomics_on_property() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(0, 2).build();
+        let (_, sink) = run_bfs(&g, 0, 1);
+        let cas_count = sink
+            .thread_ops(0)
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    TraceOp::Atomic {
+                        op: HmcAtomicOp::CasIfEqual8,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(cas_count, 2, "one CAS per examined edge");
+    }
+
+    #[test]
+    fn barriers_separate_levels() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        let (_, sink) = run_bfs(&g, 0, 2);
+        // 3 levels + final barrier(s).
+        assert!(sink.barriers >= 3, "barriers: {}", sink.barriers);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        let (bfs, _) = run_bfs(&g, 0, 2);
+        assert!(bfs.depths().is_empty());
+    }
+
+    #[test]
+    fn kernel_metadata() {
+        let bfs = Bfs::new(0);
+        assert_eq!(bfs.name(), "BFS");
+        assert_eq!(bfs.category(), Category::GraphTraversal);
+        assert!(bfs.applicability().offloadable());
+    }
+}

@@ -1,0 +1,155 @@
+//! Graph construction (dynamic-graph category).
+//!
+//! Streams the input edge list into a mutable adjacency-list graph:
+//! per-edge binary searches (dependent pointer-chasing loads), list
+//! insertions (shifting stores), and periodic reallocation bursts. The
+//! operations are "complex" in Table III's sense — multi-operand,
+//! indirect — so no PIM-Atomic applies.
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, PropertyArray};
+use graphpim_graph::{CsrGraph, DynamicGraph};
+
+/// Streaming graph construction.
+#[derive(Debug)]
+pub struct GCons {
+    #[allow(dead_code)]
+    seed: u64,
+    built_edges: usize,
+    built_vertices: usize,
+}
+
+impl GCons {
+    /// Creates the kernel.
+    pub fn new(seed: u64) -> Self {
+        GCons {
+            seed,
+            built_edges: 0,
+            built_vertices: 0,
+        }
+    }
+
+    /// Edges in the constructed graph.
+    pub fn built_edges(&self) -> usize {
+        self.built_edges
+    }
+
+    /// Vertices in the constructed graph.
+    pub fn built_vertices(&self) -> usize {
+        self.built_vertices
+    }
+}
+
+impl Kernel for GCons {
+    fn name(&self) -> &'static str {
+        "GCons"
+    }
+
+    fn category(&self) -> Category {
+        Category::DynamicGraph
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Inapplicable("Complex operation")
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let mut dynamic = DynamicGraph::with_vertices(n);
+        let mut vertex_prop = PropertyArray::new(fw, n.max(1), 0u64);
+        let adjacency_base = fw.structure_malloc((graph.edge_count() as u64 + 1) * 16);
+        let edge_buffer = fw.meta_malloc((graph.edge_count() as u64 + 1) * 8);
+
+        let edges: Vec<_> = graph.iter_edges().collect();
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            fw.spread(idx);
+            {
+                // Read the edge from the ingest buffer.
+                fw.load(edge_buffer + idx as u64 * 8, false);
+                fw.compute(2);
+                // Binary search in u's adjacency: dependent loads.
+                let deg = dynamic.out_degree(u);
+                let probes = (deg.max(1) as f64).log2().ceil() as u32 + 1;
+                for p in 0..probes {
+                    fw.load(adjacency_base + (u as u64 * 64 + p as u64 * 8) % (1 << 30), true);
+                    fw.branch(false, true);
+                }
+                let inserted = dynamic.add_edge(u, v);
+                if inserted {
+                    // Shifting insert: a couple of stores.
+                    fw.store(adjacency_base + (u as u64 * 64) % (1 << 30));
+                    fw.store(adjacency_base + (u as u64 * 64 + 8) % (1 << 30));
+                    fw.compute(3);
+                    // Occasional reallocation burst (capacity doubling).
+                    let new_deg = dynamic.out_degree(u);
+                    if new_deg.is_power_of_two() && new_deg >= 8 {
+                        for b in 0..new_deg as u64 {
+                            fw.load(adjacency_base + (u as u64 * 64 + b * 8) % (1 << 30), false);
+                            fw.store(adjacency_base + (u as u64 * 64 + b * 8 + 8) % (1 << 30));
+                        }
+                    }
+                    // Touch both endpoint properties.
+                    vertex_prop.set(fw, u as usize, 1);
+                    vertex_prop.set(fw, v as usize, 1);
+                }
+            }
+        }
+        fw.barrier();
+        self.built_edges = dynamic.edge_count();
+        self.built_vertices = dynamic.vertex_count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::generate::GraphSpec;
+
+    #[test]
+    fn constructs_every_edge() {
+        let g = GraphSpec::uniform(100, 500).seed(3).build();
+        let mut sink = CollectTrace::default();
+        let mut gc = GCons::new(1);
+        let mut fw = Framework::new(4, &mut sink);
+        gc.run(&g, &mut fw);
+        fw.finish();
+        assert_eq!(gc.built_edges(), g.edge_count());
+        assert_eq!(gc.built_vertices(), g.vertex_count());
+    }
+
+    #[test]
+    fn emits_heavy_write_traffic() {
+        use graphpim_sim::trace::TraceOp;
+        let g = GraphSpec::uniform(50, 300).seed(5).build();
+        let mut sink = CollectTrace::default();
+        {
+            let mut gc = GCons::new(1);
+            let mut fw = Framework::new(1, &mut sink);
+            gc.run(&g, &mut fw);
+            fw.finish();
+        }
+        let ops = sink.thread_ops(0);
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Store { .. }))
+            .count();
+        let atomics = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Atomic { .. }))
+            .count();
+        assert!(stores > g.edge_count(), "DG kernels are write heavy");
+        assert_eq!(atomics, 0, "no PIM-applicable atomics");
+    }
+
+    #[test]
+    fn metadata_is_dynamic_graph() {
+        let gc = GCons::new(1);
+        assert_eq!(gc.category(), Category::DynamicGraph);
+        assert!(!gc.applicability().offloadable());
+    }
+}

@@ -1,0 +1,197 @@
+//! Gibbs inference (rich-property category).
+//!
+//! Approximate Gibbs sampling over a pairwise Markov random field laid on
+//! the graph: each sweep re-samples every vertex's binary state from the
+//! states of its neighbors using a large local stochastic-table
+//! computation. The computation lives *inside* the property (Section II-B's
+//! RP description), so it is computation-intensive and PIM-Atomic does not
+//! apply (Table III).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, PropertyArray};
+use graphpim_graph::generate::SplitMix64;
+use graphpim_graph::CsrGraph;
+
+/// Coupling strength of the pairwise potential.
+const COUPLING: f64 = 0.5;
+
+/// Gibbs sampling sweeps over a graph MRF.
+#[derive(Debug)]
+pub struct Gibbs {
+    sweeps: usize,
+    seed: u64,
+    states: Vec<u64>,
+    flips: usize,
+}
+
+impl Gibbs {
+    /// `sweeps` full-graph sampling passes with deterministic randomness.
+    pub fn new(sweeps: usize, seed: u64) -> Self {
+        Gibbs {
+            sweeps,
+            seed,
+            states: Vec::new(),
+            flips: 0,
+        }
+    }
+
+    /// Final binary states.
+    pub fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    /// State flips across all sweeps.
+    pub fn flips(&self) -> usize {
+        self.flips
+    }
+}
+
+impl Kernel for Gibbs {
+    fn name(&self) -> &'static str {
+        "Gibbs"
+    }
+
+    fn category(&self) -> Category {
+        Category::RichProperty
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Inapplicable("Computation intensive")
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let access = GraphAccess::new(fw, graph);
+        let mut state = PropertyArray::new(fw, n.max(1), 0u64);
+        let mut rng = SplitMix64::new(self.seed ^ 0x6769_6262);
+        for v in 0..n {
+            state.poke(v, rng.next_below(2)); // untraced init
+        }
+
+        self.flips = 0;
+        for sweep in 0..self.sweeps {
+            for v in 0..n as u32 {
+                fw.spread(v as usize);
+                {
+                    let old = state.get(fw, v as usize, false);
+                    let mut field = 0.0f64;
+                    access.for_each_neighbor(fw, v, |fw, nb, _| {
+                        let s = state.get(fw, nb as usize, true);
+                        // Pairwise potential evaluation.
+                        fw.compute(8);
+                        field += if s == 1 { COUPLING } else { -COUPLING };
+                    });
+                    // Large local table computation: the RP hallmark.
+                    fw.compute(40);
+                    let p_one = 1.0 / (1.0 + (-2.0 * field).exp());
+                    let mut draw = SplitMix64::new(
+                        self.seed ^ (sweep as u64) << 32 ^ (v as u64).wrapping_mul(0x9E37),
+                    );
+                    let new = u64::from(draw.next_f64() < p_one);
+                    if new != old {
+                        self.flips += 1;
+                    }
+                    state.set(fw, v as usize, new);
+                }
+            }
+            fw.barrier();
+        }
+        self.states = state.as_slice().to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+    use graphpim_sim::trace::TraceOp;
+
+    fn run_gibbs(graph: &CsrGraph, sweeps: usize) -> (Gibbs, CollectTrace) {
+        let mut sink = CollectTrace::default();
+        let mut gb = Gibbs::new(sweeps, 3);
+        {
+            let mut fw = Framework::new(2, &mut sink);
+            gb.run(graph, &mut fw);
+            fw.finish();
+        }
+        (gb, sink)
+    }
+
+    #[test]
+    fn deterministic_states() {
+        let g = GraphSpec::uniform(60, 240).seed(8).build();
+        let (a, _) = run_gibbs(&g, 2);
+        let (b, _) = run_gibbs(&g, 2);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn states_are_binary() {
+        let g = GraphSpec::uniform(40, 160).seed(8).build();
+        let (gb, _) = run_gibbs(&g, 1);
+        assert!(gb.states().iter().all(|&s| s <= 1));
+        assert_eq!(gb.states().len(), 40);
+    }
+
+    #[test]
+    fn strongly_coupled_clique_aligns() {
+        // A dense clique with positive coupling should mostly agree after a
+        // few sweeps.
+        let n = 12u32;
+        let g = GraphBuilder::new(n as usize)
+            .undirected()
+            .edges(
+                (0..n)
+                    .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                    .collect::<Vec<_>>(),
+            )
+            .build();
+        let (gb, _) = run_gibbs(&g, 4);
+        let ones: usize = gb.states().iter().map(|&s| s as usize).sum();
+        let majority = ones.max(gb.states().len() - ones);
+        assert!(
+            majority >= gb.states().len() * 3 / 4,
+            "clique should align: {ones}/{}",
+            gb.states().len()
+        );
+    }
+
+    #[test]
+    fn compute_dominates_trace() {
+        let g = GraphSpec::uniform(50, 200).seed(8).build();
+        let (_, sink) = run_gibbs(&g, 1);
+        let mut compute_instrs = 0u64;
+        let mut mem_ops = 0u64;
+        for t in 0..2 {
+            for op in sink.thread_ops(t) {
+                match op {
+                    TraceOp::Compute(k) => compute_instrs += k as u64,
+                    o if o.is_memory() => mem_ops += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            compute_instrs > mem_ops * 5,
+            "RP kernels are compute heavy: {compute_instrs} vs {mem_ops}"
+        );
+    }
+
+    #[test]
+    fn no_atomics_emitted() {
+        let g = GraphSpec::uniform(30, 100).seed(8).build();
+        let (_, sink) = run_gibbs(&g, 1);
+        for t in 0..2 {
+            assert!(sink
+                .thread_ops(t)
+                .iter()
+                .all(|op| !matches!(op, TraceOp::Atomic { .. })));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph update (dynamic-graph category).
+//!
+//! Applies a deterministic batch of edge deletions and insertions to a
+//! mutable copy of the input graph: lookups are dependent pointer chases,
+//! mutations are shifting stores. Inapplicable to PIM-Atomic (complex
+//! operations, Table III).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::Framework;
+use graphpim_graph::generate::SplitMix64;
+use graphpim_graph::{CsrGraph, DynamicGraph, VertexId};
+
+/// Batch edge update workload.
+#[derive(Debug)]
+pub struct GUp {
+    seed: u64,
+    deletions: usize,
+    insertions: usize,
+    final_edges: usize,
+}
+
+impl GUp {
+    /// Creates the kernel; the update batch is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        GUp {
+            seed,
+            deletions: 0,
+            insertions: 0,
+            final_edges: 0,
+        }
+    }
+
+    /// Edges actually deleted.
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// Edges actually inserted.
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Edge count after all updates.
+    pub fn final_edges(&self) -> usize {
+        self.final_edges
+    }
+}
+
+impl Kernel for GUp {
+    fn name(&self) -> &'static str {
+        "GUp"
+    }
+
+    fn category(&self) -> Category {
+        Category::DynamicGraph
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Inapplicable("Complex operation")
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let mut dynamic = DynamicGraph::from_csr(graph);
+        let adjacency_base = fw.structure_malloc((graph.edge_count() as u64 + 1) * 16);
+        let batch = (graph.edge_count() / 10).max(1);
+        let mut rng = SplitMix64::new(self.seed ^ 0x6775_7064);
+
+        // Deterministic update stream: alternate deletions of existing
+        // edges and insertions of fresh ones.
+        let mut ops: Vec<(bool, VertexId, VertexId)> = Vec::with_capacity(batch * 2);
+        let edges: Vec<_> = graph.iter_edges().collect();
+        for i in 0..batch {
+            if n == 0 || edges.is_empty() {
+                break;
+            }
+            let (u, v) = edges[(rng.next_below(edges.len() as u64)) as usize];
+            ops.push((false, u, v)); // delete
+            let nu = rng.next_below(n as u64) as VertexId;
+            let nv = rng.next_below(n as u64) as VertexId;
+            if nu != nv {
+                ops.push((true, nu, nv)); // insert
+            }
+            let _ = i;
+        }
+
+        self.deletions = 0;
+        self.insertions = 0;
+        for (i, &(insert, u, v)) in ops.iter().enumerate() {
+            fw.spread(i);
+            {
+                fw.compute(3);
+                // Search u's list: dependent probes.
+                let deg = dynamic.out_degree(u).max(1);
+                let probes = (deg as f64).log2().ceil() as u32 + 1;
+                for p in 0..probes {
+                    fw.load(
+                        adjacency_base + (u as u64 * 64 + p as u64 * 8) % (1 << 30),
+                        true,
+                    );
+                    fw.branch(false, true);
+                }
+                if insert {
+                    if dynamic.add_edge(u, v) {
+                        self.insertions += 1;
+                        fw.store(adjacency_base + (u as u64 * 64) % (1 << 30));
+                        fw.store(adjacency_base + (u as u64 * 64 + 8) % (1 << 30));
+                    }
+                } else if dynamic.remove_edge(u, v) {
+                    self.deletions += 1;
+                    // Compacting shift.
+                    fw.store(adjacency_base + (u as u64 * 64) % (1 << 30));
+                    fw.compute(2);
+                }
+            }
+        }
+        fw.barrier();
+        self.final_edges = dynamic.edge_count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::generate::GraphSpec;
+
+    fn run_gup(graph: &CsrGraph) -> GUp {
+        let mut sink = CollectTrace::default();
+        let mut gu = GUp::new(9);
+        let mut fw = Framework::new(2, &mut sink);
+        gu.run(graph, &mut fw);
+        fw.finish();
+        gu
+    }
+
+    #[test]
+    fn edge_count_balances() {
+        let g = GraphSpec::uniform(80, 600).seed(7).build();
+        let gu = run_gup(&g);
+        assert_eq!(
+            gu.final_edges(),
+            g.edge_count() - gu.deletions() + gu.insertions()
+        );
+        assert!(gu.deletions() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = GraphSpec::uniform(80, 600).seed(7).build();
+        let a = run_gup(&g);
+        let b = run_gup(&g);
+        assert_eq!(a.final_edges(), b.final_edges());
+        assert_eq!(a.insertions(), b.insertions());
+    }
+
+    #[test]
+    fn not_offloadable() {
+        assert!(!GUp::new(1).applicability().offloadable());
+    }
+}

@@ -1,0 +1,204 @@
+//! k-core decomposition.
+//!
+//! Iterative peeling: every round scans *all* vertices, removing live ones
+//! whose effective (undirected) degree dropped below `k` and atomically
+//! decrementing their neighbors' degrees (`lock sub` → HMC posted `Signed
+//! add`, Table II). Most of the time goes into re-checking inactive
+//! vertices, which is why the paper observes a low offload fraction and a
+//! negligible GraphPIM speedup for this kernel (Section IV-B1).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, MetaArray, PropertyArray};
+use graphpim_graph::{CsrGraph, GraphBuilder};
+
+/// Peeling k-core decomposition.
+#[derive(Debug)]
+pub struct KCore {
+    k: u64,
+    members: Vec<bool>,
+    rounds: usize,
+}
+
+impl KCore {
+    /// Decomposition with threshold `k`.
+    pub fn new(k: u64) -> Self {
+        KCore {
+            k,
+            members: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Whether each vertex survives in the k-core.
+    pub fn members(&self) -> &[bool] {
+        &self.members
+    }
+
+    /// Peeling rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl Kernel for KCore {
+    fn name(&self) -> &'static str {
+        "kCore"
+    }
+
+    fn category(&self) -> Category {
+        Category::GraphTraversal
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Applicable
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        Some(OffloadTarget {
+            host_instruction: "lock sub",
+            pim_atomic_type: "Signed add",
+        })
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        // Peel on the undirected view (initialization phase, untraced).
+        let sym = GraphBuilder::new(n)
+            .undirected()
+            .drop_self_loops()
+            .edges(graph.iter_edges())
+            .build();
+        let access = GraphAccess::new(fw, &sym);
+        let mut deg = PropertyArray::new(fw, n.max(1), 0u64);
+        // The active flag is framework bookkeeping: a dense, streaming-
+        // friendly array (this is why "checking inactive vertices" is
+        // cheap per vertex yet dominates kCore's runtime — Section IV-B1).
+        let mut alive = MetaArray::new(fw, n.max(1), 1u64);
+        for v in 0..n {
+            deg.poke(v, sym.out_degree(v as u32) as u64);
+        }
+
+        self.rounds = 0;
+        loop {
+            self.rounds += 1;
+            let mut removed_any = false;
+            for v in 0..n as u32 {
+                fw.spread(v as usize);
+                {
+                    // The inactive-vertex check that dominates runtime.
+                    let live = alive.get(fw, v as usize);
+                    fw.branch(false, true);
+                    if live == 0 {
+                        continue;
+                    }
+                    let d = deg.get(fw, v as usize, false);
+                    fw.branch(false, true);
+                    fw.compute(1);
+                    if d >= self.k {
+                        continue;
+                    }
+                    alive.set(fw, v as usize, 0);
+                    removed_any = true;
+                    access.for_each_neighbor(fw, v, |fw, nb, _| {
+                        fw.compute(3);
+                        deg.fetch_sub(fw, nb as usize, 1);
+                    });
+                }
+            }
+            fw.barrier();
+            if !removed_any {
+                break;
+            }
+        }
+        self.members = (0..n).map(|v| alive.peek(v) != 0).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::generate::GraphSpec;
+
+    fn run_kcore(graph: &CsrGraph, k: u64, threads: usize) -> KCore {
+        let mut sink = CollectTrace::default();
+        let mut kc = KCore::new(k);
+        let mut fw = Framework::new(threads, &mut sink);
+        kc.run(graph, &mut fw);
+        fw.finish();
+        kc
+    }
+
+    /// Oracle on the undirected simple view.
+    fn oracle(graph: &CsrGraph, k: u64) -> Vec<bool> {
+        let n = graph.vertex_count();
+        let sym = GraphBuilder::new(n)
+            .undirected()
+            .drop_self_loops()
+            .edges(graph.iter_edges())
+            .build();
+        let mut deg: Vec<u64> = (0..n).map(|v| sym.out_degree(v as u32) as u64).collect();
+        let mut alive = vec![true; n];
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if alive[v] && deg[v] < k {
+                    alive[v] = false;
+                    changed = true;
+                    for &x in sym.neighbors(v as u32) {
+                        deg[x as usize] = deg[x as usize].saturating_sub(1);
+                    }
+                }
+            }
+            if !changed {
+                return alive;
+            }
+        }
+    }
+
+    #[test]
+    fn clique_survives_pendant_does_not() {
+        let g = GraphBuilder::new(5)
+            .undirected()
+            .edges(vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)])
+            .build();
+        let kc = run_kcore(&g, 3, 2);
+        assert_eq!(kc.members(), &[true, true, true, true, false]);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        let g = GraphSpec::uniform(150, 700).seed(13).build();
+        let kc = run_kcore(&g, 5, 4);
+        assert_eq!(kc.members(), oracle(&g, 5).as_slice());
+    }
+
+    #[test]
+    fn k_zero_keeps_everything() {
+        let g = GraphSpec::uniform(50, 100).seed(1).build();
+        let kc = run_kcore(&g, 0, 2);
+        assert!(kc.members().iter().all(|&m| m));
+    }
+
+    #[test]
+    fn huge_k_removes_everything() {
+        let g = GraphSpec::uniform(50, 100).seed(1).build();
+        let kc = run_kcore(&g, 1000, 2);
+        assert!(kc.members().iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // Chain: every vertex has degree <= 2, so k=3 peels everything,
+        // but k=2 keeps a cycle.
+        let g = GraphBuilder::new(4)
+            .undirected()
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let kc2 = run_kcore(&g, 2, 1);
+        assert!(kc2.members().iter().all(|&m| m));
+        let kc3 = run_kcore(&g, 3, 1);
+        assert!(kc3.members().iter().all(|&m| !m));
+        assert!(kc3.rounds() >= 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! PageRank.
+//!
+//! Push-style synchronous PageRank: each iteration every vertex scatters its
+//! damped rank share to its out-neighbors with an atomic floating-point add
+//! on the target's next-rank property. FP add is *not* in HMC 2.0 — this is
+//! the workload motivating the paper's proposed FP extension (Section
+//! III-C); with the extension it becomes the biggest GraphPIM winner
+//! (2.4× in Figure 7).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, PropertyArray};
+use graphpim_graph::CsrGraph;
+
+/// Damping factor used by the kernel and its oracle.
+pub const DAMPING: f64 = 0.85;
+
+/// Push-style PageRank.
+#[derive(Debug)]
+pub struct PRank {
+    iterations: usize,
+    ranks: Vec<f64>,
+}
+
+impl PRank {
+    /// PageRank with the given number of synchronous iterations.
+    pub fn new(iterations: usize) -> Self {
+        PRank {
+            iterations,
+            ranks: Vec::new(),
+        }
+    }
+
+    /// Final ranks.
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+}
+
+impl Kernel for PRank {
+    fn name(&self) -> &'static str {
+        "PRank"
+    }
+
+    fn category(&self) -> Category {
+        Category::GraphTraversal
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::WithFpExtension
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        // Not a Table II row: the required PIM-Atomic (FP add) is missing
+        // from HMC 2.0 (Table III).
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let access = GraphAccess::new(fw, graph);
+        let init = if n == 0 { 0.0 } else { 1.0 / n as f64 };
+        let mut rank = PropertyArray::new(fw, n.max(1), init);
+        let mut next = PropertyArray::new(fw, n.max(1), 0.0f64);
+        let base = if n == 0 {
+            0.0
+        } else {
+            (1.0 - DAMPING) / n as f64
+        };
+
+        for _ in 0..self.iterations {
+            for v in 0..n {
+                next.poke(v, base);
+            }
+            // Scatter phase.
+            for v in 0..n as u32 {
+                fw.spread(v as usize);
+                {
+                    let rv = rank.get(fw, v as usize, false);
+                    let deg = access.degree(fw, v);
+                    fw.branch(true, false);
+                    if deg == 0 {
+                        continue;
+                    }
+                    fw.compute(8); // share = DAMPING * rv / deg + loop overhead
+                    let share = DAMPING * rv / deg as f64;
+                    access.for_each_neighbor(fw, v, |fw, nb, _| {
+                        fw.compute(3);
+                        next.fp_add(fw, nb as usize, share);
+                    });
+                }
+            }
+            fw.barrier();
+            // Swap phase: copy next -> rank.
+            for v in 0..n {
+                fw.spread(v);
+                let x = next.get(fw, v, false);
+                rank.set(fw, v, x);
+            }
+            fw.barrier();
+        }
+        self.ranks = rank.as_slice().to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use crate::kernels::reference;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+
+    fn run_prank(graph: &CsrGraph, iters: usize, threads: usize) -> PRank {
+        let mut sink = CollectTrace::default();
+        let mut pr = PRank::new(iters);
+        let mut fw = Framework::new(threads, &mut sink);
+        pr.run(graph, &mut fw);
+        fw.finish();
+        pr
+    }
+
+    #[test]
+    fn matches_reference_pagerank() {
+        let g = GraphSpec::uniform(80, 400).seed(17).build();
+        let pr = run_prank(&g, 5, 4);
+        let oracle = reference::pagerank(&g, DAMPING, 5);
+        for v in 0..80 {
+            assert!(
+                (pr.ranks()[v] - oracle[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                pr.ranks()[v],
+                oracle[v]
+            );
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaf() {
+        // Everyone points at 0.
+        let g = GraphBuilder::new(5)
+            .edges((1..5).map(|i| (i, 0)))
+            .build();
+        let pr = run_prank(&g, 10, 2);
+        assert!(pr.ranks()[0] > pr.ranks()[1] * 2.0);
+    }
+
+    #[test]
+    fn ring_is_uniform() {
+        let g = GraphBuilder::new(4)
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let pr = run_prank(&g, 8, 1);
+        for w in pr.ranks().windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn needs_fp_extension() {
+        let pr = PRank::new(1);
+        assert_eq!(pr.applicability(), Applicability::WithFpExtension);
+        assert!(pr.offload_target().is_none());
+    }
+}

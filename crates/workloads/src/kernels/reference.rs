@@ -1,0 +1,323 @@
+//! Oracle implementations used to validate kernel results.
+//!
+//! These are straightforward, trace-free algorithms; every traced kernel's
+//! output is checked against the corresponding oracle in unit and property
+//! tests.
+
+use graphpim_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// BFS depths from `root`; `None` for unreachable vertices.
+pub fn bfs_depths(g: &CsrGraph, root: VertexId) -> Vec<Option<u64>> {
+    let mut depth = vec![None; g.vertex_count()];
+    if g.vertex_count() == 0 {
+        return depth;
+    }
+    depth[root as usize] = Some(0);
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v as usize].expect("queued implies visited");
+        for &n in g.neighbors(v) {
+            if depth[n as usize].is_none() {
+                depth[n as usize] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    depth
+}
+
+/// Dijkstra distances from `root` using edge weights; `None` = unreachable.
+pub fn dijkstra(g: &CsrGraph, root: VertexId) -> Vec<Option<u64>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![None; g.vertex_count()];
+    if g.vertex_count() == 0 {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[root as usize] = Some(0);
+    heap.push(Reverse((0u64, root)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if dist[v as usize] != Some(d) {
+            continue;
+        }
+        for (&n, e) in g.neighbors(v).iter().zip(g.edge_range(v)) {
+            let nd = d + g.weight_at(e) as u64;
+            if dist[n as usize].is_none_or(|old| nd < old) {
+                dist[n as usize] = Some(nd);
+                heap.push(Reverse((nd, n)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly-connected component labels via union-find; labels are the
+/// smallest vertex id in each component.
+pub fn weak_components(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v) in g.iter_edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// The k-core: vertices surviving repeated removal of vertices with
+/// (undirected) degree < k. Degree = out-degree + in-degree here, matching
+/// the traced kernel.
+pub fn kcore_members(g: &CsrGraph, k: u64) -> Vec<bool> {
+    let n = g.vertex_count();
+    let mut deg = vec![0u64; n];
+    for (u, v) in g.iter_edges() {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut alive = vec![true; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if alive[v] && deg[v] < k {
+                alive[v] = false;
+                changed = true;
+                for &x in g.neighbors(v as u32) {
+                    if alive[x as usize] {
+                        deg[x as usize] = deg[x as usize].saturating_sub(1);
+                    }
+                }
+            }
+        }
+        // In-edges of removed vertices also vanish.
+        if changed {
+            let mut d2 = vec![0u64; n];
+            for (u, v) in g.iter_edges() {
+                if alive[u as usize] && alive[v as usize] {
+                    d2[u as usize] += 1;
+                    d2[v as usize] += 1;
+                }
+            }
+            deg = d2;
+        }
+    }
+    alive
+}
+
+/// Dense PageRank with damping `d` and `iters` synchronous iterations,
+/// identical update order to the traced kernel (push style, no dangling
+/// redistribution).
+pub fn pagerank(g: &CsrGraph, d: f64, iters: usize) -> Vec<f64> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let mut next = vec![(1.0 - d) / n as f64; n];
+        for v in 0..n as u32 {
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = d * rank[v as usize] / deg as f64;
+            for &t in g.neighbors(v) {
+                next[t as usize] += share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Total triangle count (unordered vertex triples with all three
+/// undirected connections). Treats the graph as undirected.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    // Build undirected neighbor sets, deduped.
+    let n = g.vertex_count();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in g.iter_edges() {
+        if u != v {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let mut total = 0u64;
+    for u in 0..n as u32 {
+        for &v in &adj[u as usize] {
+            if v <= u {
+                continue;
+            }
+            // Count w > v adjacent to both.
+            let (a, b) = (&adj[u as usize], &adj[v as usize]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            total += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Brandes betweenness centrality restricted to the given sources
+/// (unweighted, directed), matching the traced kernel's accumulation.
+pub fn betweenness(g: &CsrGraph, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.vertex_count();
+    let mut bc = vec![0.0; n];
+    for &s in sources {
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        let mut order: Vec<u32> = Vec::new();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == dist[v as usize] + 1 && sigma[w as usize] > 0.0 {
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                }
+            }
+            if v != s {
+                bc[v as usize] += delta[v as usize];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let d = bfs_depths(&path4(), 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        assert_eq!(bfs_depths(&g, 0)[2], None);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        let g = GraphBuilder::new(3)
+            .weighted_edge(0, 2, 10)
+            .weighted_edge(0, 1, 1)
+            .weighted_edge(1, 2, 2)
+            .build();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], Some(3));
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let g = GraphBuilder::new(5).edge(0, 1).edge(3, 4).build();
+        let labels = weak_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[2], labels[0]);
+    }
+
+    #[test]
+    fn triangle_in_clique() {
+        let g = GraphBuilder::new(4)
+            .undirected()
+            .edges(vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        assert_eq!(triangle_count(&g), 4); // C(4,3)
+    }
+
+    #[test]
+    fn triangle_counts_directed_edges_as_undirected() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn kcore_of_clique_plus_tail() {
+        // 4-clique (undirected degree 6 each inside) plus a pendant vertex.
+        let g = GraphBuilder::new(5)
+            .undirected()
+            .edges(vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)])
+            .build();
+        let members = kcore_members(&g, 6);
+        assert_eq!(members, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn pagerank_sums_near_one() {
+        let g = GraphBuilder::new(4)
+            .undirected()
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let r = pagerank(&g, 0.85, 20);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        // Symmetric ring: all ranks equal.
+        for w in r.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn betweenness_middle_of_path_highest() {
+        let g = GraphBuilder::new(3).undirected().edges(vec![(0, 1), (1, 2)]).build();
+        let bc = betweenness(&g, &[0, 1, 2]);
+        assert!(bc[1] > bc[0]);
+        assert!(bc[1] > bc[2]);
+    }
+}

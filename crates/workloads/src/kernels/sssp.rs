@@ -1,0 +1,263 @@
+//! Single-source shortest path.
+//!
+//! Frontier-synchronized Bellman-Ford: each superstep relaxes the out-edges
+//! of the vertices whose distance improved in the previous step. Distance
+//! updates use a `lock cmpxchg` retry loop (→ HMC `CAS if equal`, Table II).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::{Framework, GraphAccess, MetaQueue, PropertyArray};
+use graphpim_graph::{CsrGraph, VertexId};
+
+/// Distance marker for unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Frontier-based Bellman-Ford SSSP.
+#[derive(Debug)]
+pub struct Sssp {
+    root: VertexId,
+    translated: bool,
+    dist: Vec<u64>,
+}
+
+impl Sssp {
+    /// SSSP from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Sssp {
+            root,
+            translated: false,
+            dist: Vec::new(),
+        }
+    }
+
+    /// SSSP whose relaxation idiom is translated by the POU into a single
+    /// HMC `CAS if less` command (the Section III-B instruction-block
+    /// translation) instead of a `CAS if equal` retry loop. Distances are
+    /// kept within `i64::MAX` (the command compares signed).
+    pub fn with_translated_cas(root: VertexId) -> Self {
+        Sssp {
+            root,
+            translated: true,
+            dist: Vec::new(),
+        }
+    }
+
+    /// Distance to `v`, or `None` if unreachable.
+    pub fn distance(&self, v: VertexId) -> Option<u64> {
+        match self.dist.get(v as usize) {
+            Some(&UNREACHED) | None => None,
+            Some(&d) => Some(d),
+        }
+    }
+
+    /// All distances (`UNREACHED` = unreachable).
+    pub fn distances(&self) -> &[u64] {
+        &self.dist
+    }
+}
+
+impl Kernel for Sssp {
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn category(&self) -> Category {
+        Category::GraphTraversal
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Applicable
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        Some(OffloadTarget {
+            host_instruction: "lock cmpxchg",
+            pim_atomic_type: "CAS if equal",
+        })
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let access = GraphAccess::new(fw, graph);
+        let mut dist = PropertyArray::new(fw, n.max(1), UNREACHED);
+        let mut frontier_q = MetaQueue::new(fw, n.max(1));
+        if n == 0 {
+            self.dist = Vec::new();
+            fw.barrier();
+            return;
+        }
+
+        // The signed CAS-if-less command needs distances within i64 range.
+        let unreached = if self.translated {
+            i64::MAX as u64
+        } else {
+            UNREACHED
+        };
+        for v in 0..n {
+            dist.poke(v, unreached);
+        }
+        dist.poke(self.root as usize, 0);
+        let mut frontier = vec![self.root];
+        let mut in_next = vec![false; n];
+        while !frontier.is_empty() {
+            let mut next: Vec<VertexId> = Vec::new();
+            {
+                for (i, &v) in frontier.iter().enumerate() {
+                    fw.spread(i);
+                    fw.load(frontier_q.addr(0), false);
+                    let dv = dist.get(fw, v as usize, false);
+                    fw.compute(6);
+                    access.degree(fw, v);
+                    access.for_each_neighbor(fw, v, |fw, nb, e| {
+                        let w = access.weight(fw, e) as u64;
+                        fw.compute(4); // nd = dv + w + loop overhead
+                        let nd = dv.saturating_add(w);
+                        // Relaxation: atomic-minimum CAS idiom; the CAS
+                        // return value doubles as the distance check.
+                        let (improved, _) = if self.translated {
+                            dist.cas_min_translated(fw, nb as usize, nd)
+                        } else {
+                            dist.cas_min(fw, nb as usize, nd)
+                        };
+                        if improved {
+                            fw.compute(2);
+                            frontier_q.push(fw, nb);
+                            if !in_next[nb as usize] {
+                                in_next[nb as usize] = true;
+                                next.push(nb);
+                            }
+                        }
+                    });
+                }
+            }
+            fw.barrier();
+            frontier_q.drain(fw);
+            for &v in &next {
+                in_next[v as usize] = false;
+            }
+            frontier = next;
+        }
+        self.dist = dist
+            .as_slice()
+            .iter()
+            .map(|&d| if d == unreached { UNREACHED } else { d })
+            .collect();
+        fw.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use crate::kernels::reference;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+
+    fn run_sssp(graph: &CsrGraph, root: VertexId, threads: usize) -> Sssp {
+        let mut sink = CollectTrace::default();
+        let mut sssp = Sssp::new(root);
+        let mut fw = Framework::new(threads, &mut sink);
+        sssp.run(graph, &mut fw);
+        fw.finish();
+        sssp
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_graph() {
+        let g = GraphSpec::uniform(150, 900).seed(5).weighted().build();
+        let sssp = run_sssp(&g, 0, 4);
+        let oracle = reference::dijkstra(&g, 0);
+        for v in 0..150u32 {
+            assert_eq!(sssp.distance(v), oracle[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unweighted_reduces_to_bfs() {
+        let g = GraphSpec::uniform(100, 500).seed(9).build();
+        let sssp = run_sssp(&g, 0, 2);
+        let oracle = reference::bfs_depths(&g, 0);
+        for v in 0..100u32 {
+            assert_eq!(sssp.distance(v), oracle[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn picks_lighter_longer_path() {
+        let g = GraphBuilder::new(4)
+            .weighted_edge(0, 3, 10)
+            .weighted_edge(0, 1, 1)
+            .weighted_edge(1, 2, 1)
+            .weighted_edge(2, 3, 1)
+            .build();
+        let sssp = run_sssp(&g, 0, 1);
+        assert_eq!(sssp.distance(3), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let sssp = run_sssp(&g, 0, 1);
+        assert_eq!(sssp.distance(2), None);
+    }
+}
+
+#[cfg(test)]
+mod translated_tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use crate::kernels::reference;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_sim::hmc::HmcAtomicOp;
+    use graphpim_sim::trace::TraceOp;
+
+    #[test]
+    fn translated_variant_matches_oracle() {
+        let g = GraphSpec::uniform(120, 700).seed(21).weighted().build();
+        let mut sink = CollectTrace::default();
+        let mut sssp = Sssp::with_translated_cas(0);
+        let mut fw = Framework::new(4, &mut sink);
+        sssp.run(&g, &mut fw);
+        fw.finish();
+        let oracle = reference::dijkstra(&g, 0);
+        for v in 0..120u32 {
+            assert_eq!(sssp.distance(v), oracle[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn translated_variant_emits_cas_if_less() {
+        let g = GraphSpec::uniform(40, 200).seed(5).weighted().build();
+        let mut sink = CollectTrace::default();
+        {
+            let mut sssp = Sssp::with_translated_cas(0);
+            let mut fw = Framework::new(1, &mut sink);
+            sssp.run(&g, &mut fw);
+            fw.finish();
+        }
+        let ops = sink.thread_ops(0);
+        let less = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Atomic { op: HmcAtomicOp::CasIfLess16, .. }))
+            .count();
+        let equal = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Atomic { op: HmcAtomicOp::CasIfEqual8, .. }))
+            .count();
+        assert!(less > 0, "translated idiom must use CAS if less");
+        assert_eq!(equal, 0, "no retry-loop CAS remains");
+    }
+
+    #[test]
+    fn both_variants_agree() {
+        let g = GraphSpec::uniform(80, 500).seed(9).weighted().build();
+        let run = |mut k: Sssp| {
+            let mut sink = CollectTrace::default();
+            let mut fw = Framework::new(2, &mut sink);
+            k.run(&g, &mut fw);
+            fw.finish();
+            k.distances().to_vec()
+        };
+        assert_eq!(run(Sssp::new(0)), run(Sssp::with_translated_cas(0)));
+    }
+}

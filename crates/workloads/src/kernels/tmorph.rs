@@ -1,0 +1,146 @@
+//! Topology morphing (dynamic-graph category).
+//!
+//! GraphBIG's TMorph restructures the graph (triangulation-style): this
+//! kernel walks wedges `a - v - b` and closes them by inserting the edge
+//! `a - b` when absent, up to a deterministic budget. The mix of dependent
+//! lookups and structure mutation is characteristic of DG workloads; no
+//! PIM-Atomic applies (Table III: complex operation).
+
+use super::{Applicability, Category, Kernel, OffloadTarget};
+use crate::framework::Framework;
+use graphpim_graph::generate::SplitMix64;
+use graphpim_graph::{CsrGraph, DynamicGraph};
+
+/// Wedge-closing topology morphing.
+#[derive(Debug)]
+pub struct TMorph {
+    seed: u64,
+    closed_wedges: usize,
+    final_edges: usize,
+}
+
+impl TMorph {
+    /// Creates the kernel; wedge sampling derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TMorph {
+            seed,
+            closed_wedges: 0,
+            final_edges: 0,
+        }
+    }
+
+    /// Number of wedges closed with a new edge.
+    pub fn closed_wedges(&self) -> usize {
+        self.closed_wedges
+    }
+
+    /// Edge count after morphing.
+    pub fn final_edges(&self) -> usize {
+        self.final_edges
+    }
+}
+
+impl Kernel for TMorph {
+    fn name(&self) -> &'static str {
+        "TMorph"
+    }
+
+    fn category(&self) -> Category {
+        Category::DynamicGraph
+    }
+
+    fn applicability(&self) -> Applicability {
+        Applicability::Inapplicable("Complex operation")
+    }
+
+    fn offload_target(&self) -> Option<OffloadTarget> {
+        None
+    }
+
+    fn run(&mut self, graph: &CsrGraph, fw: &mut Framework<'_>) {
+        let n = graph.vertex_count();
+        let mut dynamic = DynamicGraph::from_csr(graph);
+        let adjacency_base = fw.structure_malloc((graph.edge_count() as u64 + 1) * 16);
+        let mut rng = SplitMix64::new(self.seed ^ 0x744d_6f72);
+        let budget_per_vertex = 2usize;
+
+        self.closed_wedges = 0;
+        for v in 0..n as u32 {
+            fw.spread(v as usize);
+            {
+                let neighbors = dynamic.neighbors(v).to_vec();
+                fw.compute(2);
+                if neighbors.len() < 2 {
+                    continue;
+                }
+                for _ in 0..budget_per_vertex {
+                    let a = neighbors[rng.next_below(neighbors.len() as u64) as usize];
+                    let b = neighbors[rng.next_below(neighbors.len() as u64) as usize];
+                    if a == b {
+                        continue;
+                    }
+                    // Lookup a's adjacency for b: dependent probes.
+                    let deg = dynamic.out_degree(a).max(1);
+                    let probes = (deg as f64).log2().ceil() as u32 + 1;
+                    for p in 0..probes {
+                        fw.load(
+                            adjacency_base + (a as u64 * 64 + p as u64 * 8) % (1 << 30),
+                            true,
+                        );
+                        fw.branch(false, true);
+                    }
+                    if !dynamic.has_edge(a, b) {
+                        dynamic.add_edge(a, b);
+                        self.closed_wedges += 1;
+                        fw.store(adjacency_base + (a as u64 * 64) % (1 << 30));
+                        fw.store(adjacency_base + (a as u64 * 64 + 8) % (1 << 30));
+                        fw.compute(2);
+                    }
+                }
+            }
+        }
+        fw.barrier();
+        self.final_edges = dynamic.edge_count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CollectTrace;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_graph::GraphBuilder;
+
+    fn run_tmorph(graph: &CsrGraph) -> TMorph {
+        let mut sink = CollectTrace::default();
+        let mut tm = TMorph::new(5);
+        let mut fw = Framework::new(2, &mut sink);
+        tm.run(graph, &mut fw);
+        fw.finish();
+        tm
+    }
+
+    #[test]
+    fn edges_grow_by_closed_wedges() {
+        let g = GraphSpec::uniform(100, 800).seed(2).build();
+        let tm = run_tmorph(&g);
+        assert_eq!(tm.final_edges(), g.edge_count() + tm.closed_wedges());
+        assert!(tm.closed_wedges() > 0);
+    }
+
+    #[test]
+    fn star_gets_closed() {
+        // A star has wedges through the hub; closing adds leaf-leaf edges.
+        let g = GraphBuilder::new(5)
+            .edges((1..5).map(|i| (0, i)))
+            .build();
+        let tm = run_tmorph(&g);
+        assert!(tm.closed_wedges() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = GraphSpec::uniform(60, 300).seed(4).build();
+        assert_eq!(run_tmorph(&g).final_edges(), run_tmorph(&g).final_edges());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! GraphBIG-style graph kernels and the trace-recording graph framework.
+//!
+//! This crate is the *software* half of the GraphPIM stack. It mirrors how
+//! the paper's workloads sit on a graph framework (Section II-B):
+//!
+//! * [`framework`] — the framework layer: property arrays allocated through
+//!   `pmr_malloc` into the PIM memory region, graph-structure accessors, and
+//!   the instruction-trace recorder. Kernels written against this API both
+//!   *compute real results* and emit the instruction streams the timing
+//!   substrate consumes — no application-level code knows anything about
+//!   PIM, exactly as GraphPIM promises.
+//! * [`kernels`] — the thirteen GraphBIG workloads of Table III with their
+//!   offloading targets (Table II) and PIM applicability classification.
+//! * [`apps`] — the two real-world applications of Section IV-B5: financial
+//!   fraud detection and an item-to-item recommender.
+//!
+//! # Example
+//!
+//! ```
+//! use graphpim_graph::GraphBuilder;
+//! use graphpim_workloads::framework::{CollectTrace, Framework};
+//! use graphpim_workloads::kernels::{Bfs, Kernel};
+//!
+//! let graph = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(1, 3).build();
+//! let mut sink = CollectTrace::default();
+//! let mut fw = Framework::new(2, &mut sink);
+//! let mut bfs = Bfs::new(0);
+//! bfs.run(&graph, &mut fw);
+//! fw.finish();
+//! assert_eq!(bfs.depth(3), Some(2));
+//! ```
+
+pub mod apps;
+pub mod framework;
+pub mod kernels;

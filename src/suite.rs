@@ -1,0 +1,9 @@
+//! Workspace-level umbrella for the GraphPIM reproduction.
+//!
+//! Re-exports the four crates so examples and integration tests have one
+//! import surface. See the [`graphpim`] crate for the system itself.
+
+pub use graphpim as core;
+pub use graphpim_graph as graph;
+pub use graphpim_sim as sim;
+pub use graphpim_workloads as workloads;

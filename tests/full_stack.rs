@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: graph generation → kernels → framework →
+//! full-system simulation → metrics.
+//!
+//! These use the reduced test configuration (tiny caches) with graphs that
+//! exceed it, so the *relationships* the paper reports hold at test speed:
+//! irregular property traffic misses, atomics dominate, GraphPIM pays off.
+
+use graphpim::config::{PimMode, SystemConfig};
+use graphpim::metrics::RunMetrics;
+use graphpim::system::SystemSim;
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_graph::CsrGraph;
+use graphpim_workloads::kernels::{
+    by_name, evaluation_set, full_set, Kernel, KernelParams,
+};
+
+fn test_graph() -> CsrGraph {
+    // Big enough that properties miss the tiny config's 16 KB L3.
+    GraphSpec::ldbc(LdbcSize::K10).seed(3).build()
+}
+
+fn run(kernel: &mut dyn Kernel, graph: &CsrGraph, mode: PimMode) -> RunMetrics {
+    SystemSim::run_kernel(kernel, graph, &SystemConfig::tiny(mode))
+}
+
+#[test]
+fn every_kernel_runs_under_every_mode() {
+    let graph = GraphSpec::ldbc(LdbcSize::K1).seed(3).build();
+    let weighted = GraphSpec::ldbc(LdbcSize::K1).seed(3).weighted().build();
+    for mut kernel in full_set(KernelParams::default()) {
+        for mode in PimMode::ALL {
+            let g = if kernel.name() == "SSSP" { &weighted } else { &graph };
+            let m = run(kernel.as_mut(), g, mode);
+            assert!(
+                m.total_cycles > 0.0 && m.core.instructions > 0,
+                "{} under {mode}",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn algorithm_results_are_timing_independent() {
+    let graph = test_graph();
+    let root = graphpim::experiments::pick_root(&graph);
+    let mut depths = Vec::new();
+    for mode in PimMode::ALL {
+        let mut bfs = graphpim_workloads::kernels::Bfs::new(root);
+        run(&mut bfs, &graph, mode);
+        depths.push(bfs.depths().to_vec());
+    }
+    assert_eq!(depths[0], depths[1]);
+    assert_eq!(depths[1], depths[2]);
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn graphpim_speeds_up_atomic_dense_kernels() {
+    let graph = test_graph();
+    for name in ["BFS", "CComp", "DC", "PRank"] {
+        let mut base_k = by_name(name, KernelParams::default()).expect(name);
+        let mut pim_k = by_name(name, KernelParams::default()).expect(name);
+        let base = run(base_k.as_mut(), &graph, PimMode::Baseline);
+        let pim = run(pim_k.as_mut(), &graph, PimMode::GraphPim);
+        let speedup = base.total_cycles / pim.total_cycles;
+        assert!(
+            speedup > 1.1,
+            "{name}: GraphPIM speedup {speedup:.2} should be substantial"
+        );
+    }
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn low_offload_kernels_stay_flat() {
+    let graph = test_graph();
+    for name in ["kCore", "TC"] {
+        let mut base_k = by_name(name, KernelParams::default()).expect(name);
+        let mut pim_k = by_name(name, KernelParams::default()).expect(name);
+        let base = run(base_k.as_mut(), &graph, PimMode::Baseline);
+        let pim = run(pim_k.as_mut(), &graph, PimMode::GraphPim);
+        let speedup = base.total_cycles / pim.total_cycles;
+        assert!(
+            (0.7..2.0).contains(&speedup),
+            "{name}: expected roughly flat, got {speedup:.2}"
+        );
+        // And the reason: their offload fraction is small.
+        let density = base.offload_candidates as f64 / base.core.instructions as f64;
+        let dc = {
+            let mut k = by_name("DC", KernelParams::default()).expect("DC");
+            let m = run(k.as_mut(), &graph, PimMode::Baseline);
+            m.offload_candidates as f64 / m.core.instructions as f64
+        };
+        assert!(
+            density < dc,
+            "{name} atomic density {density:.4} should be below DC's {dc:.4}"
+        );
+    }
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn offloaded_atomics_accounting_is_consistent() {
+    let graph = test_graph();
+    for mut kernel in evaluation_set(KernelParams::default()) {
+        let name = kernel.name();
+        let m = run(kernel.as_mut(), &graph, PimMode::GraphPim);
+        assert_eq!(
+            m.offloaded_atomics, m.offload_candidates,
+            "{name}: GraphPIM must offload every candidate"
+        );
+        assert_eq!(m.core.host_atomics, 0, "{name}: no host atomics left");
+        assert_eq!(
+            m.hmc.atomics, m.offloaded_atomics,
+            "{name}: cube must see exactly the offloaded atomics"
+        );
+    }
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn upei_splits_candidates_between_host_and_memory() {
+    let graph = test_graph();
+    let mut k = by_name("CComp", KernelParams::default()).expect("CComp");
+    let m = run(k.as_mut(), &graph, PimMode::UPei);
+    assert_eq!(
+        m.host_pei_atomics + m.offloaded_atomics,
+        m.offload_candidates
+    );
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn barrier_consistency_posted_atomics_complete() {
+    // DC uses posted atomic adds; final cycle count must cover the last
+    // memory-side completion (barriers wait for PIM atomics).
+    let graph = test_graph();
+    let mut k = by_name("DC", KernelParams::default()).expect("DC");
+    let m = run(k.as_mut(), &graph, PimMode::GraphPim);
+    assert!(m.total_cycles > 0.0);
+    assert!(m.hmc.atomics > 0);
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn fp_extension_gates_prank_offloading() {
+    let graph = test_graph();
+    let mut with_k = by_name("PRank", KernelParams::default()).expect("PRank");
+    let mut without_k = by_name("PRank", KernelParams::default()).expect("PRank");
+    let with = SystemSim::run_kernel(
+        with_k.as_mut(),
+        &graph,
+        &SystemConfig::tiny(PimMode::GraphPim),
+    );
+    let without = SystemSim::run_kernel(
+        without_k.as_mut(),
+        &graph,
+        &SystemConfig::tiny(PimMode::GraphPim).without_fp_extension(),
+    );
+    assert!(with.offloaded_atomics > 0);
+    assert_eq!(without.offloaded_atomics, 0);
+    assert!(with.total_cycles < without.total_cycles);
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn bandwidth_savings_on_missing_workloads() {
+    let graph = test_graph();
+    let mut base_k = by_name("DC", KernelParams::default()).expect("DC");
+    let mut pim_k = by_name("DC", KernelParams::default()).expect("DC");
+    let base = run(base_k.as_mut(), &graph, PimMode::Baseline);
+    let pim = run(pim_k.as_mut(), &graph, PimMode::GraphPim);
+    assert!(
+        base.candidate_miss_rate() > 0.5,
+        "test graph must miss the tiny caches: {:.2}",
+        base.candidate_miss_rate()
+    );
+    assert!(
+        pim.total_flits() < base.total_flits(),
+        "GraphPIM should save bandwidth: {} vs {}",
+        pim.total_flits(),
+        base.total_flits()
+    );
+}
+
+#[test]
+
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn determinism_end_to_end() {
+    let graph = test_graph();
+    let mut a_k = by_name("BFS", KernelParams::default()).expect("BFS");
+    let mut b_k = by_name("BFS", KernelParams::default()).expect("BFS");
+    let a = run(a_k.as_mut(), &graph, PimMode::GraphPim);
+    let b = run(b_k.as_mut(), &graph, PimMode::GraphPim);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.total_flits(), b.total_flits());
+    assert_eq!(a.core.instructions, b.core.instructions);
+}

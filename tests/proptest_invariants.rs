@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and invariants.
+
+use graphpim_graph::generate::{GraphSpec, SplitMix64};
+use graphpim_graph::{CsrGraph, DynamicGraph, GraphBuilder};
+use graphpim_sim::config::SimConfig;
+use graphpim_sim::hmc::HmcAtomicOp;
+use graphpim_sim::mem::hierarchy::CacheHierarchy;
+use graphpim_workloads::kernels::{reference, Bfs, Kernel, Sssp};
+use proptest::prelude::*;
+
+/// Strategy: a small random edge list over `n` vertices.
+fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_builder_dedups_and_sorts(edges in edges_strategy(24, 120)) {
+        let g = GraphBuilder::new(24).edges(edges.clone()).build();
+        // Sorted adjacency, no duplicates.
+        for v in 0..24u32 {
+            let ns = g.neighbors(v);
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1], "vertex {v}: {ns:?}");
+            }
+        }
+        // Every input edge is present.
+        for (u, v) in edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn csr_transpose_involution(edges in edges_strategy(16, 80)) {
+        let g = GraphBuilder::new(16).edges(edges).build();
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn dynamic_graph_round_trips_csr(edges in edges_strategy(16, 80)) {
+        let g = GraphBuilder::new(16).edges(edges).build();
+        prop_assert_eq!(DynamicGraph::from_csr(&g).to_csr(), g);
+    }
+
+    #[test]
+    fn hmc_atomics_match_scalar_oracle(
+        mem in any::<u128>(),
+        operand in any::<u128>(),
+        op_index in 0usize..18,
+    ) {
+        let op = HmcAtomicOp::HMC20_SET[op_index];
+        let mut cube_mem = mem;
+        let resp = op.execute(&mut cube_mem, operand);
+        // Oracle re-implementation, independent structure.
+        let lo = |x: u128| x as u64;
+        let hi = |x: u128| (x >> 64) as u64;
+        use HmcAtomicOp::*;
+        let expect: u128 = match op {
+            DualAdd8 | DualAdd8Ret => {
+                (lo(mem).wrapping_add(lo(operand)) as u128)
+                    | ((hi(mem).wrapping_add(hi(operand)) as u128) << 64)
+            }
+            Add16 | Add16Ret => mem.wrapping_add(operand),
+            Increment8 => (lo(mem).wrapping_add(1) as u128) | ((hi(mem) as u128) << 64),
+            Swap16 => operand,
+            BitWrite8 | BitWrite8Ret => {
+                let merged = (lo(mem) & !hi(operand)) | (lo(operand) & hi(operand));
+                (merged as u128) | ((hi(mem) as u128) << 64)
+            }
+            And16 => mem & operand,
+            Nand16 => !(mem & operand),
+            Or16 => mem | operand,
+            Nor16 => !(mem | operand),
+            Xor16 => mem ^ operand,
+            CasIfEqual8 => {
+                if lo(mem) == lo(operand) {
+                    (hi(operand) as u128) | ((hi(mem) as u128) << 64)
+                } else {
+                    mem
+                }
+            }
+            CasIfZero16 => if mem == 0 { operand } else { mem },
+            CasIfGreater16 => if (operand as i128) > (mem as i128) { operand } else { mem },
+            CasIfLess16 => if (operand as i128) < (mem as i128) { operand } else { mem },
+            CompareEqual16 => mem,
+            FpAdd32 | FpAdd64 => unreachable!("not in HMC20_SET"),
+        };
+        prop_assert_eq!(cube_mem, expect, "{}", op);
+        if op.has_return() && !matches!(op, CompareEqual16) {
+            prop_assert_eq!(resp.original, Some(mem));
+        }
+    }
+
+    #[test]
+    fn cache_hierarchy_invariants_hold(
+        accesses in prop::collection::vec((0u64..4096, any::<bool>(), 0usize..2), 1..400),
+    ) {
+        let config = SimConfig::test_tiny();
+        let mut h = CacheHierarchy::new(&config.cache, 2);
+        for (word, write, core) in accesses {
+            let addr = word * 16; // spread over lines
+            h.access(core, addr, write);
+        }
+        // Sharer bookkeeping must agree with private-cache contents.
+        for line in (0..4096u64 * 16).step_by(64) {
+            prop_assert!(
+                h.debug_check_sharer_invariant(line),
+                "sharer invariant broken at {line:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_kernel_matches_oracle(seed in 0u64..500) {
+        let g = GraphSpec::uniform(60, 240).seed(seed).build();
+        let mut sink = graphpim_workloads::framework::CollectTrace::default();
+        let mut fw = graphpim_workloads::framework::Framework::new(3, &mut sink);
+        let mut bfs = Bfs::new(0);
+        bfs.run(&g, &mut fw);
+        fw.finish();
+        let oracle = reference::bfs_depths(&g, 0);
+        for v in 0..60u32 {
+            prop_assert_eq!(bfs.depth(v), oracle[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn sssp_kernel_matches_dijkstra(seed in 0u64..200) {
+        let g = GraphSpec::uniform(40, 160).seed(seed).weighted().build();
+        let mut sink = graphpim_workloads::framework::CollectTrace::default();
+        let mut fw = graphpim_workloads::framework::Framework::new(2, &mut sink);
+        let mut sssp = Sssp::new(0);
+        sssp.run(&g, &mut fw);
+        fw.finish();
+        let oracle = reference::dijkstra(&g, 0);
+        for v in 0..40u32 {
+            prop_assert_eq!(sssp.distance(v), oracle[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_valid(seed in 0u64..100, n in 10usize..200) {
+        let m = n * 8;
+        let g = GraphSpec::uniform(n, m).seed(seed).build();
+        validate_csr(&g)?;
+        let lg = graphpim_graph::generate::ldbc::generate_custom(n, m, seed);
+        validate_csr(&lg)?;
+    }
+
+    #[test]
+    fn splitmix_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}
+
+fn validate_csr(g: &CsrGraph) -> Result<(), TestCaseError> {
+    let n = g.vertex_count() as u32;
+    let mut total = 0usize;
+    for v in 0..n {
+        let ns = g.neighbors(v);
+        total += ns.len();
+        for w in ns.windows(2) {
+            prop_assert!(w[0] < w[1], "adjacency not strictly sorted");
+        }
+        for &t in ns {
+            prop_assert!(t < n, "neighbor out of range");
+        }
+    }
+    prop_assert_eq!(total, g.edge_count());
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over the timing models: sanity invariants that
+//! must hold for any input sequence.
+
+use graphpim::analytic::AnalyticalModel;
+use graphpim_sim::config::SimConfig;
+use graphpim_sim::cpu::CoreModel;
+use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
+use proptest::prelude::*;
+
+fn any_packet() -> impl Strategy<Value = PacketKind> {
+    prop_oneof![
+        Just(PacketKind::Read64),
+        Just(PacketKind::Write64),
+        Just(PacketKind::Read16),
+        Just(PacketKind::Write16),
+        (0usize..18).prop_map(|i| PacketKind::Atomic(HmcAtomicOp::HMC20_SET[i])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cube_times_are_causal(
+        requests in prop::collection::vec((any_packet(), 0u64..(1 << 24), 0u32..10_000), 1..200),
+    ) {
+        let config = SimConfig::hpca_default();
+        let mut cube = HmcCube::new(&config.hmc, config.core.clock_ghz);
+        let mut now = 0.0f64;
+        for (kind, addr, delta) in requests {
+            now += delta as f64 / 100.0;
+            let served = cube.service(kind, addr, now);
+            // Responses and memory effects never precede the request.
+            prop_assert!(served.response_at >= now, "{kind:?}");
+            prop_assert!(served.memory_done >= now, "{kind:?}");
+            prop_assert!(served.bank_wait >= 0.0);
+            prop_assert!(served.fu_wait >= 0.0);
+        }
+        // FLIT accounting is consistent with service counts.
+        let s = cube.stats();
+        prop_assert!(s.request_flits() >= s.reads + s.writes + s.atomics);
+        prop_assert_eq!(s.dram_accesses, s.reads + s.writes + s.atomics);
+        prop_assert!(s.dram_activations <= s.dram_accesses);
+    }
+
+    #[test]
+    fn core_clock_is_monotone_and_conserves_instructions(
+        ops in prop::collection::vec((0u8..6, 0u32..20, any::<bool>()), 1..300),
+    ) {
+        let config = SimConfig::hpca_default();
+        let mut core = CoreModel::new(&config.core);
+        let mut expected_instructions = 0u64;
+        let mut last = 0.0f64;
+        for (kind, n, flag) in ops {
+            match kind {
+                0 => {
+                    core.compute(n);
+                    expected_instructions += n as u64;
+                }
+                1 => {
+                    let at = core.begin_mem(flag, true);
+                    core.complete_load(at + n as f64, true);
+                    expected_instructions += 1;
+                }
+                2 => {
+                    core.begin_mem(false, false);
+                    core.complete_store();
+                    expected_instructions += 1;
+                }
+                3 => {
+                    core.host_atomic(n as f64, (n / 2) as f64);
+                    expected_instructions += 1;
+                }
+                4 => {
+                    let at = core.begin_mem(flag, false);
+                    core.complete_pim_atomic(at + n as f64, flag);
+                    expected_instructions += 1;
+                }
+                _ => {
+                    core.branch(flag, !flag);
+                    expected_instructions += 1;
+                }
+            }
+            prop_assert!(core.now() >= last, "clock went backwards");
+            last = core.now();
+        }
+        prop_assert_eq!(core.stats().instructions, expected_instructions);
+        // Finishing waits for all in-flight work, never rewinds.
+        let done = core.finish();
+        prop_assert!(done >= last);
+        prop_assert!(done >= core.drain_time() - 1e-9);
+    }
+
+    #[test]
+    fn analytic_speedup_monotone_in_atomic_cost(
+        rate in 0.001f64..0.3,
+        aio in 1.0f64..60.0,
+        miss in 0.0f64..1.0,
+    ) {
+        let base = AnalyticalModel {
+            cpi_other: 1.0,
+            overlap: 0.0,
+            atomic_rate: rate,
+            atomic_overhead: aio,
+            lat_cache: 20.0,
+            lat_mem: 100.0,
+            lat_pim: 8.0,
+            atomic_miss_rate: miss,
+        };
+        let mut costlier = base;
+        costlier.atomic_overhead = aio + 10.0;
+        // More expensive host atomics => more to gain from offloading.
+        prop_assert!(costlier.speedup() >= base.speedup());
+        // Baseline CPI is at least the non-atomic floor.
+        prop_assert!(base.baseline_cpi() >= base.cpi_other * (1.0 - base.overlap) - 1e-12);
+        prop_assert!(base.graphpim_cpi() > 0.0);
+    }
+
+    #[test]
+    fn atomic_flit_costs_within_table5_bounds(op_index in 0usize..18) {
+        let op = HmcAtomicOp::HMC20_SET[op_index];
+        let flits = PacketKind::Atomic(op).flits();
+        prop_assert_eq!(flits.request, 2);
+        prop_assert!(flits.response == 1 || flits.response == 2);
+    }
+}
