@@ -10,7 +10,9 @@ use graphpim::experiments::{tables, Experiments};
 use graphpim_graph::generate::LdbcSize;
 
 fn ctx() -> Experiments {
-    Experiments::at_scale(LdbcSize::K1)
+    // No disk cache: these benches time the cold simulation path, not a
+    // cache replay.
+    Experiments::with_cache(LdbcSize::K1, None)
 }
 
 /// One (kernel × mode) simulation at smoke scale — the unit every figure
@@ -21,7 +23,7 @@ fn bench_unit(c: &mut Criterion, group: &str, kernel: &'static str, mode: PimMod
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| criterion::black_box(ctx.metrics(kernel, mode)),
+            |ctx| criterion::black_box(ctx.metrics(kernel, mode)),
             criterion::BatchSize::PerIteration,
         )
     });
@@ -59,7 +61,7 @@ fn bench_fig04(c: &mut Criterion) {
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| criterion::black_box(ctx.metrics_plain_atomics("DC")),
+            |ctx| criterion::black_box(ctx.metrics_plain_atomics("DC")),
             criterion::BatchSize::PerIteration,
         )
     });
@@ -80,7 +82,7 @@ fn bench_fig11(c: &mut Criterion) {
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| {
+            |ctx| {
                 let size = ctx.size();
                 criterion::black_box(ctx.metrics_at("DC", PimMode::GraphPim, size, 1, 10))
             },
@@ -98,7 +100,7 @@ fn bench_fig13(c: &mut Criterion) {
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| {
+            |ctx| {
                 let size = ctx.size();
                 criterion::black_box(ctx.metrics_at("BFS", PimMode::GraphPim, size, 16, 5))
             },
@@ -116,7 +118,7 @@ fn bench_fig15(c: &mut Criterion) {
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| {
+            |ctx| {
                 let m = ctx.metrics("DC", PimMode::GraphPim);
                 criterion::black_box(graphpim::energy::uncore_energy(&m, 2.0, 32, 16))
             },
@@ -131,7 +133,7 @@ fn bench_fig16(c: &mut Criterion) {
     g.bench_function("run", |b| {
         b.iter_batched(
             ctx,
-            |mut ctx| {
+            |ctx| {
                 let m = ctx.metrics("BFS", PimMode::Baseline);
                 criterion::black_box(graphpim::analytic::AnalyticalModel::from_baseline(&m, 9.0))
             },

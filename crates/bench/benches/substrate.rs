@@ -16,7 +16,9 @@ fn bench_cache_hierarchy(c: &mut Criterion) {
         let mut x = 0x9E3779B97F4A7C15u64;
         b.iter(|| {
             for i in 0..10_000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 h.access((i % 16) as usize, x % (1 << 28), x & 4 == 0);
             }
         });
@@ -69,7 +71,9 @@ fn bench_graph_generation(c: &mut Criterion) {
     group.bench_function("ldbc_1k", |b| {
         b.iter(|| GraphSpec::ldbc(LdbcSize::K1).seed(1).build())
     });
-    group.bench_function("rmat_s12_e8", |b| b.iter(|| GraphSpec::rmat(12, 8).seed(1).build()));
+    group.bench_function("rmat_s12_e8", |b| {
+        b.iter(|| GraphSpec::rmat(12, 8).seed(1).build())
+    });
     group.finish();
 }
 

@@ -4,8 +4,8 @@
 use graphpim::experiments::{ablation, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[ablation] running at scale {} ...", ctx.size());
-    let rows = ablation::run(&mut ctx);
+    let rows = ablation::run(&ctx);
     println!("{}", ablation::table(&rows));
 }

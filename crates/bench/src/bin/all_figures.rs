@@ -1,12 +1,16 @@
 //! Runs the entire harness: every table and figure, in paper order.
 //!
 //! `GRAPHPIM_SCALE` selects the LDBC input (default 10k); runs share one
-//! context, so the three-configuration sweep is simulated once.
+//! context, so the three-configuration sweep is simulated once. The full
+//! run set is prewarmed across a worker pool up front
+//! (`GRAPHPIM_THREADS` controls the width), and finished runs persist in
+//! the on-disk cache (`GRAPHPIM_CACHE_DIR` / `GRAPHPIM_NO_CACHE`), so a
+//! warm second invocation executes no new simulations.
 
 use graphpim::experiments::*;
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[all] scale {}", ctx.size());
 
     println!("{}", tables::table1());
@@ -16,25 +20,43 @@ fn main() {
     println!("{}", tables::table5());
     println!("{}", tables::table6(false));
 
-    println!("{}", fig01::table(&fig01::run(&mut ctx)));
-    println!("{}", fig02::table(&fig02::run(&mut ctx)));
-    println!("{}", fig04::table(&fig04::run(&mut ctx)));
-    println!("{}", fig07::table(&fig07::run(&mut ctx)));
-    println!("{}", fig09::table(&fig09::run(&mut ctx)));
-    println!("{}", fig10::table(&fig10::run(&mut ctx)));
-    println!("{}", fig11::table(&fig11::run(&mut ctx)));
-    println!("{}", fig12::table(&fig12::run(&mut ctx)));
-    println!("{}", fig13::table(&fig13::run(&mut ctx)));
-    let cells = fig14::run(&mut ctx);
+    // One global prewarm over every figure's run set: distinct runs fan
+    // out across the pool, shared runs are simulated exactly once.
+    let mut keys = Vec::new();
+    keys.extend(fig01::keys(&ctx));
+    keys.extend(fig02::keys(&ctx));
+    keys.extend(fig04::keys(&ctx));
+    keys.extend(fig07::keys(&ctx));
+    keys.extend(fig09::keys(&ctx));
+    keys.extend(fig10::keys(&ctx));
+    keys.extend(fig11::keys(&ctx));
+    keys.extend(fig12::keys(&ctx));
+    keys.extend(fig13::keys(&ctx));
+    keys.extend(fig14::keys(&ctx));
+    keys.extend(fig15::keys(&ctx));
+    keys.extend(fig16::keys(&ctx));
+    keys.extend(hybrid::keys(&ctx, &["BFS", "DC", "CComp"]));
+    ctx.prewarm(keys);
+
+    println!("{}", fig01::table(&fig01::run(&ctx)));
+    println!("{}", fig02::table(&fig02::run(&ctx)));
+    println!("{}", fig04::table(&fig04::run(&ctx)));
+    println!("{}", fig07::table(&fig07::run(&ctx)));
+    println!("{}", fig09::table(&fig09::run(&ctx)));
+    println!("{}", fig10::table(&fig10::run(&ctx)));
+    println!("{}", fig11::table(&fig11::run(&ctx)));
+    println!("{}", fig12::table(&fig12::run(&ctx)));
+    println!("{}", fig13::table(&fig13::run(&ctx)));
+    let cells = fig14::run(&ctx);
     println!("{}", fig14::table_a(&cells));
     println!("{}", fig14::table_b(&cells));
-    let bars = fig15::run(&mut ctx);
+    let bars = fig15::run(&ctx);
     println!("{}", fig15::table(&bars));
     println!(
         "Average normalized GraphPIM uncore energy: {:.2} (paper: 0.63)\n",
         fig15::average_graphpim_energy(&bars)
     );
-    let rows = fig16::run(&mut ctx);
+    let rows = fig16::run(&ctx);
     println!("{}", fig16::table(&rows));
     println!(
         "Mean relative error: {:.2}% (paper: 7.72%)\n",
@@ -44,9 +66,16 @@ fn main() {
     println!("{}", fig17::table8(&apps));
     println!("{}", fig17::table17(&apps));
 
-    println!("{}", ablation::table(&ablation::run(&mut ctx)));
+    println!("{}", ablation::table(&ablation::run(&ctx)));
     println!(
         "{}",
-        hybrid::table(&hybrid::run(&mut ctx, &["BFS", "DC", "CComp"]))
+        hybrid::table(&hybrid::run(&ctx, &["BFS", "DC", "CComp"]))
+    );
+
+    eprintln!(
+        "[all] simulations executed: {}, disk-cache hits: {}, distinct runs: {}",
+        ctx.simulations_executed(),
+        ctx.disk_cache_hits(),
+        ctx.cached_runs()
     );
 }

@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig01, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig01] running at scale {} ...", ctx.size());
-    let rows = fig01::run(&mut ctx);
+    let rows = fig01::run(&ctx);
     println!("{}", fig01::table(&rows));
 }

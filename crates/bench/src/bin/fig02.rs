@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig02, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig02] running at scale {} ...", ctx.size());
-    let rows = fig02::run(&mut ctx);
+    let rows = fig02::run(&ctx);
     println!("{}", fig02::table(&rows));
 }

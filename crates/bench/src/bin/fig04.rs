@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig04, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig04] running at scale {} ...", ctx.size());
-    let rows = fig04::run(&mut ctx);
+    let rows = fig04::run(&ctx);
     println!("{}", fig04::table(&rows));
 }

@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig07, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig07] running at scale {} ...", ctx.size());
-    let rows = fig07::run(&mut ctx);
+    let rows = fig07::run(&ctx);
     println!("{}", fig07::table(&rows));
 }

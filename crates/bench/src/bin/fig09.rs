@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig09, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig09] running at scale {} ...", ctx.size());
-    let rows = fig09::run(&mut ctx);
+    let rows = fig09::run(&ctx);
     println!("{}", fig09::table(&rows));
 }

@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig10, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig10] running at scale {} ...", ctx.size());
-    let rows = fig10::run(&mut ctx);
+    let rows = fig10::run(&ctx);
     println!("{}", fig10::table(&rows));
 }

@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig11, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig11] running at scale {} ...", ctx.size());
-    let rows = fig11::run(&mut ctx);
+    let rows = fig11::run(&ctx);
     println!("{}", fig11::table(&rows));
 }

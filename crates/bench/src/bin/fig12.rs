@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig12, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig12] running at scale {} ...", ctx.size());
-    let rows = fig12::run(&mut ctx);
+    let rows = fig12::run(&ctx);
     println!("{}", fig12::table(&rows));
 }

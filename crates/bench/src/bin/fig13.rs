@@ -5,8 +5,8 @@
 use graphpim::experiments::{fig13, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig13] running at scale {} ...", ctx.size());
-    let rows = fig13::run(&mut ctx);
+    let rows = fig13::run(&ctx);
     println!("{}", fig13::table(&rows));
 }

@@ -5,9 +5,9 @@
 use graphpim::experiments::{fig14, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig14] sweeping sizes up to {} ...", ctx.size());
-    let cells = fig14::run(&mut ctx);
+    let cells = fig14::run(&ctx);
     println!("{}", fig14::table_a(&cells));
     println!("{}", fig14::table_b(&cells));
 }

@@ -3,9 +3,9 @@
 use graphpim::experiments::{fig15, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig15] running at scale {} ...", ctx.size());
-    let bars = fig15::run(&mut ctx);
+    let bars = fig15::run(&ctx);
     println!("{}", fig15::table(&bars));
     println!(
         "Average normalized GraphPIM uncore energy: {:.2} (paper: 0.63)",

@@ -3,9 +3,9 @@
 use graphpim::experiments::{fig16, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[fig16] running at scale {} ...", ctx.size());
-    let rows = fig16::run(&mut ctx);
+    let rows = fig16::run(&ctx);
     println!("{}", fig16::table(&rows));
     println!(
         "Mean relative error: {:.2}% (paper: 7.72%)",

@@ -5,7 +5,10 @@
 use graphpim::experiments::fig17;
 
 fn main() {
-    eprintln!("[fig17] running FD and RS at RMAT scale {} ...", fig17::app_scale());
+    eprintln!(
+        "[fig17] running FD and RS at RMAT scale {} ...",
+        fig17::app_scale()
+    );
     let results = fig17::run();
     println!("{}", fig17::table8(&results));
     println!("{}", fig17::table17(&results));

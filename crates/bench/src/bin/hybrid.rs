@@ -4,8 +4,8 @@
 use graphpim::experiments::{hybrid, Experiments};
 
 fn main() {
-    let mut ctx = Experiments::from_env();
+    let ctx = Experiments::from_env();
     eprintln!("[hybrid] running at scale {} ...", ctx.size());
-    let points = hybrid::run(&mut ctx, &["BFS", "DC", "CComp"]);
+    let points = hybrid::run(&ctx, &["BFS", "DC", "CComp"]);
     println!("{}", hybrid::table(&points));
 }

@@ -99,10 +99,9 @@ impl AnalyticalModel {
         // line fetch, overlapped across the MSHR window like other misses.
         let lat_mem_visible = 2.0 * lat_pim;
         let aio = metrics.core.atomic_incore_cycles / atomics;
-        let visible_atomic_cycles = metrics.core.atomic_incore_cycles
-            + atomics * miss * lat_mem_visible;
-        let other_cycles =
-            (machine_cycles - visible_atomic_cycles).max(0.05 * machine_cycles);
+        let visible_atomic_cycles =
+            metrics.core.atomic_incore_cycles + atomics * miss * lat_mem_visible;
+        let other_cycles = (machine_cycles - visible_atomic_cycles).max(0.05 * machine_cycles);
         AnalyticalModel {
             cpi_other: other_cycles / instr,
             overlap: 0.0,

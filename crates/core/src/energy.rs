@@ -86,16 +86,12 @@ pub fn uncore_energy(
     let l1 = (metrics.l1.hits + metrics.l1.misses) as f64;
     let l2 = (metrics.l2.hits + metrics.l2.misses) as f64;
     let l3 = (metrics.l3.hits + metrics.l3.misses) as f64;
-    let caches = l1 * E_L1_ACCESS
-        + l2 * E_L2_ACCESS
-        + l3 * E_L3_ACCESS
-        + P_CACHE_STATIC * seconds;
+    let caches = l1 * E_L1_ACCESS + l2 * E_L2_ACCESS + l3 * E_L3_ACCESS + P_CACHE_STATIC * seconds;
 
     let bits = metrics.hmc.total_flits() as f64 * 128.0;
     let hmc_link = bits * E_LINK_PER_BIT + P_LINK_STATIC * seconds;
 
-    let requests =
-        (metrics.hmc.reads + metrics.hmc.writes + metrics.hmc.atomics) as f64;
+    let requests = (metrics.hmc.reads + metrics.hmc.writes + metrics.hmc.atomics) as f64;
     let hmc_logic = requests * E_LOGIC_PER_REQ + P_LOGIC_STATIC * seconds;
 
     let hmc_dram = metrics.hmc.dram_activations as f64 * E_DRAM_ACTIVATE
@@ -142,7 +138,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn breakdown_components_positive() {
         let e = uncore_energy(&run(PimMode::Baseline), 2.0, 32, 16);
@@ -154,7 +149,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn links_dominate_hmc_power_at_baseline() {
         // The paper cites ~43% of HMC power in the SerDes links.
@@ -167,7 +161,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn graphpim_reduces_uncore_energy_on_dc() {
         let base = uncore_energy(&run(PimMode::Baseline), 2.0, 32, 16);
@@ -181,7 +174,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn fu_energy_appears_under_graphpim() {
         let base_metrics = run(PimMode::Baseline);
@@ -199,7 +191,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn fp_ops_estimated_for_prank() {
         let config = SystemConfig::tiny(PimMode::GraphPim);

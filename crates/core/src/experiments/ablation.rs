@@ -35,24 +35,50 @@ impl Row {
     }
 }
 
-/// Runs both ablations at the context scale.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+/// Runs both ablations at the context scale. The four GraphPIM
+/// simulations are independent, so they run across the worker pool.
+pub fn run(ctx: &Experiments) -> Vec<Row> {
     let size = ctx.size();
-    let weighted = ctx.weighted_graph(size).clone();
-    let plain_graph = ctx.graph(size).clone();
+    let weighted = ctx.weighted_graph(size);
+    let plain_graph = ctx.graph(size);
     let root = pick_root(&weighted);
     let config = SystemConfig::hpca(PimMode::GraphPim);
 
-    // Study 1: CAS retry loop vs translated CAS-if-less (SSSP).
-    let mut plain = Sssp::new(root);
-    let plain_m = SystemSim::run_kernel(&mut plain, &weighted, &config);
-    let mut translated = Sssp::with_translated_cas(root);
-    let translated_m = SystemSim::run_kernel(&mut translated, &weighted, &config);
-    assert_eq!(
-        plain.distances(),
-        translated.distances(),
-        "ablation variants must agree"
-    );
+    // Jobs 0/1: SSSP CAS retry loop vs translated CAS-if-less (these also
+    // return the distance arrays so the variants can be cross-checked);
+    // jobs 2/3: PRank without vs with the FP extension.
+    let runs = super::parallel_map(&[0usize, 1, 2, 3], |&job| match job {
+        0 => {
+            let mut k = Sssp::new(root);
+            let m = SystemSim::run_kernel(&mut k, &weighted, &config);
+            (m, k.distances().to_vec())
+        }
+        1 => {
+            let mut k = Sssp::with_translated_cas(root);
+            let m = SystemSim::run_kernel(&mut k, &weighted, &config);
+            (m, k.distances().to_vec())
+        }
+        2 => {
+            let mut k = PRank::new(3);
+            let m =
+                SystemSim::run_kernel(&mut k, &plain_graph, &config.clone().without_fp_extension());
+            (m, Vec::new())
+        }
+        _ => {
+            let mut k = PRank::new(3);
+            (
+                SystemSim::run_kernel(&mut k, &plain_graph, &config),
+                Vec::new(),
+            )
+        }
+    });
+    let mut runs = runs.into_iter();
+    let (plain_m, plain_dist) = runs.next().expect("SSSP retry run");
+    let (translated_m, translated_dist) = runs.next().expect("SSSP translated run");
+    let (without_m, _) = runs.next().expect("PRank no-ext run");
+    let (with_m, _) = runs.next().expect("PRank FP run");
+
+    assert_eq!(plain_dist, translated_dist, "ablation variants must agree");
     let study1 = Row {
         study: "SSSP atomic-min idiom",
         variants: ["CAS-if-equal retry", "translated CAS-if-less"],
@@ -60,15 +86,6 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
         atomics: [plain_m.hmc.atomics, translated_m.hmc.atomics],
     };
 
-    // Study 2: FP extension vs bus-locked fallback (PRank).
-    let mut with_fp = PRank::new(3);
-    let with_m = SystemSim::run_kernel(&mut with_fp, &plain_graph, &config);
-    let mut without_fp = PRank::new(3);
-    let without_m = SystemSim::run_kernel(
-        &mut without_fp,
-        &plain_graph,
-        &config.clone().without_fp_extension(),
-    );
     let study2 = Row {
         study: "PRank FP atomics",
         variants: ["bus-locked (no ext)", "FP extension"],
@@ -82,7 +99,12 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
 /// Formats the ablation rows.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new("Ablations: design choices under GraphPIM").header([
-        "Study", "Variant A", "Variant B", "B over A", "Atomics A", "Atomics B",
+        "Study",
+        "Variant A",
+        "Variant B",
+        "B over A",
+        "Atomics A",
+        "Atomics B",
     ]);
     for r in rows {
         t.row([
@@ -100,14 +122,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn ablations_have_expected_directions() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         assert_eq!(rows.len(), 2);
 
         let idiom = &rows[0];

@@ -1,0 +1,600 @@
+//! Persistent on-disk run cache.
+//!
+//! Each simulated run is written as one JSON file named after its
+//! [`RunKey`](super::RunKey) plus a configuration fingerprint, so
+//! `all_figures`, the per-figure binaries, and the test suite share
+//! results across processes instead of redoing each other's simulations.
+//!
+//! * `GRAPHPIM_CACHE_DIR` overrides the cache directory (default:
+//!   `<tmpdir>/graphpim-run-cache`).
+//! * `GRAPHPIM_NO_CACHE` disables the disk cache entirely.
+//!
+//! Entries are invalidated by fingerprint: the hash covers the full
+//! [`SystemConfig`](crate::config::SystemConfig) of the run, the graph
+//! generator inputs, and [`SCHEMA_VERSION`]. **Bump [`SCHEMA_VERSION`]
+//! whenever simulator timing or metric semantics change** — that is what
+//! retires stale entries written by older code.
+//!
+//! Serialization is hand-rolled JSON (the vendored `serde` is a no-op
+//! stand-in; see `vendor/README.md`). Floats are written with Rust's
+//! shortest round-trip formatting and integers as exact decimal, so a
+//! cache hit is bit-identical to the run that produced it.
+
+use super::RunKey;
+use crate::metrics::RunMetrics;
+use graphpim_sim::cpu::CoreStats;
+use graphpim_sim::hmc::HmcStats;
+use graphpim_sim::mem::hierarchy::LevelCounts;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache format + simulator-behavior version. Bump on any change to the
+/// timing models, metric definitions, or this file format.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a hash over the given parts (with separators, so part boundaries
+/// matter). Used as the config fingerprint.
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for b in part.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of cached [`RunMetrics`], one JSON file per
+/// (key, fingerprint) pair. All operations are best-effort: I/O errors
+/// degrade to cache misses / skipped writes, never to wrong results.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// The cache selected by the environment, or `None` when
+    /// `GRAPHPIM_NO_CACHE` is set.
+    pub fn from_env() -> Option<DiskCache> {
+        if std::env::var_os("GRAPHPIM_NO_CACHE").is_some() {
+            return None;
+        }
+        let dir = std::env::var_os("GRAPHPIM_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("graphpim-run-cache"));
+        Some(DiskCache::at(dir))
+    }
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the metrics cached for `key` under `fingerprint`, if any.
+    pub fn load(&self, key: &RunKey, fingerprint: u64) -> Option<RunMetrics> {
+        let text = std::fs::read_to_string(self.path(key, fingerprint)).ok()?;
+        let value = json::parse(&text)?;
+        metrics_from_json(&value, key)
+    }
+
+    /// Stores `metrics` for `key` under `fingerprint`. Atomic: written to
+    /// a unique temp file, then renamed, so concurrent writers (threads
+    /// or processes) never expose a torn entry.
+    pub fn store(&self, key: &RunKey, fingerprint: u64, metrics: &RunMetrics) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, metrics_to_json(key, metrics)).is_ok()
+            && std::fs::rename(&tmp, self.path(key, fingerprint)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn path(&self, key: &RunKey, fingerprint: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}-{fingerprint:016x}.json", key.file_stem()))
+    }
+}
+
+fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", SCHEMA_VERSION);
+    let _ = writeln!(s, "  \"key\": \"{}\",", key.file_stem());
+    let _ = writeln!(s, "  \"mode\": \"{}\",", m.mode.label());
+    let _ = writeln!(s, "  \"cores\": {},", m.cores);
+    let _ = writeln!(s, "  \"issue_width\": {},", m.issue_width);
+    let _ = writeln!(s, "  \"total_cycles\": {:?},", m.total_cycles);
+    let _ = writeln!(
+        s,
+        "  \"core\": {{\"instructions\": {}, \"memory_ops\": {}, \"host_atomics\": {}, \
+         \"pim_atomics\": {}, \"branches\": {}, \"mispredicts\": {}, \
+         \"frontend_cycles\": {:?}, \"badspec_cycles\": {:?}, \
+         \"atomic_incore_cycles\": {:?}, \"atomic_incache_cycles\": {:?}}},",
+        m.core.instructions,
+        m.core.memory_ops,
+        m.core.host_atomics,
+        m.core.pim_atomics,
+        m.core.branches,
+        m.core.mispredicts,
+        m.core.frontend_cycles,
+        m.core.badspec_cycles,
+        m.core.atomic_incore_cycles,
+        m.core.atomic_incache_cycles,
+    );
+    for (name, level) in [("l1", &m.l1), ("l2", &m.l2), ("l3", &m.l3)] {
+        let _ = writeln!(
+            s,
+            "  \"{name}\": {{\"hits\": {}, \"misses\": {}}},",
+            level.hits, level.misses
+        );
+    }
+    let vaults: Vec<String> = m.hmc.atomics_per_vault.iter().map(u64::to_string).collect();
+    let _ = writeln!(
+        s,
+        "  \"hmc\": {{\"request_flits_read\": {}, \"request_flits_write\": {}, \
+         \"request_flits_atomic\": {}, \"response_flits_read\": {}, \
+         \"response_flits_write\": {}, \"response_flits_atomic\": {}, \
+         \"reads\": {}, \"writes\": {}, \"atomics\": {}, \"fp_atomics\": {}, \
+         \"bank_wait_cycles\": {:?}, \"bank_wait_max\": {:?}, \"bank_wait_long\": {}, \
+         \"fu_wait_cycles\": {:?}, \"fu_busy_cycles\": {:?}, \
+         \"dram_activations\": {}, \"dram_accesses\": {}, \
+         \"atomics_per_vault\": [{}]}},",
+        m.hmc.request_flits_read,
+        m.hmc.request_flits_write,
+        m.hmc.request_flits_atomic,
+        m.hmc.response_flits_read,
+        m.hmc.response_flits_write,
+        m.hmc.response_flits_atomic,
+        m.hmc.reads,
+        m.hmc.writes,
+        m.hmc.atomics,
+        m.hmc.fp_atomics,
+        m.hmc.bank_wait_cycles,
+        m.hmc.bank_wait_max,
+        m.hmc.bank_wait_long,
+        m.hmc.fu_wait_cycles,
+        m.hmc.fu_busy_cycles,
+        m.hmc.dram_activations,
+        m.hmc.dram_accesses,
+        vaults.join(", "),
+    );
+    let _ = writeln!(s, "  \"offload_candidates\": {},", m.offload_candidates);
+    let _ = writeln!(s, "  \"candidate_cache_hits\": {},", m.candidate_cache_hits);
+    let _ = writeln!(s, "  \"offloaded_atomics\": {},", m.offloaded_atomics);
+    let _ = writeln!(s, "  \"host_pei_atomics\": {},", m.host_pei_atomics);
+    let _ = writeln!(s, "  \"uncached_reads\": {},", m.uncached_reads);
+    let _ = writeln!(s, "  \"uncached_writes\": {},", m.uncached_writes);
+    let _ = writeln!(
+        s,
+        "  \"memory_service_cycles\": {:?}",
+        m.memory_service_cycles
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
+    let top = value.as_object()?;
+    if top.get("schema")?.as_u64()? != SCHEMA_VERSION as u64 {
+        return None;
+    }
+    if top.get("mode")?.as_str()? != key.mode.label() {
+        return None;
+    }
+    let core = {
+        let o = top.get("core")?.as_object()?;
+        CoreStats {
+            instructions: o.get("instructions")?.as_u64()?,
+            memory_ops: o.get("memory_ops")?.as_u64()?,
+            host_atomics: o.get("host_atomics")?.as_u64()?,
+            pim_atomics: o.get("pim_atomics")?.as_u64()?,
+            branches: o.get("branches")?.as_u64()?,
+            mispredicts: o.get("mispredicts")?.as_u64()?,
+            frontend_cycles: o.get("frontend_cycles")?.as_f64()?,
+            badspec_cycles: o.get("badspec_cycles")?.as_f64()?,
+            atomic_incore_cycles: o.get("atomic_incore_cycles")?.as_f64()?,
+            atomic_incache_cycles: o.get("atomic_incache_cycles")?.as_f64()?,
+        }
+    };
+    let level = |name: &str| -> Option<LevelCounts> {
+        let o = top.get(name)?.as_object()?;
+        Some(LevelCounts {
+            hits: o.get("hits")?.as_u64()?,
+            misses: o.get("misses")?.as_u64()?,
+        })
+    };
+    let hmc = {
+        let o = top.get("hmc")?.as_object()?;
+        HmcStats {
+            request_flits_read: o.get("request_flits_read")?.as_u64()?,
+            request_flits_write: o.get("request_flits_write")?.as_u64()?,
+            request_flits_atomic: o.get("request_flits_atomic")?.as_u64()?,
+            response_flits_read: o.get("response_flits_read")?.as_u64()?,
+            response_flits_write: o.get("response_flits_write")?.as_u64()?,
+            response_flits_atomic: o.get("response_flits_atomic")?.as_u64()?,
+            reads: o.get("reads")?.as_u64()?,
+            writes: o.get("writes")?.as_u64()?,
+            atomics: o.get("atomics")?.as_u64()?,
+            fp_atomics: o.get("fp_atomics")?.as_u64()?,
+            bank_wait_cycles: o.get("bank_wait_cycles")?.as_f64()?,
+            bank_wait_max: o.get("bank_wait_max")?.as_f64()?,
+            bank_wait_long: o.get("bank_wait_long")?.as_u64()?,
+            fu_wait_cycles: o.get("fu_wait_cycles")?.as_f64()?,
+            fu_busy_cycles: o.get("fu_busy_cycles")?.as_f64()?,
+            dram_activations: o.get("dram_activations")?.as_u64()?,
+            dram_accesses: o.get("dram_accesses")?.as_u64()?,
+            atomics_per_vault: top
+                .get("hmc")?
+                .as_object()?
+                .get("atomics_per_vault")?
+                .as_array()?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
+        }
+    };
+    Some(RunMetrics {
+        mode: key.mode,
+        cores: top.get("cores")?.as_u64()? as usize,
+        issue_width: top.get("issue_width")?.as_u64()? as u32,
+        total_cycles: top.get("total_cycles")?.as_f64()?,
+        core,
+        l1: level("l1")?,
+        l2: level("l2")?,
+        l3: level("l3")?,
+        hmc,
+        offload_candidates: top.get("offload_candidates")?.as_u64()?,
+        candidate_cache_hits: top.get("candidate_cache_hits")?.as_u64()?,
+        offloaded_atomics: top.get("offloaded_atomics")?.as_u64()?,
+        host_pei_atomics: top.get("host_pei_atomics")?.as_u64()?,
+        uncached_reads: top.get("uncached_reads")?.as_u64()?,
+        uncached_writes: top.get("uncached_writes")?.as_u64()?,
+        memory_service_cycles: top.get("memory_service_cycles")?.as_f64()?,
+    })
+}
+
+/// Minimal JSON reader for the cache files. Numbers are kept as raw
+/// source tokens and converted at field-extraction time, so `u64` and
+/// `f64` both round-trip exactly.
+mod json {
+    /// One parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Object, insertion-ordered.
+        Object(Vec<(String, Value)>),
+        /// Array.
+        Array(Vec<Value>),
+        /// Number, as its raw source token.
+        Num(String),
+        /// String (no escape support beyond `\"` and `\\`).
+        Str(String),
+        /// `true` / `false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl Value {
+        /// Object field view, or `None` for other variants.
+        pub fn as_object(&self) -> Option<Obj<'_>> {
+            match self {
+                Value::Object(fields) => Some(Obj(fields)),
+                _ => None,
+            }
+        }
+
+        /// Array elements, or `None`.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Exact `u64`, or `None`.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// `f64` (exact for values written by this module), or `None`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// String contents, or `None`.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Field lookup over an object's entries.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Obj<'a>(&'a [(String, Value)]);
+
+    impl<'a> Obj<'a> {
+        /// The value of field `name`, or `None`.
+        pub fn get(&self, name: &str) -> Option<&'a Value> {
+            self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+        }
+    }
+
+    /// Parses one JSON document; `None` on any syntax error.
+    pub fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn eat(bytes: &[u8], pos: &mut usize, expected: u8) -> Option<()> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&expected) {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b'{' => parse_object(bytes, pos),
+            b'[' => parse_array(bytes, pos),
+            b'"' => parse_string(bytes, pos).map(Value::Str),
+            b't' => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            b'f' => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            b'n' => parse_literal(bytes, pos, "null", Value::Null),
+            _ => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Some(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            eat(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b'}' => {
+                    *pos += 1;
+                    return Some(Value::Object(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Some(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b']' => {
+                    *pos += 1;
+                    return Some(Value::Array(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                &b => {
+                    out.push(b as char);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_literal(bytes: &[u8], pos: &mut usize, text: &str, value: Value) -> Option<Value> {
+        if bytes[*pos..].starts_with(text.as_bytes()) {
+            *pos += text.len();
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(
+                bytes[*pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'i' | b'n' | b'f' | b'N' | b'a'
+            )
+        {
+            *pos += 1;
+        }
+        if *pos == start {
+            return None;
+        }
+        Some(Value::Num(
+            std::str::from_utf8(&bytes[start..*pos]).ok()?.to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimMode;
+    use graphpim_graph::generate::LdbcSize;
+
+    fn tmp_cache(name: &str) -> DiskCache {
+        let dir =
+            std::env::temp_dir().join(format!("graphpim-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::at(dir)
+    }
+
+    fn sample_metrics() -> RunMetrics {
+        RunMetrics {
+            mode: PimMode::GraphPim,
+            cores: 16,
+            issue_width: 4,
+            // Not exactly representable in decimal: exercises the
+            // shortest-round-trip float path.
+            total_cycles: 123456.789_012_345_6,
+            core: CoreStats {
+                instructions: (1u64 << 55) + 3, // beyond f64-exact integers
+                memory_ops: 42,
+                atomic_incore_cycles: 0.1 + 0.2, // 0.30000000000000004
+                ..CoreStats::default()
+            },
+            l1: LevelCounts {
+                hits: 10,
+                misses: 3,
+            },
+            l2: LevelCounts { hits: 2, misses: 1 },
+            l3: LevelCounts { hits: 1, misses: 1 },
+            hmc: HmcStats {
+                atomics: 7,
+                atomics_per_vault: vec![1, 2, 3, 1],
+                fu_wait_cycles: 1.5e-9,
+                ..HmcStats::default()
+            },
+            offload_candidates: 9,
+            candidate_cache_hits: 2,
+            offloaded_atomics: 7,
+            host_pei_atomics: 0,
+            uncached_reads: 5,
+            uncached_writes: 4,
+            memory_service_cycles: 1e12,
+        }
+    }
+
+    fn key() -> RunKey {
+        RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let cache = tmp_cache("roundtrip");
+        let metrics = sample_metrics();
+        cache.store(&key(), 0xABCD, &metrics);
+        let loaded = cache.load(&key(), 0xABCD).expect("cache hit");
+        assert_eq!(loaded, metrics);
+        assert_eq!(
+            loaded.total_cycles.to_bits(),
+            metrics.total_cycles.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn changed_fingerprint_misses() {
+        let cache = tmp_cache("fingerprint");
+        cache.store(&key(), 1, &sample_metrics());
+        assert!(cache.load(&key(), 1).is_some());
+        assert!(
+            cache.load(&key(), 2).is_none(),
+            "fingerprint must invalidate"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        let cache = tmp_cache("keys");
+        cache.store(&key(), 9, &sample_metrics());
+        let other = RunKey::new("BFS", PimMode::GraphPim, LdbcSize::K1);
+        assert!(cache.load(&other, 9).is_none());
+        let with_fus = key().with_fus(2);
+        assert!(cache.load(&with_fus, 9).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_degrades_to_miss() {
+        let cache = tmp_cache("corrupt");
+        cache.store(&key(), 4, &sample_metrics());
+        let path = cache.path(&key(), 4);
+        std::fs::write(&path, "{\"schema\": 1, \"truncated").unwrap();
+        assert!(cache.load(&key(), 4).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fingerprint_depends_on_part_boundaries() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_ne!(fingerprint(&["x"]), fingerprint(&["x", ""]));
+        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+    }
+}

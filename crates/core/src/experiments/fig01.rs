@@ -5,7 +5,7 @@
 //! most workloads — especially the GT category — well below an IPC of 1.
 //! We reproduce it on the baseline simulator configuration.
 
-use super::Experiments;
+use super::{Experiments, RunKey};
 use crate::config::PimMode;
 use crate::report::Table;
 use graphpim_workloads::kernels::{full_set, Category, KernelParams};
@@ -21,8 +21,17 @@ pub struct Row {
     pub ipc: f64,
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    full_set(KernelParams::default())
+        .iter()
+        .map(|k| RunKey::new(k.name(), PimMode::Baseline, ctx.size()))
+        .collect()
+}
+
 /// Runs the experiment.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     let names: Vec<(String, Category)> = full_set(KernelParams::default())
         .iter()
         .map(|k| (k.name().to_string(), k.category()))
@@ -57,14 +66,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn all_13_workloads_report_ipc() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         assert_eq!(rows.len(), 13);
         for r in &rows {
             assert!(

@@ -5,7 +5,7 @@
 //! workloads) and L2/L3 provide little benefit (L3 MPKI up to ~145 for
 //! DCentr).
 
-use super::Experiments;
+use super::{Experiments, RunKey};
 use crate::config::PimMode;
 use crate::report::Table;
 use graphpim_sim::stats::CycleBreakdown;
@@ -26,8 +26,17 @@ pub struct Row {
     pub l3_mpki: f64,
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    full_set(KernelParams::default())
+        .iter()
+        .map(|k| RunKey::new(k.name(), PimMode::Baseline, ctx.size()))
+        .collect()
+}
+
 /// Runs the experiment.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     let names: Vec<String> = full_set(KernelParams::default())
         .iter()
         .map(|k| k.name().to_string())
@@ -50,8 +59,7 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
 /// Formats both panels.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new("Figure 2: cycle breakdown and MPKI (baseline)").header([
-        "Workload", "Backend", "Frontend", "BadSpec", "Retiring", "L1 MPKI", "L2 MPKI",
-        "L3 MPKI",
+        "Workload", "Backend", "Frontend", "BadSpec", "Retiring", "L1 MPKI", "L2 MPKI", "L3 MPKI",
     ]);
     for r in rows {
         t.row([
@@ -71,14 +79,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn backend_dominates_for_traversal() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         let bfs = rows.iter().find(|r| r.workload == "BFS").expect("BFS row");
         assert!(
             bfs.breakdown.backend > 0.5,
@@ -91,11 +97,9 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn dc_has_highest_llc_mpki() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         let dc = rows.iter().find(|r| r.workload == "DC").expect("DC row");
         let gibbs = rows.iter().find(|r| r.workload == "Gibbs").expect("Gibbs");
         assert!(

@@ -5,7 +5,8 @@
 //! instructions, finding a 29.8% average slowdown (up to 64% for DCentr)
 //! from the atomics themselves.
 
-use super::{geomean, Experiments, EVAL_KERNELS};
+use super::{geomean, Experiments, RunKey, EVAL_KERNELS};
+use crate::config::PimMode;
 use crate::report::Table;
 
 /// One bar of Figure 4.
@@ -25,14 +26,26 @@ impl Row {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            [
+                RunKey::new(name, PimMode::Baseline, ctx.size()),
+                RunKey::new(name, PimMode::Baseline, ctx.size()).with_plain_atomics(),
+            ]
+        })
+        .collect()
+}
+
 /// Runs the experiment over the evaluation kernels.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     let mut rows: Vec<Row> = EVAL_KERNELS
         .iter()
         .map(|&name| {
-            let with = ctx
-                .metrics(name, crate::config::PimMode::Baseline)
-                .total_cycles;
+            let with = ctx.metrics(name, PimMode::Baseline).total_cycles;
             let without = ctx.metrics_plain_atomics(name).total_cycles;
             Row {
                 workload: name.to_string(),
@@ -50,8 +63,11 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
 
 /// Formats the rows.
 pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new("Figure 4: atomic instruction overhead (baseline)")
-        .header(["Workload", "Normalized time", "Overhead"]);
+    let mut t = Table::new("Figure 4: atomic instruction overhead (baseline)").header([
+        "Workload",
+        "Normalized time",
+        "Overhead",
+    ]);
     for r in rows {
         t.row([
             r.workload.clone(),
@@ -65,14 +81,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn atomics_cost_time_on_atomic_heavy_kernels() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         let dc = rows.iter().find(|r| r.workload == "DC").expect("DC");
         assert!(
             dc.overhead() > 0.05,
@@ -80,7 +94,11 @@ mod tests {
             dc.overhead()
         );
         let avg = rows.iter().find(|r| r.workload == "Average").expect("avg");
-        assert!(avg.overhead() > 0.0, "average overhead {:.3}", avg.overhead());
+        assert!(
+            avg.overhead() > 0.0,
+            "average overhead {:.3}",
+            avg.overhead()
+        );
         assert_eq!(rows.len(), 9);
     }
 }

@@ -6,7 +6,7 @@
 //! CComp / DC / PRank spend >50% in atomics; GraphPIM eliminates both
 //! atomic components.
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::Table;
 
@@ -32,8 +32,19 @@ impl Bar {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            [PimMode::Baseline, PimMode::GraphPim].map(|mode| RunKey::new(name, mode, ctx.size()))
+        })
+        .collect()
+}
+
 /// Runs the experiment: two bars (Baseline, GraphPIM) per workload.
-pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
+pub fn run(ctx: &Experiments) -> Vec<Bar> {
+    ctx.prewarm(keys(ctx));
     let mut bars = Vec::new();
     for &name in &EVAL_KERNELS {
         let base = ctx.metrics(name, PimMode::Baseline);
@@ -90,14 +101,12 @@ pub fn table(bars: &[Bar]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn baseline_atomics_visible_and_graphpim_eliminates_them() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let bars = run(&mut ctx);
+        let bars = run(testctx::k1());
         assert_eq!(bars.len(), 16); // 8 workloads x 2 configs
         let dc_base = bars
             .iter()
@@ -108,7 +117,10 @@ mod tests {
             "DC atomic share {:.2}",
             dc_base.atomic_incore + dc_base.atomic_incache
         );
-        assert!((dc_base.total() - 1.0).abs() < 1e-6, "baseline normalizes to 1");
+        assert!(
+            (dc_base.total() - 1.0).abs() < 1e-6,
+            "baseline normalizes to 1"
+        );
 
         let dc_pim = bars
             .iter()

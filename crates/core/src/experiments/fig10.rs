@@ -5,7 +5,7 @@
 //! finds miss rates above 80% for most workloads — the justification for
 //! GraphPIM's cache-bypass policy — with kCore, TC, and BC lower.
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::{fmt_pct, Table};
 
@@ -20,8 +20,17 @@ pub struct Row {
     pub candidates: u64,
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .map(|&name| RunKey::new(name, PimMode::Baseline, ctx.size()))
+        .collect()
+}
+
 /// Runs the experiment.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     EVAL_KERNELS
         .iter()
         .map(|&name| {
@@ -37,8 +46,11 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
 
 /// Formats the rows.
 pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new("Figure 10: cache miss rate of offloading candidates")
-        .header(["Workload", "Miss rate", "Candidates"]);
+    let mut t = Table::new("Figure 10: cache miss rate of offloading candidates").header([
+        "Workload",
+        "Miss rate",
+        "Candidates",
+    ]);
     for r in rows {
         t.row([
             r.workload.clone(),
@@ -52,16 +64,14 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn every_workload_has_candidates() {
         // Miss-rate magnitudes are scale dependent (the paper's >80% shows
         // at LDBC-1M; see EXPERIMENTS.md); the test checks the plumbing.
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.miss_rate));

@@ -6,7 +6,7 @@
 //! dependent instructions interleave enough other memory traffic that
 //! PIM-Atomic throughput is never the bottleneck.
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::{fmt_speedup, Table};
 
@@ -31,8 +31,23 @@ impl Row {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            std::iter::once(RunKey::new(name, PimMode::Baseline, ctx.size())).chain(
+                FU_SWEEP.iter().map(move |&fus| {
+                    RunKey::new(name, PimMode::GraphPim, ctx.size()).with_fus(fus)
+                }),
+            )
+        })
+        .collect()
+}
+
 /// Runs the sweep.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     let size = ctx.size();
     EVAL_KERNELS
         .iter()
@@ -55,9 +70,8 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
 
 /// Formats the rows.
 pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new("Figure 11: speedup vs functional units per vault").header([
-        "Workload", "1 FU", "2 FU", "4 FU", "8 FU", "16 FU",
-    ]);
+    let mut t = Table::new("Figure 11: speedup vs functional units per vault")
+        .header(["Workload", "1 FU", "2 FU", "4 FU", "8 FU", "16 FU"]);
     for r in rows {
         let mut cells = vec![r.workload.clone()];
         cells.extend(r.speedups.iter().map(|&s| fmt_speedup(s)));
@@ -69,14 +83,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn performance_insensitive_to_fu_count() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         for r in &rows {
             assert!(
                 r.spread() < 0.10,

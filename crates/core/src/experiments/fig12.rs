@@ -5,7 +5,7 @@
 //! GraphPIM cuts link traffic by ~30% on the atomic-heavy kernels, mostly
 //! on the response direction (graph workloads are read dominated).
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::Table;
 
@@ -29,8 +29,17 @@ impl Bar {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| PimMode::ALL.map(|mode| RunKey::new(name, mode, ctx.size())))
+        .collect()
+}
+
 /// Runs the experiment: three bars per workload.
-pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
+pub fn run(ctx: &Experiments) -> Vec<Bar> {
+    ctx.prewarm(keys(ctx));
     let mut bars = Vec::new();
     for &name in &EVAL_KERNELS {
         let base_total = ctx.metrics(name, PimMode::Baseline).total_flits() as f64;
@@ -49,9 +58,8 @@ pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
 
 /// Formats the bars.
 pub fn table(bars: &[Bar]) -> Table {
-    let mut t = Table::new("Figure 12: normalized bandwidth consumption").header([
-        "Workload", "Config", "Request", "Response", "Total",
-    ]);
+    let mut t = Table::new("Figure 12: normalized bandwidth consumption")
+        .header(["Workload", "Config", "Request", "Response", "Total"]);
     for b in bars {
         t.row([
             b.workload.clone(),
@@ -67,17 +75,15 @@ pub fn table(bars: &[Bar]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn bars_normalize_and_reads_dominate() {
         // The bandwidth *savings* require the cache-missing regime (the
         // recorded EXPERIMENTS.md run and tests/full_stack.rs cover it);
         // at smoke scale we check normalization and the read dominance.
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let bars = run(&mut ctx);
+        let bars = run(testctx::k1());
         assert_eq!(bars.len(), 24); // 8 workloads x 3 configs
         let get = |w: &str, m: PimMode| {
             bars.iter()

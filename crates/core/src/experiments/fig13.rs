@@ -5,7 +5,7 @@
 //! GraphPIM's bandwidth savings (Fig. 12) do not translate into speedup
 //! but do translate into energy (Fig. 15).
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::{fmt_speedup, Table};
 
@@ -23,8 +23,25 @@ pub struct Row {
     pub graphpim: [f64; 3],
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            [PimMode::Baseline, PimMode::GraphPim]
+                .into_iter()
+                .flat_map(move |mode| {
+                    BW_SWEEP
+                        .iter()
+                        .map(move |&bw| RunKey::new(name, mode, ctx.size()).with_bw_tenths(bw))
+                })
+        })
+        .collect()
+}
+
 /// Runs the sweep.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     let size = ctx.size();
     EVAL_KERNELS
         .iter()
@@ -32,7 +49,7 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
             let reference = ctx
                 .metrics_at(name, PimMode::Baseline, size, 16, 10)
                 .total_cycles;
-            let mut collect = |mode: PimMode| {
+            let collect = |mode: PimMode| {
                 let mut out = [0.0; 3];
                 for (i, &bw) in BW_SWEEP.iter().enumerate() {
                     let m = ctx.metrics_at(name, mode, size, 16, bw);
@@ -77,14 +94,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn insensitive_to_link_bandwidth() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         for r in &rows {
             // Baseline@1x is the normalization anchor.
             assert!((r.baseline[1] - 1.0).abs() < 1e-9);

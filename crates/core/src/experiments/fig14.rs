@@ -5,7 +5,7 @@
 //! hit is a loss; (b) GraphPIM's speedup over *baseline* stays healthy at
 //! every size because the atomic-overhead reduction is size-insensitive.
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::report::{fmt_pct, fmt_speedup, Table};
 use graphpim_graph::generate::LdbcSize;
@@ -32,13 +32,32 @@ pub fn sweep_sizes(ctx: &Experiments) -> Vec<LdbcSize> {
         .collect()
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    keys_for(ctx, &EVAL_KERNELS)
+}
+
+/// The runs needed for a subset of kernels.
+pub fn keys_for(ctx: &Experiments, kernels: &[&str]) -> Vec<RunKey> {
+    let sizes = sweep_sizes(ctx);
+    kernels
+        .iter()
+        .flat_map(|&name| {
+            sizes
+                .iter()
+                .flat_map(move |&size| PimMode::ALL.map(|mode| RunKey::new(name, mode, size)))
+        })
+        .collect()
+}
+
 /// Runs the sweep over the full evaluation set.
-pub fn run(ctx: &mut Experiments) -> Vec<Cell> {
+pub fn run(ctx: &Experiments) -> Vec<Cell> {
     run_for(ctx, &EVAL_KERNELS)
 }
 
 /// Runs the sweep for a subset of kernels.
-pub fn run_for(ctx: &mut Experiments, kernels: &[&str]) -> Vec<Cell> {
+pub fn run_for(ctx: &Experiments, kernels: &[&str]) -> Vec<Cell> {
+    ctx.prewarm(keys_for(ctx, kernels));
     let sizes = sweep_sizes(ctx);
     let mut cells = Vec::new();
     for &name in kernels {
@@ -65,8 +84,11 @@ pub fn run_for(ctx: &mut Experiments, kernels: &[&str]) -> Vec<Cell> {
 
 /// Formats panel (a): improvement over U-PEI.
 pub fn table_a(cells: &[Cell]) -> Table {
-    let mut t = Table::new("Figure 14a: GraphPIM improvement over U-PEI by graph size")
-        .header(["Workload", "Size", "Improvement"]);
+    let mut t = Table::new("Figure 14a: GraphPIM improvement over U-PEI by graph size").header([
+        "Workload",
+        "Size",
+        "Improvement",
+    ]);
     for c in cells {
         t.row([
             c.workload.clone(),
@@ -94,9 +116,9 @@ pub fn table_b(cells: &[Cell]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn upei_competitive_when_graph_fits_the_llc() {
         // The paper's Figure 14a observation: "U-PEI starts to show better
@@ -104,8 +126,7 @@ mod tests {
         // L3 and bypassing it stops paying. (The large-graph end, where
         // GraphPIM pulls ahead again, is covered by the recorded
         // EXPERIMENTS.md run at LDBC-1M.)
-        let mut ctx = Experiments::at_scale(LdbcSize::K10);
-        let cells = run_for(&mut ctx, &["BFS", "DC", "CComp"]);
+        let cells = run_for(testctx::k10(), &["BFS", "DC", "CComp"]);
         let at_10k: Vec<f64> = cells
             .iter()
             .filter(|c| c.size == LdbcSize::K10)
@@ -119,11 +140,9 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn baseline_speedup_stays_positive_across_sizes() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K10);
-        let cells = run_for(&mut ctx, &["DC", "CComp"]);
+        let cells = run_for(testctx::k10(), &["DC", "CComp"]);
         for c in &cells {
             assert!(
                 c.speedup_over_baseline > 1.0,

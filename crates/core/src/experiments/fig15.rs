@@ -4,7 +4,7 @@
 //! fewer link FLITs, less logic-layer work, and shorter runtime. FU energy
 //! is negligible except where FP units run (BC, PRank).
 
-use super::{geomean, Experiments, EVAL_KERNELS};
+use super::{geomean, Experiments, RunKey, EVAL_KERNELS};
 use crate::config::PimMode;
 use crate::energy::{uncore_energy, EnergyBreakdown};
 use crate::report::Table;
@@ -28,8 +28,19 @@ impl Bar {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            [PimMode::Baseline, PimMode::GraphPim].map(|mode| RunKey::new(name, mode, ctx.size()))
+        })
+        .collect()
+}
+
 /// Runs the experiment: Baseline and GraphPIM bars per workload.
-pub fn run(ctx: &mut Experiments) -> Vec<Bar> {
+pub fn run(ctx: &Experiments) -> Vec<Bar> {
+    ctx.prewarm(keys(ctx));
     let mut bars = Vec::new();
     for &name in &EVAL_KERNELS {
         let base = ctx.metrics(name, PimMode::Baseline);
@@ -87,14 +98,12 @@ pub fn table(bars: &[Bar]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn graphpim_energy_normalized_and_bounded() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let bars = run(&mut ctx);
+        let bars = run(testctx::k1());
         assert_eq!(bars.len(), 16);
         // Baselines normalize to 1; GraphPIM bars never blow past baseline
         // ("even in the worst case", Section IV-B4); atomic-dense kernels

@@ -4,7 +4,7 @@
 //! compares the predicted GraphPIM speedup with the simulated one,
 //! reporting a 7.72% average error.
 
-use super::{Experiments, EVAL_KERNELS};
+use super::{Experiments, RunKey, EVAL_KERNELS};
 use crate::analytic::AnalyticalModel;
 use crate::config::PimMode;
 use crate::report::{fmt_speedup, Table};
@@ -27,8 +27,19 @@ impl Row {
     }
 }
 
+/// The runs this figure needs (for prewarming).
+pub fn keys(ctx: &Experiments) -> Vec<RunKey> {
+    EVAL_KERNELS
+        .iter()
+        .flat_map(|&name| {
+            [PimMode::Baseline, PimMode::GraphPim].map(|mode| RunKey::new(name, mode, ctx.size()))
+        })
+        .collect()
+}
+
 /// Runs the comparison.
-pub fn run(ctx: &mut Experiments) -> Vec<Row> {
+pub fn run(ctx: &Experiments) -> Vec<Row> {
+    ctx.prewarm(keys(ctx));
     EVAL_KERNELS
         .iter()
         .map(|&name| {
@@ -40,7 +51,6 @@ pub fn run(ctx: &mut Experiments) -> Vec<Row> {
                 &crate::config::SystemConfig::hpca(PimMode::GraphPim).sim,
             );
             let model = AnalyticalModel::from_baseline(&base, lat_pim);
-            let _ = &pim;
             Row {
                 workload: name.to_string(),
                 simulated,
@@ -57,8 +67,12 @@ pub fn mean_error(rows: &[Row]) -> f64 {
 
 /// Formats the rows.
 pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new("Figure 16: analytical model vs simulation")
-        .header(["Workload", "Simulated", "Analytical", "Error"]);
+    let mut t = Table::new("Figure 16: analytical model vs simulation").header([
+        "Workload",
+        "Simulated",
+        "Analytical",
+        "Error",
+    ]);
     for r in rows {
         t.row([
             r.workload.clone(),
@@ -73,14 +87,12 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn model_tracks_simulation_directionally() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let rows = run(&mut ctx);
+        let rows = run(testctx::k1());
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(r.analytical > 0.2 && r.analytical < 20.0, "{r:?}");

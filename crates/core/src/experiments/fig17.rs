@@ -44,38 +44,57 @@ pub fn app_scale() -> u32 {
         .unwrap_or(13)
 }
 
-/// Runs both applications under both configurations.
+/// Runs both applications under both configurations. The four
+/// simulations are independent, so they run across the worker pool; each
+/// one stays single-threaded and deterministic.
 pub fn run() -> Vec<AppResult> {
     let scale = app_scale();
-    let mut out = Vec::new();
 
     // Financial fraud detection on the bitcoin-like graph.
     let bitcoin = bitcoin_like(scale, 11);
-    let seeds: Vec<u32> = (0..6).map(|i| (i * 97) % bitcoin.vertex_count() as u32).collect();
+    let seeds: Vec<u32> = (0..6)
+        .map(|i| (i * 97) % bitcoin.vertex_count() as u32)
+        .collect();
     let fd = |mode: PimMode| {
         SystemSim::run_with(&SystemConfig::hpca(mode), |fw| {
             let mut app = FraudDetection::new(seeds.clone());
             app.run(&bitcoin, fw);
         })
     };
-    out.push(make_result("FD", fd(PimMode::Baseline), fd(PimMode::GraphPim)));
 
     // Recommender system on the twitter-like graph.
     let twitter = twitter_like(scale, 13);
-    let queries: Vec<u32> = (0..8).map(|i| (i * 131) % twitter.vertex_count() as u32).collect();
+    let queries: Vec<u32> = (0..8)
+        .map(|i| (i * 131) % twitter.vertex_count() as u32)
+        .collect();
     let rs = |mode: PimMode| {
         SystemSim::run_with(&SystemConfig::hpca(mode), |fw| {
             let mut app = Recommender::new(queries.clone(), 10);
             app.run(&twitter, fw);
         })
     };
-    out.push(make_result("RS", rs(PimMode::Baseline), rs(PimMode::GraphPim)));
-    out
+
+    let jobs = [
+        ("FD", PimMode::Baseline),
+        ("FD", PimMode::GraphPim),
+        ("RS", PimMode::Baseline),
+        ("RS", PimMode::GraphPim),
+    ];
+    let mut metrics = super::parallel_map(&jobs, |&(app, mode)| match app {
+        "FD" => fd(mode),
+        _ => rs(mode),
+    })
+    .into_iter();
+    let (fd_base, fd_pim) = (metrics.next().unwrap(), metrics.next().unwrap());
+    let (rs_base, rs_pim) = (metrics.next().unwrap(), metrics.next().unwrap());
+    vec![
+        make_result("FD", fd_base, fd_pim),
+        make_result("RS", rs_base, rs_pim),
+    ]
 }
 
 fn make_result(name: &'static str, baseline: RunMetrics, graphpim: RunMetrics) -> AppResult {
-    let lat_pim =
-        AnalyticalModel::default_lat_pim(&SystemConfig::hpca(PimMode::GraphPim).sim);
+    let lat_pim = AnalyticalModel::default_lat_pim(&SystemConfig::hpca(PimMode::GraphPim).sim);
     let model = AnalyticalModel::from_baseline(&baseline, lat_pim);
     let e_base = uncore_energy(&baseline, 2.0, 32, 16).total();
     let e_pim = uncore_energy(&graphpim, 2.0, 32, 16).total();
@@ -91,9 +110,8 @@ fn make_result(name: &'static str, baseline: RunMetrics, graphpim: RunMetrics) -
 
 /// Formats Table VIII (measured counters).
 pub fn table8(results: &[AppResult]) -> Table {
-    let mut t = Table::new("Table VIII: real-world application counters (baseline)").header([
-        "Event", "FD", "RS",
-    ]);
+    let mut t = Table::new("Table VIII: real-world application counters (baseline)")
+        .header(["Event", "FD", "RS"]);
     let get = |name: &str| {
         results
             .iter()
@@ -160,7 +178,6 @@ mod tests {
     use super::*;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn apps_benefit_from_graphpim() {
         std::env::set_var("GRAPHPIM_APP_SCALE", "11");

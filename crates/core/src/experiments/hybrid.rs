@@ -7,7 +7,7 @@
 //! HMC-resident share of the property and shows the benefit scaling
 //! smoothly between the baseline and the all-HMC GraphPIM system.
 
-use super::{pick_root, Experiments};
+use super::{parallel_map, pick_root, Experiments, RunKey};
 use crate::config::{PimMode, SystemConfig};
 use crate::report::{fmt_pct, fmt_speedup, Table};
 use crate::system::SystemSim;
@@ -29,47 +29,62 @@ pub struct Point {
     pub offloaded_share: f64,
 }
 
-/// Runs the sweep for the given kernels.
-pub fn run(ctx: &mut Experiments, kernels: &[&str]) -> Vec<Point> {
+/// The baseline anchors this sweep shares with the other figures.
+pub fn keys(ctx: &Experiments, kernels: &[&str]) -> Vec<RunKey> {
+    kernels
+        .iter()
+        .map(|&name| RunKey::new(name, PimMode::Baseline, ctx.size()))
+        .collect()
+}
+
+/// Runs the sweep for the given kernels. The baseline anchor comes from
+/// the shared run table; the fraction points are independent simulations
+/// fanned out across the worker pool.
+pub fn run(ctx: &Experiments, kernels: &[&str]) -> Vec<Point> {
+    ctx.prewarm(keys(ctx, kernels));
     let size = ctx.size();
-    let mut out = Vec::new();
-    for &name in kernels {
+    let jobs: Vec<(&str, f64)> = kernels
+        .iter()
+        .flat_map(|&name| FRACTIONS.iter().map(move |&f| (name, f)))
+        .collect();
+    let metrics = parallel_map(&jobs, |&(name, fraction)| {
         let graph = if name == "SSSP" {
-            ctx.weighted_graph(size).clone()
+            ctx.weighted_graph(size)
         } else {
-            ctx.graph(size).clone()
+            ctx.graph(size)
         };
         let mut params = KernelParams::scaled_for(graph.vertex_count());
         params.root = pick_root(&graph);
-        let base = {
-            let mut k = by_name(name, params).expect(name);
-            SystemSim::run_kernel(k.as_mut(), &graph, &SystemConfig::hpca(PimMode::Baseline))
-        };
-        for &fraction in &FRACTIONS {
-            let mut k = by_name(name, params).expect(name);
-            let config = SystemConfig::hpca(PimMode::GraphPim)
-                .with_hmc_property_fraction(fraction);
-            let m = SystemSim::run_kernel(k.as_mut(), &graph, &config);
-            out.push(Point {
+        let mut k = by_name(name, params).expect(name);
+        let config = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(fraction);
+        SystemSim::run_kernel(k.as_mut(), &graph, &config)
+    });
+    jobs.iter()
+        .zip(metrics)
+        .map(|(&(name, fraction), m)| {
+            let base = ctx.metrics(name, PimMode::Baseline);
+            Point {
                 workload: name.to_string(),
                 fraction,
                 speedup: base.total_cycles / m.total_cycles.max(1e-9),
                 offloaded_share: if m.core.host_atomics + m.offloaded_atomics == 0 {
                     0.0
                 } else {
-                    m.offloaded_atomics as f64
-                        / (m.core.host_atomics + m.offloaded_atomics) as f64
+                    m.offloaded_atomics as f64 / (m.core.host_atomics + m.offloaded_atomics) as f64
                 },
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// Formats the sweep.
 pub fn table(points: &[Point]) -> Table {
-    let mut t = Table::new("Hybrid HMC+DRAM: speedup vs HMC-resident property share")
-        .header(["Workload", "HMC share", "Offloaded", "Speedup"]);
+    let mut t = Table::new("Hybrid HMC+DRAM: speedup vs HMC-resident property share").header([
+        "Workload",
+        "HMC share",
+        "Offloaded",
+        "Speedup",
+    ]);
     for p in points {
         t.row([
             p.workload.clone(),
@@ -84,14 +99,12 @@ pub fn table(points: &[Point]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphpim_graph::generate::LdbcSize;
+    use crate::experiments::testctx;
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn benefit_scales_with_hmc_share() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
-        let points = run(&mut ctx, &["DC"]);
+        let points = run(testctx::k1(), &["DC"]);
         assert_eq!(points.len(), FRACTIONS.len());
         // Offloaded share tracks the placement fraction.
         for p in &points {

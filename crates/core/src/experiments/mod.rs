@@ -5,12 +5,29 @@
 //! and 12 — different views of the same three-configuration sweep — cost
 //! one simulation each.
 //!
-//! The input scale defaults to LDBC-10k so the whole harness finishes in
-//! minutes; set `GRAPHPIM_SCALE=1k|10k|100k|1m` to change it (the paper
-//! uses LDBC-1M; shapes are stable across scales — Figure 14 is the scale
-//! sweep itself).
+//! The context is thread-safe (`&self` everywhere): distinct runs can be
+//! simulated concurrently while each individual simulation stays
+//! single-threaded and deterministic, so results are bit-identical to a
+//! serial sweep. Figure drivers expose their run set as
+//! [`RunKey`]s via `keys()` and fan them out through
+//! [`Experiments::prewarm`] before formatting output. Finished runs are
+//! additionally persisted to a [disk cache](cache) shared across
+//! processes.
+//!
+//! Environment knobs:
+//!
+//! * `GRAPHPIM_SCALE=1k|10k|100k|1m` — input scale (default `10k`;
+//!   case-insensitive; the paper uses LDBC-1M; shapes are stable across
+//!   scales — Figure 14 is the scale sweep itself).
+//! * `GRAPHPIM_THREADS=<n>` — worker threads for `prewarm` and
+//!   [`parallel_map`] (default: available parallelism).
+//! * `GRAPHPIM_CACHE_DIR=<dir>` — persistent run-cache directory
+//!   (default `<tmpdir>/graphpim-run-cache`).
+//! * `GRAPHPIM_NO_CACHE=1` — disable the persistent run cache.
+//! * `GRAPHPIM_VERBOSE=1` — log each simulation as it starts.
 
 pub mod ablation;
+pub mod cache;
 pub mod fig01;
 pub mod fig02;
 pub mod fig04;
@@ -27,56 +44,137 @@ pub mod fig17;
 pub mod hybrid;
 pub mod tables;
 
+pub use cache::DiskCache;
+
 use crate::config::{PimMode, SystemConfig};
 use crate::metrics::RunMetrics;
 use crate::system::SystemSim;
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
 use graphpim_workloads::kernels::{by_name, KernelParams};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Seed for all generated input graphs (part of the cache fingerprint).
+const GRAPH_SEED: u64 = 7;
 
 /// A memoization key for one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct RunKey {
-    kernel: String,
-    mode: PimMode,
-    size: LdbcSize,
-    fus: usize,
+pub struct RunKey {
+    /// Kernel name as accepted by `graphpim_workloads::kernels::by_name`.
+    pub kernel: String,
+    /// PIM offloading policy.
+    pub mode: PimMode,
+    /// Input graph scale.
+    pub size: LdbcSize,
+    /// Atomic FUs per vault (paper default 16).
+    pub fus: usize,
     /// Link bandwidth factor in tenths (5 = half, 10 = paper, 20 = double).
-    bw_tenths: u32,
+    pub bw_tenths: u32,
     /// Figure 4 variant: atomics replaced by plain read + write.
-    plain_atomics: bool,
+    pub plain_atomics: bool,
 }
 
+impl RunKey {
+    /// A key with the paper's Table IV defaults (16 FUs, nominal link
+    /// bandwidth, real atomics).
+    pub fn new(kernel: &str, mode: PimMode, size: LdbcSize) -> RunKey {
+        RunKey {
+            kernel: kernel.to_string(),
+            mode,
+            size,
+            fus: 16,
+            bw_tenths: 10,
+            plain_atomics: false,
+        }
+    }
+
+    /// Same key with a different FU count.
+    pub fn with_fus(mut self, fus: usize) -> RunKey {
+        self.fus = fus;
+        self
+    }
+
+    /// Same key with a different link-bandwidth factor (in tenths).
+    pub fn with_bw_tenths(mut self, bw_tenths: u32) -> RunKey {
+        self.bw_tenths = bw_tenths;
+        self
+    }
+
+    /// Same key with atomics lowered to plain read + write.
+    pub fn with_plain_atomics(mut self) -> RunKey {
+        self.plain_atomics = true;
+        self
+    }
+
+    /// Filesystem-safe stem used for disk-cache entries.
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}-{}-{}-fus{}-bw{}{}",
+            self.kernel,
+            self.mode.label().replace('/', "_"),
+            self.size.name(),
+            self.fus,
+            self.bw_tenths,
+            if self.plain_atomics { "-plain" } else { "" }
+        )
+    }
+}
+
+/// A memoization table whose per-entry [`OnceLock`] cells let same-key
+/// callers block on one computation while distinct keys proceed in
+/// parallel.
+type OnceMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
 /// Shared context: input graphs and memoized runs.
+///
+/// Thread-safe: the run and graph tables use per-entry [`OnceLock`]s
+/// behind short-lived mutexes, so two threads asking for the same run
+/// block on that one cell (exactly one simulation happens) while runs
+/// for different keys proceed in parallel.
 pub struct Experiments {
     size: LdbcSize,
-    graphs: HashMap<LdbcSize, CsrGraph>,
-    weighted: HashMap<LdbcSize, CsrGraph>,
-    runs: HashMap<RunKey, RunMetrics>,
+    /// (size, weighted) → lazily generated graph.
+    graphs: OnceMap<(LdbcSize, bool), Arc<CsrGraph>>,
+    runs: OnceMap<RunKey, RunMetrics>,
+    disk: Option<DiskCache>,
     verbose: bool,
+    simulated: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl Experiments {
     /// Context at the scale selected by `GRAPHPIM_SCALE` (default 10k).
+    ///
+    /// Panics on an unrecognized value — a typo'd scale silently falling
+    /// back to 10k produces figures at the wrong scale with no warning.
     pub fn from_env() -> Self {
-        let size = match std::env::var("GRAPHPIM_SCALE").as_deref() {
-            Ok("1k") => LdbcSize::K1,
-            Ok("100k") => LdbcSize::K100,
-            Ok("1m") => LdbcSize::M1,
-            _ => LdbcSize::K10,
+        let size = match std::env::var("GRAPHPIM_SCALE") {
+            Err(std::env::VarError::NotPresent) => LdbcSize::K10,
+            Err(e) => panic!("GRAPHPIM_SCALE is not valid unicode: {e}"),
+            Ok(v) => parse_scale(&v).unwrap_or_else(|err| panic!("{err}")),
         };
         Experiments::at_scale(size)
     }
 
-    /// Context at an explicit scale.
+    /// Context at an explicit scale, with the disk cache selected by the
+    /// environment (`GRAPHPIM_CACHE_DIR` / `GRAPHPIM_NO_CACHE`).
     pub fn at_scale(size: LdbcSize) -> Self {
+        Experiments::with_cache(size, DiskCache::from_env())
+    }
+
+    /// Context at an explicit scale with an explicit disk cache
+    /// (`None` = in-memory memoization only).
+    pub fn with_cache(size: LdbcSize, disk: Option<DiskCache>) -> Self {
         Experiments {
             size,
-            graphs: HashMap::new(),
-            weighted: HashMap::new(),
-            runs: HashMap::new(),
+            graphs: Mutex::new(HashMap::new()),
+            runs: Mutex::new(HashMap::new()),
+            disk,
             verbose: std::env::var("GRAPHPIM_VERBOSE").is_ok(),
+            simulated: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
         }
     }
 
@@ -86,95 +184,179 @@ impl Experiments {
     }
 
     /// The (unweighted) LDBC-like graph at `size`, generated once.
-    pub fn graph(&mut self, size: LdbcSize) -> &CsrGraph {
-        self.graphs
-            .entry(size)
-            .or_insert_with(|| GraphSpec::ldbc(size).seed(7).build())
+    pub fn graph(&self, size: LdbcSize) -> Arc<CsrGraph> {
+        self.graph_inner(size, false)
     }
 
     /// The weighted variant (for SSSP).
-    pub fn weighted_graph(&mut self, size: LdbcSize) -> &CsrGraph {
-        self.weighted
-            .entry(size)
-            .or_insert_with(|| GraphSpec::ldbc(size).seed(7).weighted().build())
+    pub fn weighted_graph(&self, size: LdbcSize) -> Arc<CsrGraph> {
+        self.graph_inner(size, true)
+    }
+
+    fn graph_inner(&self, size: LdbcSize, weighted: bool) -> Arc<CsrGraph> {
+        let cell = {
+            let mut graphs = self.graphs.lock().unwrap();
+            Arc::clone(graphs.entry((size, weighted)).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let spec = GraphSpec::ldbc(size).seed(GRAPH_SEED);
+            let spec = if weighted { spec.weighted() } else { spec };
+            Arc::new(spec.build())
+        }))
     }
 
     /// Runs (or recalls) `kernel` under `mode` at the context scale with
     /// the paper's Table IV configuration.
-    pub fn metrics(&mut self, kernel: &str, mode: PimMode) -> RunMetrics {
-        let size = self.size;
-        self.metrics_full(kernel, mode, size, 16, 10, false)
+    pub fn metrics(&self, kernel: &str, mode: PimMode) -> RunMetrics {
+        self.metrics_for(&RunKey::new(kernel, mode, self.size))
     }
 
     /// Figure 4 variant: baseline with atomics executed as plain
     /// read + write.
-    pub fn metrics_plain_atomics(&mut self, kernel: &str) -> RunMetrics {
-        let size = self.size;
-        self.metrics_full(kernel, PimMode::Baseline, size, 16, 10, true)
+    pub fn metrics_plain_atomics(&self, kernel: &str) -> RunMetrics {
+        self.metrics_for(&RunKey::new(kernel, PimMode::Baseline, self.size).with_plain_atomics())
     }
 
     /// Parameterized run: FU count and link-bandwidth tenths.
     pub fn metrics_at(
-        &mut self,
+        &self,
         kernel: &str,
         mode: PimMode,
         size: LdbcSize,
         fus: usize,
         bw_tenths: u32,
     ) -> RunMetrics {
-        self.metrics_full(kernel, mode, size, fus, bw_tenths, false)
+        self.metrics_for(
+            &RunKey::new(kernel, mode, size)
+                .with_fus(fus)
+                .with_bw_tenths(bw_tenths),
+        )
     }
 
-    fn metrics_full(
-        &mut self,
-        kernel: &str,
-        mode: PimMode,
-        size: LdbcSize,
-        fus: usize,
-        bw_tenths: u32,
-        plain_atomics: bool,
-    ) -> RunMetrics {
-        let key = RunKey {
-            kernel: kernel.to_string(),
-            mode,
-            size,
-            fus,
-            bw_tenths,
-            plain_atomics,
+    /// Runs (or recalls) the simulation identified by `key`.
+    ///
+    /// Exactly one simulation happens per distinct key, no matter how
+    /// many threads ask concurrently; later callers block until the
+    /// first finishes and then share its result.
+    pub fn metrics_for(&self, key: &RunKey) -> RunMetrics {
+        let cell = {
+            let mut runs = self.runs.lock().unwrap();
+            match runs.get(key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    runs.insert(key.clone(), Arc::clone(&cell));
+                    cell
+                }
+            }
         };
-        if let Some(hit) = self.runs.get(&key) {
-            return hit.clone();
+        cell.get_or_init(|| self.compute(key)).clone()
+    }
+
+    /// Simulates every distinct key across a worker pool, so later
+    /// `metrics*` calls are cache hits. Results are identical to running
+    /// the keys serially: each simulation is single-threaded and
+    /// deterministic; only the sweep is parallel.
+    pub fn prewarm<I>(&self, keys: I)
+    where
+        I: IntoIterator<Item = RunKey>,
+    {
+        let mut seen = HashSet::new();
+        let work: Vec<RunKey> = keys
+            .into_iter()
+            .filter(|key| seen.insert(key.clone()))
+            .collect();
+        parallel_map(&work, |key| {
+            self.metrics_for(key);
+        });
+    }
+
+    fn compute(&self, key: &RunKey) -> RunMetrics {
+        let fingerprint = self.fingerprint(key);
+        if let Some(disk) = &self.disk {
+            if let Some(hit) = disk.load(key, fingerprint) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                if self.verbose {
+                    eprintln!("[disk-hit] {}", key.file_stem());
+                }
+                return hit;
+            }
         }
-        let weighted = kernel == "SSSP";
-        // Generate (and cache) the graph before timing the run.
-        let graph = if weighted {
-            self.weighted_graph(size).clone()
+        let graph = if key.kernel == "SSSP" {
+            self.weighted_graph(key.size)
         } else {
-            self.graph(size).clone()
+            self.graph(key.size)
         };
         let mut params = KernelParams::scaled_for(graph.vertex_count());
         params.root = pick_root(&graph);
-        let mut k = by_name(kernel, params)
-            .unwrap_or_else(|| panic!("unknown kernel {kernel}"));
-        let mut config = SystemConfig::hpca(mode)
-            .with_fus_per_vault(fus)
-            .with_link_bandwidth_factor(bw_tenths as f64 / 10.0);
-        if plain_atomics {
-            config = config.with_atomics_as_plain();
-        }
+        let mut k =
+            by_name(&key.kernel, params).unwrap_or_else(|| panic!("unknown kernel {}", key.kernel));
         if self.verbose {
-            eprintln!("[run] {kernel} {mode} {size} fus={fus} bw={bw_tenths}");
+            eprintln!(
+                "[run] {} {} {} fus={} bw={}",
+                key.kernel, key.mode, key.size, key.fus, key.bw_tenths
+            );
         }
-        let metrics = SystemSim::run_kernel(k.as_mut(), &graph, &config);
-        self.runs.insert(key, metrics.clone());
+        let metrics = SystemSim::run_kernel(k.as_mut(), &graph, &self.config_for(key));
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.store(key, fingerprint, &metrics);
+        }
         metrics
     }
 
+    /// The full system configuration a key resolves to.
+    fn config_for(&self, key: &RunKey) -> SystemConfig {
+        let mut config = SystemConfig::hpca(key.mode)
+            .with_fus_per_vault(key.fus)
+            .with_link_bandwidth_factor(key.bw_tenths as f64 / 10.0);
+        if key.plain_atomics {
+            config = config.with_atomics_as_plain();
+        }
+        config
+    }
+
+    /// Cache fingerprint: covers everything that can change the result of
+    /// a run without changing its [`RunKey`].
+    fn fingerprint(&self, key: &RunKey) -> u64 {
+        cache::fingerprint(&[
+            &cache::SCHEMA_VERSION.to_string(),
+            env!("CARGO_PKG_VERSION"),
+            &format!("{:?}", self.config_for(key)),
+            &format!(
+                "ldbc:{}:seed{}:weighted={}",
+                key.size.name(),
+                GRAPH_SEED,
+                key.kernel == "SSSP"
+            ),
+        ])
+    }
+
     /// Speedup of `mode` over baseline for `kernel` at the default scale.
-    pub fn speedup(&mut self, kernel: &str, mode: PimMode) -> f64 {
+    pub fn speedup(&self, kernel: &str, mode: PimMode) -> f64 {
         let base = self.metrics(kernel, PimMode::Baseline).total_cycles;
         let m = self.metrics(kernel, mode).total_cycles;
-        base / m.max(1e-9)
+        assert!(
+            base > 0.0 && m > 0.0,
+            "zero-cycle run in speedup({kernel}, {mode}): base={base}, {mode}={m}"
+        );
+        base / m
+    }
+
+    /// Number of simulations actually executed by this context (disk-cache
+    /// hits and memoized recalls excluded).
+    pub fn simulations_executed(&self) -> usize {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Number of runs satisfied from the persistent disk cache.
+    pub fn disk_cache_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct runs resident in the in-memory table.
+    pub fn cached_runs(&self) -> usize {
+        self.runs.lock().unwrap().len()
     }
 }
 
@@ -182,9 +364,77 @@ impl std::fmt::Debug for Experiments {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Experiments")
             .field("size", &self.size)
-            .field("cached_runs", &self.runs.len())
+            .field("cached_runs", &self.cached_runs())
+            .field("simulated", &self.simulations_executed())
+            .field("disk_hits", &self.disk_cache_hits())
             .finish()
     }
+}
+
+/// Parses a `GRAPHPIM_SCALE` value (case-insensitive).
+pub fn parse_scale(value: &str) -> Result<LdbcSize, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1k" => Ok(LdbcSize::K1),
+        "10k" => Ok(LdbcSize::K10),
+        "100k" => Ok(LdbcSize::K100),
+        "1m" => Ok(LdbcSize::M1),
+        other => Err(format!(
+            "unrecognized GRAPHPIM_SCALE value {other:?}; valid values: 1k, 10k, 100k, 1m \
+             (case-insensitive)"
+        )),
+    }
+}
+
+/// Worker-thread count for [`Experiments::prewarm`] and [`parallel_map`]:
+/// `GRAPHPIM_THREADS` if set (panics on garbage), else available
+/// parallelism.
+pub fn worker_threads() -> usize {
+    match std::env::var("GRAPHPIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("unrecognized GRAPHPIM_THREADS value {v:?}; expected a positive integer"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item across a scoped worker pool and returns the
+/// results in input order. Used by drivers whose runs do not go through
+/// the [`Experiments`] table (ablation, hybrid, Figure 17).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = worker_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 /// The eight evaluation workloads, in Figure 7's x-axis order.
@@ -213,6 +463,29 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 #[cfg(test)]
+pub(crate) mod testctx {
+    //! Shared cached contexts for the in-crate figure tests: every test
+    //! module reuses one sweep per scale instead of redoing each other's
+    //! simulations.
+
+    use super::Experiments;
+    use graphpim_graph::generate::LdbcSize;
+    use std::sync::OnceLock;
+
+    /// The shared LDBC-1k context.
+    pub fn k1() -> &'static Experiments {
+        static CTX: OnceLock<Experiments> = OnceLock::new();
+        CTX.get_or_init(|| Experiments::at_scale(LdbcSize::K1))
+    }
+
+    /// The shared LDBC-10k context (release-only tests).
+    pub fn k10() -> &'static Experiments {
+        static CTX: OnceLock<Experiments> = OnceLock::new();
+        CTX.get_or_init(|| Experiments::at_scale(LdbcSize::K10))
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use graphpim_graph::GraphBuilder;
@@ -235,11 +508,59 @@ mod tests {
     }
 
     #[test]
+    fn scale_parsing_is_case_insensitive_and_strict() {
+        assert_eq!(parse_scale("1k"), Ok(LdbcSize::K1));
+        assert_eq!(parse_scale("1K"), Ok(LdbcSize::K1));
+        assert_eq!(parse_scale(" 10K "), Ok(LdbcSize::K10));
+        assert_eq!(parse_scale("100k"), Ok(LdbcSize::K100));
+        assert_eq!(parse_scale("1M"), Ok(LdbcSize::M1));
+        let err = parse_scale("10000").unwrap_err();
+        assert!(err.contains("1k, 10k, 100k, 1m"), "helpful error: {err}");
+        assert!(parse_scale("").is_err());
+    }
+
+    #[test]
+    fn run_key_builders_and_stem() {
+        let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1)
+            .with_fus(4)
+            .with_bw_tenths(5);
+        assert_eq!(key.fus, 4);
+        assert_eq!(key.bw_tenths, 5);
+        assert!(!key.plain_atomics);
+        let stem = key.file_stem();
+        assert!(
+            !stem.contains('/') && !stem.contains(' '),
+            "stem must be filesystem-safe: {stem}"
+        );
+        assert_ne!(stem, key.clone().with_plain_atomics().file_stem());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert_eq!(parallel_map(&[] as &[usize], |&x| x), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn graphs_are_shared_not_cloned() {
+        let ctx = Experiments::with_cache(LdbcSize::K1, None);
+        let a = ctx.graph(LdbcSize::K1);
+        let b = ctx.graph(LdbcSize::K1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let w = ctx.weighted_graph(LdbcSize::K1);
+        assert!(!Arc::ptr_eq(&a, &w));
+    }
+
+    #[test]
     fn memoization_reuses_runs() {
-        let mut ctx = Experiments::at_scale(LdbcSize::K1);
+        let ctx = Experiments::with_cache(LdbcSize::K1, None);
         let a = ctx.metrics("DC", PimMode::Baseline);
         let b = ctx.metrics("DC", PimMode::Baseline);
-        assert_eq!(a.total_cycles, b.total_cycles);
-        assert_eq!(ctx.runs.len(), 1);
+        assert_eq!(a, b);
+        assert_eq!(ctx.cached_runs(), 1);
+        assert_eq!(ctx.simulations_executed(), 1);
+        assert_eq!(ctx.disk_cache_hits(), 0);
     }
 }

@@ -14,7 +14,11 @@ use graphpim_workloads::kernels::{full_set, Applicability, KernelParams};
 /// Table I: the HMC 2.0 atomic command set.
 pub fn table1() -> Table {
     let mut t = Table::new("Table I: atomic operations in HMC 2.0").header([
-        "Command", "Category", "Returns data", "Req FLITs", "Resp FLITs",
+        "Command",
+        "Category",
+        "Returns data",
+        "Req FLITs",
+        "Resp FLITs",
     ]);
     for op in HmcAtomicOp::HMC20_SET {
         t.row([
@@ -31,7 +35,9 @@ pub fn table1() -> Table {
 /// Table II: PIM offloading targets per workload.
 pub fn table2() -> Table {
     let mut t = Table::new("Table II: summary of PIM offloading targets").header([
-        "Workload", "Offloading target", "PIM-Atomic type",
+        "Workload",
+        "Offloading target",
+        "PIM-Atomic type",
     ]);
     for k in full_set(KernelParams::default()) {
         if let Some(target) = k.offload_target() {
@@ -48,7 +54,9 @@ pub fn table2() -> Table {
 /// Table III: PIM-Atomic applicability across GraphBIG.
 pub fn table3() -> Table {
     let mut t = Table::new("Table III: PIM-Atomic applicability (GraphBIG)").header([
-        "Category", "Workload", "Applicable?",
+        "Category",
+        "Workload",
+        "Applicable?",
     ]);
     for k in full_set(KernelParams::default()) {
         let status = match k.applicability() {
@@ -129,7 +137,10 @@ pub fn table5() -> Table {
 /// Table VI: the experiment datasets, with generated statistics.
 pub fn table6(include_large: bool) -> Table {
     let mut t = Table::new("Table VI: experiment datasets").header([
-        "Name", "Vertex #", "Edge #", "Footprint",
+        "Name",
+        "Vertex #",
+        "Edge #",
+        "Footprint",
     ]);
     for size in LdbcSize::ALL {
         if size == LdbcSize::M1 && !include_large {
@@ -141,7 +152,9 @@ pub fn table6(include_large: bool) -> Table {
             ]);
             continue;
         }
-        let g = graphpim_graph::generate::GraphSpec::ldbc(size).seed(7).build();
+        let g = graphpim_graph::generate::GraphSpec::ldbc(size)
+            .seed(7)
+            .build();
         let s = GraphStats::compute(&g);
         t.row([
             size.name().to_string(),

@@ -7,7 +7,11 @@ use graphpim_sim::mem::hierarchy::LevelCounts;
 use graphpim_sim::stats::{mpki, CycleBreakdown};
 
 /// Everything measured during one kernel/application run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter and cycle value exactly; the
+/// experiment engine relies on it to assert that parallel and cached
+/// replays are bit-identical to a serial simulation.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// The policy the run used.
     pub mode: PimMode,

@@ -63,7 +63,13 @@ impl Table {
         if !self.header.is_empty() {
             out.push_str(&render_row(&self.header, &widths));
             out.push('\n');
-            out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+            out.push_str(
+                &widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("-+-"),
+            );
             out.push('\n');
         }
         for row in &self.rows {
@@ -78,7 +84,13 @@ fn render_row(cells: &[String], widths: &[usize]) -> String {
     cells
         .iter()
         .enumerate()
-        .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+        .map(|(i, c)| {
+            format!(
+                "{:>width$}",
+                c,
+                width = widths.get(i).copied().unwrap_or(c.len())
+            )
+        })
         .collect::<Vec<_>>()
         .join(" | ")
 }

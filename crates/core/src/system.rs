@@ -403,7 +403,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn graphpim_beats_baseline_on_atomic_heavy_kernel() {
         let base = run(PimMode::Baseline);
@@ -417,7 +416,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn offload_counters_by_mode() {
         let base = run(PimMode::Baseline);
@@ -437,7 +435,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn graphpim_bypasses_caches_for_property() {
         let pim = run(PimMode::GraphPim);
@@ -447,7 +444,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn atomic_overhead_only_in_baseline() {
         let base = run(PimMode::Baseline);
@@ -457,7 +453,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn bandwidth_lower_under_graphpim_for_dc() {
         let base = run(PimMode::Baseline);
@@ -471,7 +466,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn bfs_results_identical_across_modes() {
         let g = graph();
@@ -486,7 +480,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn deterministic_metrics() {
         let a = run(PimMode::GraphPim);
@@ -496,7 +489,6 @@ mod tests {
     }
 
     #[test]
-
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
     fn fp_extension_needed_for_prank_offload() {
         let g = graph();

@@ -1,0 +1,139 @@
+//! Integration tests for the parallel experiment engine: concurrent
+//! prewarming must be bit-identical to serial simulation, the disk cache
+//! must round-trip results across contexts, and the environment knobs
+//! must parse strictly.
+
+use graphpim::config::PimMode;
+use graphpim::experiments::{DiskCache, Experiments, RunKey};
+use graphpim::metrics::RunMetrics;
+use graphpim_graph::generate::LdbcSize;
+use std::path::PathBuf;
+
+fn eval_keys() -> Vec<RunKey> {
+    ["DC", "BFS"]
+        .iter()
+        .flat_map(|&kernel| {
+            [PimMode::Baseline, PimMode::GraphPim]
+                .map(|mode| RunKey::new(kernel, mode, LdbcSize::K1))
+        })
+        .collect()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphpim-engine-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_prewarm_is_bit_identical_to_serial() {
+    let keys = eval_keys();
+
+    // Serial reference: one run per key, no disk cache, no pool.
+    let serial = Experiments::with_cache(LdbcSize::K1, None);
+    let expected: Vec<RunMetrics> = keys.iter().map(|k| serial.metrics_for(k)).collect();
+
+    // Hammer one shared context from several threads at once; every
+    // thread asks for the full key set.
+    let parallel = Experiments::with_cache(LdbcSize::K1, None);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| parallel.prewarm(keys.iter().cloned()));
+        }
+    });
+
+    // Each distinct key was simulated exactly once despite 4 requesters...
+    assert_eq!(parallel.simulations_executed(), keys.len());
+    assert_eq!(parallel.cached_runs(), keys.len());
+    // ...and every result matches the serial run bit for bit.
+    for (key, want) in keys.iter().zip(&expected) {
+        let got = parallel.metrics_for(key);
+        assert_eq!(&got, want, "parallel result diverged for {key:?}");
+        assert_eq!(
+            got.total_cycles.to_bits(),
+            want.total_cycles.to_bits(),
+            "cycle count not bit-identical for {key:?}"
+        );
+    }
+}
+
+#[test]
+fn prewarm_deduplicates_keys() {
+    let ctx = Experiments::with_cache(LdbcSize::K1, None);
+    let key = RunKey::new("DC", PimMode::Baseline, LdbcSize::K1);
+    ctx.prewarm(vec![key.clone(), key.clone(), key.clone()]);
+    assert_eq!(ctx.simulations_executed(), 1);
+}
+
+#[test]
+fn disk_cache_round_trips_across_contexts() {
+    let dir = tmp_dir("roundtrip");
+    let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+
+    // First context simulates and persists.
+    let first = Experiments::with_cache(LdbcSize::K1, Some(DiskCache::at(&dir)));
+    let computed = first.metrics_for(&key);
+    assert_eq!(first.simulations_executed(), 1);
+    assert_eq!(first.disk_cache_hits(), 0);
+    drop(first);
+
+    // A fresh context over the same directory replays from disk: zero new
+    // simulations, equal metrics.
+    let second = Experiments::with_cache(LdbcSize::K1, Some(DiskCache::at(&dir)));
+    let replayed = second.metrics_for(&key);
+    assert_eq!(
+        second.simulations_executed(),
+        0,
+        "warm cache must not re-simulate"
+    );
+    assert_eq!(second.disk_cache_hits(), 1);
+    assert_eq!(replayed, computed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_cache_misses_on_different_run_parameters() {
+    let dir = tmp_dir("params");
+    let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+
+    let first = Experiments::with_cache(LdbcSize::K1, Some(DiskCache::at(&dir)));
+    first.metrics_for(&key);
+    drop(first);
+
+    // Same kernel/mode/size but a different FU count resolves to a
+    // different config, so the persisted entry must not be reused.
+    let second = Experiments::with_cache(LdbcSize::K1, Some(DiskCache::at(&dir)));
+    second.metrics_for(&key.clone().with_fus(1));
+    assert_eq!(second.simulations_executed(), 1);
+    assert_eq!(second.disk_cache_hits(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn from_env_rejects_unknown_scale() {
+    // Sole test in this binary touching GRAPHPIM_SCALE, so no env races.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    std::env::set_var("GRAPHPIM_SCALE", "10000");
+    let result = std::panic::catch_unwind(|| Experiments::from_env().size());
+    let message = *result
+        .expect_err("typo'd scale must panic, not fall back to a default")
+        .downcast::<String>()
+        .expect("panic payload");
+    assert!(
+        message.contains("1k, 10k, 100k, 1m"),
+        "error must list valid values: {message}"
+    );
+
+    // Case-insensitive accept path.
+    std::env::set_var("GRAPHPIM_SCALE", "1K");
+    let size = std::panic::catch_unwind(|| Experiments::from_env().size())
+        .expect("uppercase scale is valid");
+    assert_eq!(size, LdbcSize::K1);
+
+    std::env::remove_var("GRAPHPIM_SCALE");
+    std::panic::set_hook(prev_hook);
+}

@@ -74,8 +74,7 @@ impl GraphBuilder {
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
-        self.edges
-            .extend(iter.into_iter().map(|(u, v)| (u, v, 1)));
+        self.edges.extend(iter.into_iter().map(|(u, v)| (u, v, 1)));
         self
     }
 

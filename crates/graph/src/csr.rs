@@ -161,10 +161,7 @@ impl CsrGraph {
         let offsets = in_deg.clone();
         let mut cursor = in_deg;
         let mut neighbors = vec![0 as VertexId; self.edge_count()];
-        let mut weights = self
-            .weights
-            .as_ref()
-            .map(|_| vec![0u32; self.edge_count()]);
+        let mut weights = self.weights.as_ref().map(|_| vec![0u32; self.edge_count()]);
         for u in 0..n as VertexId {
             for e in self.edge_range(u) {
                 let t = self.neighbors[e as usize] as usize;
@@ -186,10 +183,7 @@ impl CsrGraph {
     /// spirit: it scales linearly with vertices and edges.
     pub fn footprint_bytes(&self) -> u64 {
         let structure = (self.offsets.len() * 8 + self.neighbors.len() * 4) as u64;
-        let weights = self
-            .weights
-            .as_ref()
-            .map_or(0, |w| (w.len() * 4) as u64);
+        let weights = self.weights.as_ref().map_or(0, |w| (w.len() * 4) as u64);
         let property = self.vertex_count() as u64 * 8;
         structure + weights + property
     }

@@ -110,12 +110,8 @@ impl GraphSpec {
     pub fn build(self) -> CsrGraph {
         let base = match self.kind {
             GraphKind::Ldbc(size) => ldbc::generate(size, self.seed),
-            GraphKind::Rmat { scale, edge_factor } => {
-                rmat::generate(scale, edge_factor, self.seed)
-            }
-            GraphKind::Uniform { vertices, edges } => {
-                uniform::generate(vertices, edges, self.seed)
-            }
+            GraphKind::Rmat { scale, edge_factor } => rmat::generate(scale, edge_factor, self.seed),
+            GraphKind::Uniform { vertices, edges } => uniform::generate(vertices, edges, self.seed),
         };
         if self.weighted {
             attach_weights(base, self.seed)

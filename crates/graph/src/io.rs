@@ -83,7 +83,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# vertices={} edges={}", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# vertices={} edges={}",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for v in 0..g.vertex_count() as VertexId {
         for (&t, e) in g.neighbors(v).iter().zip(g.edge_range(v)) {
             if g.is_weighted() {
@@ -103,7 +108,11 @@ mod tests {
 
     #[test]
     fn round_trip_unweighted() {
-        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let back = read_edge_list(Cursor::new(buf)).unwrap();

@@ -23,12 +23,7 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if `threads == 0` or `thread >= threads`.
-    pub fn owned(
-        self,
-        vertex_count: usize,
-        thread: usize,
-        threads: usize,
-    ) -> Vec<VertexId> {
+    pub fn owned(self, vertex_count: usize, thread: usize, threads: usize) -> Vec<VertexId> {
         assert!(threads > 0, "need at least one thread");
         assert!(thread < threads, "thread index out of range");
         match self {

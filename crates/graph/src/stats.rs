@@ -36,9 +36,7 @@ impl GraphStats {
         for (_, t) in g.iter_edges() {
             has_in[t as usize] = true;
         }
-        let isolated = (0..n)
-            .filter(|&v| degrees[v] == 0 && !has_in[v])
-            .count();
+        let isolated = (0..n).filter(|&v| degrees[v] == 0 && !has_in[v]).count();
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let head = (n / 100).max(1).min(n.max(1));
@@ -98,7 +96,11 @@ mod tests {
 
     #[test]
     fn stats_of_small_graph() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).edge(1, 2).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .build();
         let s = GraphStats::compute(&g);
         assert_eq!(s.vertices, 4);
         assert_eq!(s.edges, 3);

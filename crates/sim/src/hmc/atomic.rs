@@ -250,7 +250,11 @@ impl HmcAtomicOp {
             }
         }
         AtomicResponse {
-            original: if self.has_return() { Some(original) } else { None },
+            original: if self.has_return() {
+                Some(original)
+            } else {
+                None
+            },
             flag,
         }
     }
@@ -379,7 +383,11 @@ mod tests {
         let mut mem = 0u128;
         // -1 (as i128) is not greater than 0.
         let minus_one = (-1i128) as u128;
-        assert!(!HmcAtomicOp::CasIfGreater16.execute(&mut mem, minus_one).flag);
+        assert!(
+            !HmcAtomicOp::CasIfGreater16
+                .execute(&mut mem, minus_one)
+                .flag
+        );
         assert!(HmcAtomicOp::CasIfLess16.execute(&mut mem, minus_one).flag);
         assert_eq!(mem, minus_one);
     }

@@ -144,7 +144,7 @@ impl HmcCube {
             column_cycles: config.t_cl_ns * ns,
             rcd_cycles: config.t_cl_ns * ns, // tRCD = tCL (Table IV)
             burst_cycles: config.t_ccd_ns * ns,
-            precharge_cycles: config.t_cl_ns * ns,    // tRP = tCL (Table IV)
+            precharge_cycles: config.t_cl_ns * ns, // tRP = tCL (Table IV)
             write_recovery_cycles: (config.t_ras_ns - config.t_cl_ns) * ns,
             fu_op_cycles: config.fu_op_ns * ns,
             vaults: config.vaults,
@@ -256,8 +256,7 @@ impl HmcCube {
         // Vault request buffers are finite, so a bank's visible queue is
         // capped: this bounds both real burst queueing and any residual
         // cross-core timestamp skew.
-        let bank_start = self
-            .bank_busy[bank_index]
+        let bank_start = self.bank_busy[bank_index]
             .min(at_vault + MAX_BANK_QUEUE_CYCLES)
             .max(at_vault);
         let bank_wait = bank_start - at_vault;

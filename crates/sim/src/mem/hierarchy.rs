@@ -233,14 +233,7 @@ impl CacheHierarchy {
             l2.misses += m;
         }
         let (h, m) = self.l3.hit_miss();
-        (
-            l1,
-            l2,
-            LevelCounts {
-                hits: h,
-                misses: m,
-            },
-        )
+        (l1, l2, LevelCounts { hits: h, misses: m })
     }
 
     /// Clears all hit/miss counters.
@@ -275,12 +268,7 @@ impl CacheHierarchy {
 
     /// Invalidates every remote private copy of `line`; dirty remote data
     /// merges into the L3 copy (or memory if L3 no longer holds it).
-    fn strip_remote_sharers(
-        &mut self,
-        core: usize,
-        line: Addr,
-        writebacks: &mut Vec<Addr>,
-    ) -> u32 {
+    fn strip_remote_sharers(&mut self, core: usize, line: Addr, writebacks: &mut Vec<Addr>) -> u32 {
         let Some(mask) = self.sharers.get(&line).copied() else {
             return 0;
         };
@@ -322,13 +310,7 @@ impl CacheHierarchy {
     }
 
     /// Fills `line` into L2 and L1 (already resident in L3).
-    fn fill_private(
-        &mut self,
-        core: usize,
-        line: Addr,
-        write: bool,
-        writebacks: &mut Vec<Addr>,
-    ) {
+    fn fill_private(&mut self, core: usize, line: Addr, write: bool, writebacks: &mut Vec<Addr>) {
         if let Some(victim) = self.l2[core].insert(line) {
             // Inclusion: purge the victim from this core's L1.
             let l1_dirty = self.l1[core].invalidate(victim.addr).unwrap_or(false);
@@ -462,7 +444,7 @@ mod tests {
     fn dirty_eviction_reaches_memory() {
         let mut h = hierarchy();
         h.access(0, 0, true); // dirty line 0
-        // Evict through capacity pressure: walk far beyond L3 capacity.
+                              // Evict through capacity pressure: walk far beyond L3 capacity.
         let mut saw_writeback = false;
         for i in 1..2048u64 {
             let out = h.access(0, i * 64, false);

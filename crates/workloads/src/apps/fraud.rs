@@ -67,10 +67,10 @@ impl FraudDetection {
             }
             let mut bfs = Bfs::new(seed);
             bfs.run(graph, fw);
-            for v in 0..n {
+            for (v, m) in member.iter_mut().enumerate() {
                 if let Some(d) = bfs.depth(v as VertexId) {
                     if d <= 2 {
-                        member[v] = true;
+                        *m = true;
                     }
                 }
             }

@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn does_not_recommend_existing_follows() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(0, 2).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build();
         let mut sink = CollectTrace::default();
         let mut rs = Recommender::new(vec![0], 5);
         let mut fw = Framework::new(1, &mut sink);

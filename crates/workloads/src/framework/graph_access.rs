@@ -76,10 +76,7 @@ impl<'g> GraphAccess<'g> {
         for (&n, e) in self.graph.neighbors(v).iter().zip(range) {
             fw.load(self.neighbors_base + e * 4, false);
             // Vertex-object lookup: address depends on the neighbor id.
-            fw.load(
-                self.vertex_table_base + n as u64 * VERTEX_ENTRY_BYTES,
-                true,
-            );
+            fw.load(self.vertex_table_base + n as u64 * VERTEX_ENTRY_BYTES, true);
             fw.compute(NEIGHBOR_OVERHEAD_INSTRS);
             visit(fw, n, e);
         }
@@ -108,7 +105,11 @@ mod tests {
     use graphpim_sim::trace::TraceOp;
 
     fn graph() -> CsrGraph {
-        GraphBuilder::new(3).edge(0, 1).edge(0, 2).edge(1, 2).build()
+        GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
     }
 
     #[test]
@@ -146,9 +147,7 @@ mod tests {
 
     #[test]
     fn consecutive_neighbors_share_lines() {
-        let g = GraphBuilder::new(40)
-            .edges((1..40).map(|i| (0, i)))
-            .build();
+        let g = GraphBuilder::new(40).edges((1..40).map(|i| (0, i))).build();
         let mut sink = CollectTrace::default();
         let mut addrs = Vec::new();
         {

@@ -107,8 +107,7 @@ impl Kernel for Bc {
                             fw.compute(3);
                             // Claim attempt: the CAS is the visited check;
                             // the returned original is the neighbor depth.
-                            let (won, _) =
-                                dist.cas_fetch(fw, nb as usize, u64::MAX, depth + 1);
+                            let (won, _) = dist.cas_fetch(fw, nb as usize, u64::MAX, depth + 1);
                             fw.branch(false, true);
                             if won {
                                 next.push(nb);
@@ -193,12 +192,12 @@ mod tests {
             .build();
         let bc = run_bc(&g, 4, 2);
         let oracle = reference::betweenness(&g, bc.sources());
-        for v in 0..6 {
+        for (v, &want) in oracle.iter().enumerate() {
             assert!(
-                (bc.centrality()[v] - oracle[v]).abs() < 1e-9,
+                (bc.centrality()[v] - want).abs() < 1e-9,
                 "vertex {v}: {} vs {}",
                 bc.centrality()[v],
-                oracle[v]
+                want
             );
         }
     }
@@ -208,12 +207,12 @@ mod tests {
         let g = GraphSpec::uniform(60, 300).seed(31).build();
         let bc = run_bc(&g, 3, 4);
         let oracle = reference::betweenness(&g, bc.sources());
-        for v in 0..60 {
+        for (v, &want) in oracle.iter().enumerate() {
             assert!(
-                (bc.centrality()[v] - oracle[v]).abs() < 1e-6,
+                (bc.centrality()[v] - want).abs() < 1e-6,
                 "vertex {v}: {} vs {}",
                 bc.centrality()[v],
-                oracle[v]
+                want
             );
         }
     }

@@ -188,7 +188,11 @@ mod tests {
 
     #[test]
     fn barriers_separate_levels() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
         let (_, sink) = run_bfs(&g, 0, 2);
         // 3 levels + final barrier(s).
         assert!(sink.barriers >= 3, "barriers: {}", sink.barriers);

@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn two_components() {
-        let g = GraphBuilder::new(5).edge(0, 1).edge(1, 2).edge(3, 4).build();
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(3, 4)
+            .build();
         let cc = run_ccomp(&g, 2);
         assert_matches_oracle(&g, &cc);
         assert_eq!(cc.labels()[3], 3);

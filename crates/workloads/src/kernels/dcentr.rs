@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn one_atomic_per_edge() {
-        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
         let (_, sink) = run_dc(&g, 2);
         let atomics: usize = (0..2)
             .map(|t| {

@@ -73,7 +73,10 @@ impl Kernel for Dfs {
                 let mut stack = vec![root];
                 stack_mem.push(fw, root);
                 while let Some(v) = stack.pop() {
-                    fw.load(stack_mem.addr(stack.len() as u64 as usize % n.max(1)), false);
+                    fw.load(
+                        stack_mem.addr(stack.len() as u64 as usize % n.max(1)),
+                        false,
+                    );
                     fw.compute(2);
                     access.degree(fw, v);
                     access.for_each_neighbor(fw, v, |fw, nb, _| {
@@ -133,7 +136,11 @@ mod tests {
         // 0 -> 1 -> 2 chain plus 0 -> 3: after visiting 1 the chain to 2
         // must complete before 3 (stack discipline; neighbors pushed in
         // order, popped LIFO).
-        let g = GraphBuilder::new(4).edge(0, 1).edge(0, 3).edge(1, 2).build();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 3)
+            .edge(1, 2)
+            .build();
         let dfs = run_dfs(&g, 1);
         let order = dfs.visit_order();
         let pos = |v: u32| order.iter().position(|&x| x == v).expect("visited");

@@ -75,7 +75,10 @@ impl Kernel for GCons {
                 let deg = dynamic.out_degree(u);
                 let probes = (deg.max(1) as f64).log2().ceil() as u32 + 1;
                 for p in 0..probes {
-                    fw.load(adjacency_base + (u as u64 * 64 + p as u64 * 8) % (1 << 30), true);
+                    fw.load(
+                        adjacency_base + (u as u64 * 64 + p as u64 * 8) % (1 << 30),
+                        true,
+                    );
                     fw.branch(false, true);
                 }
                 let inserted = dynamic.add_edge(u, v);

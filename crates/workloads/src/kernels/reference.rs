@@ -236,7 +236,11 @@ mod tests {
     use graphpim_graph::GraphBuilder;
 
     fn path4() -> CsrGraph {
-        GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(2, 3).build()
+        GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build()
     }
 
     #[test]
@@ -283,7 +287,11 @@ mod tests {
 
     #[test]
     fn triangle_counts_directed_edges_as_undirected() {
-        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
         assert_eq!(triangle_count(&g), 1);
     }
 
@@ -315,7 +323,10 @@ mod tests {
 
     #[test]
     fn betweenness_middle_of_path_highest() {
-        let g = GraphBuilder::new(3).undirected().edges(vec![(0, 1), (1, 2)]).build();
+        let g = GraphBuilder::new(3)
+            .undirected()
+            .edges(vec![(0, 1), (1, 2)])
+            .build();
         let bc = betweenness(&g, &[0, 1, 2]);
         assert!(bc[1] > bc[0]);
         assert!(bc[1] > bc[2]);

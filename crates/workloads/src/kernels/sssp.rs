@@ -238,11 +238,27 @@ mod translated_tests {
         let ops = sink.thread_ops(0);
         let less = ops
             .iter()
-            .filter(|o| matches!(o, TraceOp::Atomic { op: HmcAtomicOp::CasIfLess16, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    TraceOp::Atomic {
+                        op: HmcAtomicOp::CasIfLess16,
+                        ..
+                    }
+                )
+            })
             .count();
         let equal = ops
             .iter()
-            .filter(|o| matches!(o, TraceOp::Atomic { op: HmcAtomicOp::CasIfEqual8, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    TraceOp::Atomic {
+                        op: HmcAtomicOp::CasIfEqual8,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(less > 0, "translated idiom must use CAS if less");
         assert_eq!(equal, 0, "no retry-loop CAS remains");

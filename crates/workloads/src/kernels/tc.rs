@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn directed_cycle_has_one_triangle() {
-        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
         let tc = run_tc(&g, 1, 1);
         assert_eq!(tc.total(), 1);
     }

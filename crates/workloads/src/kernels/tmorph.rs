@@ -131,9 +131,7 @@ mod tests {
     #[test]
     fn star_gets_closed() {
         // A star has wedges through the hub; closing adds leaf-leaf edges.
-        let g = GraphBuilder::new(5)
-            .edges((1..5).map(|i| (0, i)))
-            .build();
+        let g = GraphBuilder::new(5).edges((1..5).map(|i| (0, i))).build();
         let tm = run_tmorph(&g);
         assert!(tm.closed_wedges() > 0);
     }

@@ -21,8 +21,14 @@ fn main() {
     let structure = fw.structure_malloc(1024);
     let property = fw.pmr_malloc(1024); // <- the paper's pmr_malloc
     println!("meta      @ {meta:#016x} -> {:?}", Region::of(meta));
-    println!("structure @ {structure:#016x} -> {:?}", Region::of(structure));
-    println!("property  @ {property:#016x} -> {:?} (PIM memory region)", Region::of(property));
+    println!(
+        "structure @ {structure:#016x} -> {:?}",
+        Region::of(structure)
+    );
+    println!(
+        "property  @ {property:#016x} -> {:?} (PIM memory region)",
+        Region::of(property)
+    );
 
     // A property array lives in the PMR; its atomic methods map onto
     // HMC commands (Table II).

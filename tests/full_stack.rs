@@ -10,9 +10,7 @@ use graphpim::metrics::RunMetrics;
 use graphpim::system::SystemSim;
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::CsrGraph;
-use graphpim_workloads::kernels::{
-    by_name, evaluation_set, full_set, Kernel, KernelParams,
-};
+use graphpim_workloads::kernels::{by_name, evaluation_set, full_set, Kernel, KernelParams};
 
 fn test_graph() -> CsrGraph {
     // Big enough that properties miss the tiny config's 16 KB L3.
@@ -29,7 +27,11 @@ fn every_kernel_runs_under_every_mode() {
     let weighted = GraphSpec::ldbc(LdbcSize::K1).seed(3).weighted().build();
     for mut kernel in full_set(KernelParams::default()) {
         for mode in PimMode::ALL {
-            let g = if kernel.name() == "SSSP" { &weighted } else { &graph };
+            let g = if kernel.name() == "SSSP" {
+                &weighted
+            } else {
+                &graph
+            };
             let m = run(kernel.as_mut(), g, mode);
             assert!(
                 m.total_cycles > 0.0 && m.core.instructions > 0,
@@ -41,7 +43,6 @@ fn every_kernel_runs_under_every_mode() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn algorithm_results_are_timing_independent() {
     let graph = test_graph();
@@ -57,7 +58,6 @@ fn algorithm_results_are_timing_independent() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn graphpim_speeds_up_atomic_dense_kernels() {
     let graph = test_graph();
@@ -75,7 +75,6 @@ fn graphpim_speeds_up_atomic_dense_kernels() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn low_offload_kernels_stay_flat() {
     let graph = test_graph();
@@ -104,7 +103,6 @@ fn low_offload_kernels_stay_flat() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn offloaded_atomics_accounting_is_consistent() {
     let graph = test_graph();
@@ -124,7 +122,6 @@ fn offloaded_atomics_accounting_is_consistent() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn upei_splits_candidates_between_host_and_memory() {
     let graph = test_graph();
@@ -137,7 +134,6 @@ fn upei_splits_candidates_between_host_and_memory() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn barrier_consistency_posted_atomics_complete() {
     // DC uses posted atomic adds; final cycle count must cover the last
@@ -150,7 +146,6 @@ fn barrier_consistency_posted_atomics_complete() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn fp_extension_gates_prank_offloading() {
     let graph = test_graph();
@@ -172,7 +167,6 @@ fn fp_extension_gates_prank_offloading() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn bandwidth_savings_on_missing_workloads() {
     let graph = test_graph();
@@ -194,7 +188,6 @@ fn bandwidth_savings_on_missing_workloads() {
 }
 
 #[test]
-
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
 fn determinism_end_to_end() {
     let graph = test_graph();

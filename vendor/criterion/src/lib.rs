@@ -1,0 +1,203 @@
+//! Offline mini implementation of the `criterion` subset this workspace's
+//! benches use: benchmark groups, `bench_function` / `bench_with_input`,
+//! `iter` / `iter_batched`, throughput annotations, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warmup, then
+//! `sample_size` timed samples — and results are printed as
+//! `name  time: [min mean max]` lines. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box(x)` works as in the real crate.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// How work per iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing policy for `iter_batched` (ignored by this harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batched inputs.
+    SmallInput,
+    /// Large batched inputs.
+    LargeInput,
+}
+
+/// A `group/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(id, &bencher.samples);
+        self
+    }
+
+    /// Times `f` with a fixed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (reports are emitted eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}  (no samples)", self.name);
+            return;
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {:.3} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}  time: [{:?} {:?} {:?}]{throughput}",
+            self.name, min, mean, max
+        );
+    }
+}
+
+/// Passed to benchmark closures; records timed samples.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` after one warmup call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh `setup()` inputs (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! The [`Strategy`] trait and the combinators the workspace tests use.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `branches`; must be non-empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_below(self.branches.len() as u64) as usize;
+        self.branches[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let offset = (rng.next_u128() % span) as $t;
+                    self.start.wrapping_add(offset)
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_u128() % (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` compiles in
+//! an environment without crates.io access. No serialization machinery is
+//! provided — the workspace never calls it (the experiment run cache uses
+//! hand-rolled JSON in `graphpim::experiments::cache`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
