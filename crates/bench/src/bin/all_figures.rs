@@ -6,6 +6,11 @@
 //! (`GRAPHPIM_THREADS` controls the width), and finished runs persist in
 //! the on-disk cache (`GRAPHPIM_CACHE_DIR` / `GRAPHPIM_NO_CACHE`), so a
 //! warm second invocation executes no new simulations.
+//!
+//! Observability: `GRAPHPIM_TRACE_DIR=<dir>` writes one JSONL counter
+//! trace per fresh simulation; an engine-profiling summary (per-run wall
+//! time, disk-cache outcomes, pool utilization) goes to stderr at the
+//! end, and `GRAPHPIM_PROFILE_JSON=<file>` dumps it as JSON.
 
 use graphpim::experiments::*;
 
@@ -78,4 +83,14 @@ fn main() {
         ctx.disk_cache_hits(),
         ctx.cached_runs()
     );
+
+    // Engine profiling summary (stderr, so figure output stays clean).
+    let profile = ctx.profile();
+    eprint!("{}", profile.summary());
+    if let Some(path) = std::env::var_os("GRAPHPIM_PROFILE_JSON") {
+        match std::fs::write(&path, profile.to_json()) {
+            Ok(()) => eprintln!("[profile] written to {}", path.to_string_lossy()),
+            Err(e) => eprintln!("[profile] cannot write {}: {e}", path.to_string_lossy()),
+        }
+    }
 }

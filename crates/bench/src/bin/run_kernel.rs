@@ -18,10 +18,14 @@
 //! --hmc-share F     hybrid deployments: property share in HMC (0..1)
 //! --seed N          graph generator seed              (default: 7)
 //! ```
+//!
+//! With `GRAPHPIM_TRACE_DIR=<dir>` set, each run additionally writes a
+//! JSONL counter trace to `<dir>/<kernel>-<mode>.jsonl`.
 
 use graphpim::config::{PimMode, SystemConfig};
 use graphpim::experiments::pick_root;
 use graphpim::system::SystemSim;
+use graphpim::telemetry::TraceExporter;
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::CsrGraph;
 use graphpim_workloads::kernels::{by_name, KernelParams};
@@ -162,7 +166,8 @@ fn main() {
         if !opts.fp {
             config = config.without_fp_extension();
         }
-        let m = SystemSim::run_kernel(kernel.as_mut(), &graph, &config);
+        let trace = TraceExporter::from_env(&format!("{}-{}", opts.kernel, mode.label()));
+        let m = SystemSim::run_kernel_traced(kernel.as_mut(), &graph, &config, trace);
         if mode == PimMode::Baseline {
             baseline_cycles = Some(m.total_cycles);
         }

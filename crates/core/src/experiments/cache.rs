@@ -31,7 +31,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cache format + simulator-behavior version. Bump on any change to the
 /// timing models, metric definitions, or this file format.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `HmcStats` gained `atomics_by_category`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a hash over the given parts (with separators, so part boundaries
 /// matter). Used as the config fingerprint.
@@ -46,6 +48,19 @@ pub fn fingerprint(parts: &[&str]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Result of a [`DiskCache::lookup`].
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// A valid entry for this (key, fingerprint) pair. Boxed: `Hit` is
+    /// ~400 bytes while the other variants are empty.
+    Hit(Box<RunMetrics>),
+    /// An entry for this run exists but is unusable: written under a
+    /// different fingerprint (config/env/schema change) or unparseable.
+    Stale,
+    /// Never cached.
+    Miss,
 }
 
 /// A directory of cached [`RunMetrics`], one JSON file per
@@ -81,9 +96,52 @@ impl DiskCache {
 
     /// Loads the metrics cached for `key` under `fingerprint`, if any.
     pub fn load(&self, key: &RunKey, fingerprint: u64) -> Option<RunMetrics> {
-        let text = std::fs::read_to_string(self.path(key, fingerprint)).ok()?;
-        let value = json::parse(&text)?;
-        metrics_from_json(&value, key)
+        match self.lookup(key, fingerprint) {
+            Lookup::Hit(metrics) => Some(*metrics),
+            Lookup::Stale | Lookup::Miss => None,
+        }
+    }
+
+    /// Like [`DiskCache::load`], but distinguishes a genuinely absent
+    /// entry from a stale one (present but written under a different
+    /// fingerprint or an older schema) — the engine profiler reports the
+    /// two separately.
+    pub fn lookup(&self, key: &RunKey, fingerprint: u64) -> Lookup {
+        match std::fs::read_to_string(self.path(key, fingerprint)) {
+            Ok(text) => match json::parse(&text).and_then(|v| metrics_from_json(&v, key)) {
+                Some(metrics) => Lookup::Hit(Box::new(metrics)),
+                // The exact file exists but no longer parses: written by
+                // an older schema, or corrupt.
+                None => Lookup::Stale,
+            },
+            Err(_) => {
+                if self.has_sibling_entry(&key.file_stem()) {
+                    // Same run, different fingerprint: a config or schema
+                    // change invalidated what we had.
+                    Lookup::Stale
+                } else {
+                    Lookup::Miss
+                }
+            }
+        }
+    }
+
+    /// Whether any `{stem}-{16-hex-fingerprint}.json` entry exists.
+    /// Strict about the suffix shape so `dc-...-bw10` never matches a
+    /// `dc-...-bw10-plain` entry.
+    fn has_sibling_entry(&self, stem: &str) -> bool {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return false;
+        };
+        entries.filter_map(|e| e.ok()).any(|entry| {
+            entry
+                .file_name()
+                .to_str()
+                .and_then(|name| name.strip_prefix(stem))
+                .and_then(|rest| rest.strip_prefix('-'))
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .is_some_and(|fp| fp.len() == 16 && fp.bytes().all(|b| b.is_ascii_hexdigit()))
+        })
     }
 
     /// Stores `metrics` for `key` under `fingerprint`. Atomic: written to
@@ -155,7 +213,7 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
          \"bank_wait_cycles\": {:?}, \"bank_wait_max\": {:?}, \"bank_wait_long\": {}, \
          \"fu_wait_cycles\": {:?}, \"fu_busy_cycles\": {:?}, \
          \"dram_activations\": {}, \"dram_accesses\": {}, \
-         \"atomics_per_vault\": [{}]}},",
+         \"atomics_per_vault\": [{}], \"atomics_by_category\": [{}]}},",
         m.hmc.request_flits_read,
         m.hmc.request_flits_write,
         m.hmc.request_flits_atomic,
@@ -174,6 +232,12 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
         m.hmc.dram_activations,
         m.hmc.dram_accesses,
         vaults.join(", "),
+        m.hmc
+            .atomics_by_category
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     let _ = writeln!(s, "  \"offload_candidates\": {},", m.offload_candidates);
     let _ = writeln!(s, "  \"candidate_cache_hits\": {},", m.candidate_cache_hits);
@@ -240,14 +304,21 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
             fu_busy_cycles: o.get("fu_busy_cycles")?.as_f64()?,
             dram_activations: o.get("dram_activations")?.as_u64()?,
             dram_accesses: o.get("dram_accesses")?.as_u64()?,
-            atomics_per_vault: top
-                .get("hmc")?
-                .as_object()?
+            atomics_per_vault: o
                 .get("atomics_per_vault")?
                 .as_array()?
                 .iter()
                 .map(|v| v.as_u64())
                 .collect::<Option<Vec<u64>>>()?,
+            atomics_by_category: {
+                let cats = o
+                    .get("atomics_by_category")?
+                    .as_array()?
+                    .iter()
+                    .map(|v| v.as_u64())
+                    .collect::<Option<Vec<u64>>>()?;
+                <[u64; 5]>::try_from(cats).ok()?
+            },
         }
     };
     Some(RunMetrics {
@@ -270,10 +341,10 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
     })
 }
 
-/// Minimal JSON reader for the cache files. Numbers are kept as raw
-/// source tokens and converted at field-extraction time, so `u64` and
-/// `f64` both round-trip exactly.
-mod json {
+/// Minimal JSON reader for the cache files and the trace exporter.
+/// Numbers are kept as raw source tokens and converted at
+/// field-extraction time, so `u64` and `f64` both round-trip exactly.
+pub(crate) mod json {
     /// One parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
@@ -527,6 +598,7 @@ mod tests {
             hmc: HmcStats {
                 atomics: 7,
                 atomics_per_vault: vec![1, 2, 3, 1],
+                atomics_by_category: [4, 0, 1, 2, 0],
                 fu_wait_cycles: 1.5e-9,
                 ..HmcStats::default()
             },
@@ -588,6 +660,36 @@ mod tests {
         let path = cache.path(&key(), 4);
         std::fs::write(&path, "{\"schema\": 1, \"truncated").unwrap();
         assert!(cache.load(&key(), 4).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn lookup_distinguishes_stale_from_miss() {
+        let cache = tmp_cache("lookup");
+        // Nothing cached yet: a true miss.
+        assert!(matches!(cache.lookup(&key(), 1), Lookup::Miss));
+        cache.store(&key(), 1, &sample_metrics());
+        assert!(matches!(cache.lookup(&key(), 1), Lookup::Hit(_)));
+        // Same run under a different fingerprint: stale, not miss.
+        assert!(matches!(cache.lookup(&key(), 2), Lookup::Stale));
+        // A different run is still a miss.
+        let other = RunKey::new("BFS", PimMode::GraphPim, LdbcSize::K1);
+        assert!(matches!(cache.lookup(&other, 1), Lookup::Miss));
+        // A corrupt exact entry is stale.
+        std::fs::write(cache.path(&key(), 1), "not json").unwrap();
+        assert!(matches!(cache.lookup(&key(), 1), Lookup::Stale));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn sibling_detection_is_not_fooled_by_stem_prefixes() {
+        let cache = tmp_cache("siblings");
+        // `-plain` keys share a textual prefix with their plain-atomics-off
+        // counterparts; a cached plain entry must not mark the other stale.
+        let plain = key().with_plain_atomics();
+        cache.store(&plain, 3, &sample_metrics());
+        assert!(matches!(cache.lookup(&key(), 3), Lookup::Miss));
+        assert!(matches!(cache.lookup(&plain, 9), Lookup::Stale));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

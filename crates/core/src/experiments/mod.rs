@@ -25,6 +25,10 @@
 //!   (default `<tmpdir>/graphpim-run-cache`).
 //! * `GRAPHPIM_NO_CACHE=1` — disable the persistent run cache.
 //! * `GRAPHPIM_VERBOSE=1` — log each simulation as it starts.
+//! * `GRAPHPIM_TRACE_DIR=<dir>` — write one JSONL counter trace per
+//!   freshly simulated run (see [`crate::telemetry`]). Disk-cache hits
+//!   produce no trace; combine with `GRAPHPIM_NO_CACHE=1` to force
+//!   traces for every run.
 
 pub mod ablation;
 pub mod cache;
@@ -42,22 +46,44 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod hybrid;
+pub mod profile;
 pub mod tables;
 
 pub use cache::DiskCache;
+pub use profile::EngineProfile;
 
 use crate::config::{PimMode, SystemConfig};
 use crate::metrics::RunMetrics;
 use crate::system::SystemSim;
+use crate::telemetry::TraceExporter;
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
 use graphpim_workloads::kernels::{by_name, KernelParams};
+use profile::{PrewarmRecord, RunSource};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Seed for all generated input graphs (part of the cache fingerprint).
 const GRAPH_SEED: u64 = 7;
+
+/// Environment knobs that change simulation *results* (not just where or
+/// how fast they are computed). Their values are snapshotted into the
+/// cache fingerprint at context creation, so flipping one forces a
+/// disk-cache miss instead of silently replaying stale results.
+const RESULT_ENV_KNOBS: &[&str] = &["GRAPHPIM_SCALE"];
+
+/// Snapshot of [`RESULT_ENV_KNOBS`] for the cache fingerprint.
+fn result_env_fingerprint() -> String {
+    let mut s = String::new();
+    for knob in RESULT_ENV_KNOBS {
+        use std::fmt::Write as _;
+        let _ = write!(s, "{knob}={:?};", std::env::var(knob).ok());
+    }
+    s
+}
 
 /// A memoization key for one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -142,6 +168,11 @@ pub struct Experiments {
     verbose: bool,
     simulated: AtomicUsize,
     disk_hits: AtomicUsize,
+    /// Snapshot of [`RESULT_ENV_KNOBS`], folded into every fingerprint.
+    env_fingerprint: String,
+    /// Where freshly simulated runs write JSONL counter traces.
+    trace_dir: Option<PathBuf>,
+    profile: Mutex<EngineProfile>,
 }
 
 impl Experiments {
@@ -165,7 +196,8 @@ impl Experiments {
     }
 
     /// Context at an explicit scale with an explicit disk cache
-    /// (`None` = in-memory memoization only).
+    /// (`None` = in-memory memoization only). Tracing is taken from
+    /// `GRAPHPIM_TRACE_DIR` (off when unset).
     pub fn with_cache(size: LdbcSize, disk: Option<DiskCache>) -> Self {
         Experiments {
             size,
@@ -175,7 +207,29 @@ impl Experiments {
             verbose: std::env::var("GRAPHPIM_VERBOSE").is_ok(),
             simulated: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
+            env_fingerprint: result_env_fingerprint(),
+            trace_dir: std::env::var_os("GRAPHPIM_TRACE_DIR").map(PathBuf::from),
+            profile: Mutex::new(EngineProfile::default()),
         }
+    }
+
+    /// Same context with an explicit trace directory: every freshly
+    /// simulated run writes `<dir>/<key stem>.jsonl`. Tracing is
+    /// observation-only — metrics are bit-identical with it on or off.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// The trace directory, if tracing is enabled.
+    pub fn trace_dir(&self) -> Option<&std::path::Path> {
+        self.trace_dir.as_deref()
+    }
+
+    /// A snapshot of the engine profile accumulated so far (per-run wall
+    /// times, disk-cache outcomes, prewarm pool utilization).
+    pub fn profile(&self) -> EngineProfile {
+        self.profile.lock().unwrap().clone()
     }
 
     /// The context's default input size.
@@ -266,20 +320,46 @@ impl Experiments {
             .into_iter()
             .filter(|key| seen.insert(key.clone()))
             .collect();
+        if work.is_empty() {
+            return;
+        }
+        let threads = worker_threads().min(work.len());
+        let busy_ns = AtomicU64::new(0);
+        let wall = Instant::now();
         parallel_map(&work, |key| {
+            let start = Instant::now();
             self.metrics_for(key);
+            busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        });
+        self.profile.lock().unwrap().record_prewarm(PrewarmRecord {
+            keys: work.len(),
+            threads,
+            wall_seconds: wall.elapsed().as_secs_f64(),
+            busy_seconds: busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
         });
     }
 
     fn compute(&self, key: &RunKey) -> RunMetrics {
+        let start = Instant::now();
         let fingerprint = self.fingerprint(key);
         if let Some(disk) = &self.disk {
-            if let Some(hit) = disk.load(key, fingerprint) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                if self.verbose {
-                    eprintln!("[disk-hit] {}", key.file_stem());
+            match disk.lookup(key, fingerprint) {
+                cache::Lookup::Hit(hit) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    if self.verbose {
+                        eprintln!("[disk-hit] {}", key.file_stem());
+                    }
+                    let mut profile = self.profile.lock().unwrap();
+                    profile.note_disk_hit();
+                    profile.record_run(
+                        key.file_stem(),
+                        start.elapsed().as_secs_f64(),
+                        RunSource::DiskHit,
+                    );
+                    return *hit;
                 }
-                return hit;
+                cache::Lookup::Stale => self.profile.lock().unwrap().note_disk_stale(),
+                cache::Lookup::Miss => self.profile.lock().unwrap().note_disk_miss(),
             }
         }
         let graph = if key.kernel == "SSSP" {
@@ -297,11 +377,27 @@ impl Experiments {
                 key.kernel, key.mode, key.size, key.fus, key.bw_tenths
             );
         }
-        let metrics = SystemSim::run_kernel(k.as_mut(), &graph, &self.config_for(key));
+        let trace = self.trace_dir.as_ref().and_then(|dir| {
+            let path = dir.join(format!("{}.jsonl", key.file_stem()));
+            match TraceExporter::create(&path) {
+                Ok(exporter) => Some(exporter),
+                Err(e) => {
+                    eprintln!("[trace] cannot create {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+        let metrics =
+            SystemSim::run_kernel_traced(k.as_mut(), &graph, &self.config_for(key), trace);
         self.simulated.fetch_add(1, Ordering::Relaxed);
         if let Some(disk) = &self.disk {
             disk.store(key, fingerprint, &metrics);
         }
+        self.profile.lock().unwrap().record_run(
+            key.file_stem(),
+            start.elapsed().as_secs_f64(),
+            RunSource::Simulated,
+        );
         metrics
     }
 
@@ -317,7 +413,9 @@ impl Experiments {
     }
 
     /// Cache fingerprint: covers everything that can change the result of
-    /// a run without changing its [`RunKey`].
+    /// a run without changing its [`RunKey`] — schema and crate versions,
+    /// the fully resolved system configuration, the input-graph recipe,
+    /// and the [`RESULT_ENV_KNOBS`] snapshot.
     fn fingerprint(&self, key: &RunKey) -> u64 {
         cache::fingerprint(&[
             &cache::SCHEMA_VERSION.to_string(),
@@ -329,6 +427,7 @@ impl Experiments {
                 GRAPH_SEED,
                 key.kernel == "SSSP"
             ),
+            &self.env_fingerprint,
         ])
     }
 

@@ -1,0 +1,324 @@
+//! Engine profiling: where the experiment sweep spends its time.
+//!
+//! [`EngineProfile`] records, per run, whether the result came from the
+//! disk cache or a fresh simulation and how long it took; per `prewarm`
+//! fan-out, how well the worker pool was utilized. The `all_figures`
+//! driver prints [`EngineProfile::summary`] at the end of a sweep and can
+//! dump [`EngineProfile::to_json`] via `GRAPHPIM_PROFILE_JSON`.
+//!
+//! Wall times are measured around the experiment engine, not inside the
+//! simulator, so profiling never touches simulated timing.
+
+use std::fmt::Write as _;
+
+/// Where a run's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Freshly simulated in this process.
+    Simulated,
+    /// Loaded from the persistent disk cache.
+    DiskHit,
+}
+
+impl RunSource {
+    fn label(self) -> &'static str {
+        match self {
+            RunSource::Simulated => "simulated",
+            RunSource::DiskHit => "disk-hit",
+        }
+    }
+}
+
+/// One resolved run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The run's `RunKey::file_stem()`.
+    pub key: String,
+    /// Wall seconds spent resolving it (simulation or cache load).
+    pub seconds: f64,
+    /// Where the result came from.
+    pub source: RunSource,
+}
+
+/// One `prewarm` fan-out.
+#[derive(Debug, Clone)]
+pub struct PrewarmRecord {
+    /// Distinct keys dispatched.
+    pub keys: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall seconds of the fan-out.
+    pub wall_seconds: f64,
+    /// Summed per-run busy seconds across all workers.
+    pub busy_seconds: f64,
+}
+
+impl PrewarmRecord {
+    /// Worker-pool utilization in `[0, 1]`: busy time over the pool's
+    /// wall-time capacity.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_seconds * self.threads as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / capacity).min(1.0)
+        }
+    }
+}
+
+/// Accumulated engine profile of one [`Experiments`](super::Experiments)
+/// context.
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    runs: Vec<RunRecord>,
+    disk_hits: usize,
+    disk_misses: usize,
+    disk_stale: usize,
+    prewarms: Vec<PrewarmRecord>,
+}
+
+impl EngineProfile {
+    /// Records one resolved run.
+    pub fn record_run(&mut self, key: String, seconds: f64, source: RunSource) {
+        self.runs.push(RunRecord {
+            key,
+            seconds,
+            source,
+        });
+    }
+
+    /// Counts a disk-cache hit.
+    pub fn note_disk_hit(&mut self) {
+        self.disk_hits += 1;
+    }
+
+    /// Counts a disk-cache miss (entry never existed).
+    pub fn note_disk_miss(&mut self) {
+        self.disk_misses += 1;
+    }
+
+    /// Counts a stale disk entry (existed, but invalidated by a config,
+    /// environment, or schema change).
+    pub fn note_disk_stale(&mut self) {
+        self.disk_stale += 1;
+    }
+
+    /// Records one `prewarm` fan-out.
+    pub fn record_prewarm(&mut self, record: PrewarmRecord) {
+        self.prewarms.push(record);
+    }
+
+    /// All run records, in resolution order.
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// All prewarm records.
+    pub fn prewarms(&self) -> &[PrewarmRecord] {
+        &self.prewarms
+    }
+
+    /// `(hits, misses, stale)` disk-cache lookup counts.
+    pub fn disk_counts(&self) -> (usize, usize, usize) {
+        (self.disk_hits, self.disk_misses, self.disk_stale)
+    }
+
+    /// Stale disk-cache lookups.
+    pub fn disk_stale(&self) -> usize {
+        self.disk_stale
+    }
+
+    /// Total wall seconds spent actually simulating.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.source == RunSource::Simulated)
+            .map(|r| r.seconds)
+            .sum()
+    }
+
+    /// The slowest run, if any.
+    pub fn slowest(&self) -> Option<&RunRecord> {
+        self.runs
+            .iter()
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+    }
+
+    /// Multi-line human-readable summary (each line prefixed
+    /// `[profile]`), ending with a newline.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let simulated = self
+            .runs
+            .iter()
+            .filter(|r| r.source == RunSource::Simulated)
+            .count();
+        let _ = writeln!(
+            s,
+            "[profile] runs: {} ({} simulated in {:.2}s, {} disk hits)",
+            self.runs.len(),
+            simulated,
+            self.simulated_seconds(),
+            self.runs.len() - simulated,
+        );
+        let _ = writeln!(
+            s,
+            "[profile] disk cache: {} hits, {} misses, {} stale",
+            self.disk_hits, self.disk_misses, self.disk_stale
+        );
+        if let Some(slowest) = self.slowest() {
+            let _ = writeln!(
+                s,
+                "[profile] slowest run: {} ({:.2}s, {})",
+                slowest.key,
+                slowest.seconds,
+                slowest.source.label()
+            );
+        }
+        for (i, p) in self.prewarms.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "[profile] prewarm #{}: {} keys on {} threads, {:.2}s wall, \
+                 {:.0}% pool utilization",
+                i + 1,
+                p.keys,
+                p.threads,
+                p.wall_seconds,
+                100.0 * p.utilization()
+            );
+        }
+        s
+    }
+
+    /// The full profile as a JSON document (hand-rolled; the vendored
+    /// serde is a no-op stand-in).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"key\": \"{}\", \"seconds\": {:?}, \"source\": \"{}\"}}",
+                r.key,
+                r.seconds,
+                r.source.label()
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(
+            s,
+            "  ],\n  \"disk\": {{\"hits\": {}, \"misses\": {}, \"stale\": {}}},",
+            self.disk_hits, self.disk_misses, self.disk_stale
+        );
+        s.push_str("  \"prewarm\": [\n");
+        for (i, p) in self.prewarms.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"keys\": {}, \"threads\": {}, \"wall_seconds\": {:?}, \
+                 \"busy_seconds\": {:?}, \"utilization\": {:?}}}",
+                p.keys,
+                p.threads,
+                p.wall_seconds,
+                p.busy_seconds,
+                p.utilization()
+            );
+            s.push_str(if i + 1 < self.prewarms.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_summary() {
+        let mut p = EngineProfile::default();
+        p.note_disk_miss();
+        p.record_run("dc-baseline".into(), 1.5, RunSource::Simulated);
+        p.note_disk_hit();
+        p.record_run("dc-graphpim".into(), 0.01, RunSource::DiskHit);
+        p.note_disk_stale();
+        p.record_run("bfs-baseline".into(), 0.5, RunSource::Simulated);
+        p.record_prewarm(PrewarmRecord {
+            keys: 3,
+            threads: 2,
+            wall_seconds: 1.25,
+            busy_seconds: 2.0,
+        });
+        assert_eq!(p.disk_counts(), (1, 1, 1));
+        assert_eq!(p.runs().len(), 3);
+        assert!((p.simulated_seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(p.slowest().unwrap().key, "dc-baseline");
+        let util = p.prewarms()[0].utilization();
+        assert!((util - 0.8).abs() < 1e-12);
+        let summary = p.summary();
+        assert!(summary.contains("2 simulated"));
+        assert!(summary.contains("1 hits, 1 misses, 1 stale"));
+        assert!(summary.contains("slowest run: dc-baseline"));
+        assert!(summary.contains("80% pool utilization"));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let p = PrewarmRecord {
+            keys: 1,
+            threads: 4,
+            wall_seconds: 0.0,
+            busy_seconds: 1.0,
+        };
+        assert_eq!(p.utilization(), 0.0);
+        let q = PrewarmRecord {
+            keys: 1,
+            threads: 1,
+            wall_seconds: 1.0,
+            busy_seconds: 5.0,
+        };
+        assert_eq!(q.utilization(), 1.0);
+    }
+
+    #[test]
+    fn json_dump_is_parseable() {
+        let mut p = EngineProfile::default();
+        p.record_run("dc-k1".into(), 0.25, RunSource::Simulated);
+        p.record_prewarm(PrewarmRecord {
+            keys: 1,
+            threads: 1,
+            wall_seconds: 0.25,
+            busy_seconds: 0.25,
+        });
+        let doc = crate::experiments::cache::json::parse(&p.to_json()).expect("valid JSON");
+        let top = doc.as_object().unwrap();
+        let runs = top.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].as_object().unwrap();
+        assert_eq!(run.get("key").unwrap().as_str(), Some("dc-k1"));
+        assert_eq!(run.get("seconds").unwrap().as_f64(), Some(0.25));
+        let disk = top.get("disk").unwrap().as_object().unwrap();
+        assert_eq!(disk.get("hits").unwrap().as_u64(), Some(0));
+        let prewarm = top.get("prewarm").unwrap().as_array().unwrap();
+        assert_eq!(
+            prewarm[0]
+                .as_object()
+                .unwrap()
+                .get("threads")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_profile_json_is_parseable() {
+        let p = EngineProfile::default();
+        assert!(crate::experiments::cache::json::parse(&p.to_json()).is_some());
+        assert!(p.slowest().is_none());
+        assert_eq!(p.simulated_seconds(), 0.0);
+    }
+}

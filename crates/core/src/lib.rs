@@ -18,8 +18,10 @@
 //! [`system::SystemSim`] drives kernel traces through the
 //! `graphpim-sim` substrate and produces [`metrics::RunMetrics`];
 //! [`analytic`] implements the paper's CPI model (Equations 1–2);
-//! [`energy`] the uncore energy breakdown (Figure 15); and
-//! [`experiments`] one driver per paper table/figure.
+//! [`energy`] the uncore energy breakdown (Figure 15);
+//! [`experiments`] one driver per paper table/figure; and
+//! [`telemetry`] the JSONL event-trace exporter behind
+//! `GRAPHPIM_TRACE_DIR`.
 //!
 //! # Example
 //!
@@ -45,3 +47,4 @@ pub mod metrics;
 pub mod pou;
 pub mod report;
 pub mod system;
+pub mod telemetry;

@@ -5,6 +5,7 @@ use graphpim_sim::cpu::CoreStats;
 use graphpim_sim::hmc::HmcStats;
 use graphpim_sim::mem::hierarchy::LevelCounts;
 use graphpim_sim::stats::{mpki, CycleBreakdown};
+use graphpim_sim::telemetry::{CounterRegistry, Telemetry};
 
 /// Everything measured during one kernel/application run.
 ///
@@ -51,10 +52,20 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Per-core average IPC (the Figure 1 metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cycles` is not positive — a zero-cycle run is a
+    /// broken run, and masking it as IPC 0.0 would silently corrupt
+    /// figures (consistent with the hard assert in the engine's
+    /// `speedup()`).
     pub fn ipc(&self) -> f64 {
-        if self.total_cycles <= 0.0 {
-            return 0.0;
-        }
+        assert!(
+            self.total_cycles > 0.0,
+            "zero-cycle run in ipc(): mode {:?}, {} instructions",
+            self.mode,
+            self.core.instructions
+        );
         self.core.instructions as f64 / (self.total_cycles * self.cores as f64)
     }
 
@@ -140,6 +151,38 @@ impl RunMetrics {
     /// Wall-clock seconds at the given core clock.
     pub fn seconds(&self, clock_ghz: f64) -> f64 {
         self.total_cycles / (clock_ghz * 1e9)
+    }
+
+    /// Reports every counter of this run into `sink` under the same
+    /// namespaces the live system uses (`core.*`, `mem.*`, `hmc.*`,
+    /// `system.*`), so finalized metrics and trace snapshots agree.
+    pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        self.core.report_telemetry("core", sink);
+        self.l1.report_telemetry("mem.l1", sink);
+        self.l2.report_telemetry("mem.l2", sink);
+        self.l3.report_telemetry("mem.l3", sink);
+        self.hmc.report_telemetry(sink);
+        sink.record("system.cores", self.cores as f64);
+        sink.record("system.issue_width", self.issue_width as f64);
+        sink.record("system.offload_candidates", self.offload_candidates as f64);
+        sink.record(
+            "system.candidate_cache_hits",
+            self.candidate_cache_hits as f64,
+        );
+        sink.record("system.offloaded_atomics", self.offloaded_atomics as f64);
+        sink.record("system.host_pei_atomics", self.host_pei_atomics as f64);
+        sink.record("system.uncached_reads", self.uncached_reads as f64);
+        sink.record("system.uncached_writes", self.uncached_writes as f64);
+        sink.record("system.memory_service_cycles", self.memory_service_cycles);
+        sink.record("system.total_cycles", self.total_cycles);
+    }
+
+    /// All counters of this run as a registry (convenience over
+    /// [`RunMetrics::report_telemetry`]).
+    pub fn counter_registry(&self) -> CounterRegistry {
+        let mut reg = CounterRegistry::default();
+        self.report_telemetry(&mut reg);
+        reg
     }
 }
 
@@ -231,5 +274,25 @@ mod tests {
         let mut m = sample();
         m.offload_candidates = 0;
         assert_eq!(m.candidate_miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle run in ipc()")]
+    fn ipc_panics_on_zero_cycles() {
+        let mut m = sample();
+        m.total_cycles = 0.0;
+        m.ipc();
+    }
+
+    #[test]
+    fn counter_registry_covers_all_namespaces() {
+        let m = sample();
+        let reg = m.counter_registry();
+        assert_eq!(reg.get("core.instructions"), Some(4000.0));
+        assert_eq!(reg.get("mem.l1.misses"), Some(100.0));
+        assert_eq!(reg.get("mem.l3.hits"), Some(10.0));
+        assert_eq!(reg.get("hmc.atomics"), Some(0.0));
+        assert_eq!(reg.get("system.offload_candidates"), Some(50.0));
+        assert_eq!(reg.get("system.total_cycles"), Some(1000.0));
     }
 }

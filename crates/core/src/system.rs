@@ -9,16 +9,24 @@
 //!
 //! Barriers synchronize the per-core clocks and wait for in-flight posted
 //! PIM atomics — the consistency argument of Section II-D.
+//!
+//! With a [`TraceExporter`] attached ([`SystemSim::run_kernel_traced`]),
+//! the simulator additionally snapshots every telemetry counter at each
+//! superstep barrier and once more at run end. Collection is pull-based
+//! (components are read, never notified), so a traced run produces
+//! bit-identical [`RunMetrics`].
 
 use crate::config::{PimMode, SystemConfig};
 use crate::metrics::RunMetrics;
 use crate::pou::{AtomicPath, Pou};
+use crate::telemetry::TraceExporter;
 use graphpim_graph::generate::SplitMix64;
 use graphpim_graph::CsrGraph;
 use graphpim_sim::cpu::{CoreModel, CoreStats};
 use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
 use graphpim_sim::mem::hierarchy::{CacheHierarchy, ServiceLevel};
 use graphpim_sim::mem::Addr;
+use graphpim_sim::telemetry::CounterRegistry;
 use graphpim_sim::trace::{Superstep, TraceOp};
 use graphpim_sim::Cycle;
 use graphpim_workloads::framework::{Framework, TraceConsumer};
@@ -44,6 +52,8 @@ pub struct SystemSim {
     uncached_reads: u64,
     uncached_writes: u64,
     memory_service_cycles: f64,
+    trace: Option<TraceExporter>,
+    superstep: u64,
 }
 
 impl SystemSim {
@@ -71,7 +81,17 @@ impl SystemSim {
             uncached_reads: 0,
             uncached_writes: 0,
             memory_service_cycles: 0.0,
+            trace: None,
+            superstep: 0,
         }
+    }
+
+    /// Attaches a trace exporter: counters are snapshotted at every
+    /// superstep barrier and at run end. Also enables the cube's per-vault
+    /// histograms. Observation-only — metrics stay bit-identical.
+    pub fn enable_trace(&mut self, trace: TraceExporter) {
+        self.cube.enable_vault_telemetry();
+        self.trace = Some(trace);
     }
 
     /// Runs a kernel end to end under `config` and returns the metrics.
@@ -80,7 +100,17 @@ impl SystemSim {
         graph: &CsrGraph,
         config: &SystemConfig,
     ) -> RunMetrics {
-        Self::run_with(config, |fw| kernel.run(graph, fw))
+        Self::run_kernel_traced(kernel, graph, config, None)
+    }
+
+    /// [`run_kernel`](Self::run_kernel) with an optional trace exporter.
+    pub fn run_kernel_traced(
+        kernel: &mut dyn Kernel,
+        graph: &CsrGraph,
+        config: &SystemConfig,
+        trace: Option<TraceExporter>,
+    ) -> RunMetrics {
+        Self::run_with_traced(config, trace, |fw| kernel.run(graph, fw))
     }
 
     /// Runs an arbitrary framework workload (used by the real-world
@@ -89,8 +119,23 @@ impl SystemSim {
     where
         F: FnOnce(&mut Framework<'_>),
     {
+        Self::run_with_traced(config, None, workload)
+    }
+
+    /// [`run_with`](Self::run_with) with an optional trace exporter.
+    pub fn run_with_traced<F>(
+        config: &SystemConfig,
+        trace: Option<TraceExporter>,
+        workload: F,
+    ) -> RunMetrics
+    where
+        F: FnOnce(&mut Framework<'_>),
+    {
         let threads = config.sim.core.cores;
         let mut sys = SystemSim::new(config.clone());
+        if let Some(trace) = trace {
+            sys.enable_trace(trace);
+        }
         {
             let mut fw = Framework::new(threads, &mut sys);
             workload(&mut fw);
@@ -99,32 +144,70 @@ impl SystemSim {
         sys.into_metrics()
     }
 
+    /// Sums statistics over all cores.
+    fn aggregated_core_stats(&self) -> CoreStats {
+        let mut agg = CoreStats::default();
+        for core in &self.cores {
+            agg.accumulate(core.stats());
+        }
+        agg
+    }
+
+    /// Every telemetry counter of the live system, pulled into one
+    /// registry. The same namespaces as
+    /// [`RunMetrics::report_telemetry`], so the trace's final snapshot
+    /// agrees with the finalized metrics.
+    fn collect_counters(&self, total_cycles: Cycle) -> CounterRegistry {
+        let mut reg = CounterRegistry::default();
+        self.aggregated_core_stats()
+            .report_telemetry("core", &mut reg);
+        self.hierarchy.report_telemetry(&mut reg);
+        self.cube.report_telemetry(&mut reg);
+        reg.record("system.cores", self.cores.len() as f64);
+        reg.record(
+            "system.issue_width",
+            self.config.sim.core.issue_width as f64,
+        );
+        reg.record("system.offload_candidates", self.offload_candidates as f64);
+        reg.record(
+            "system.candidate_cache_hits",
+            self.candidate_cache_hits as f64,
+        );
+        reg.record("system.offloaded_atomics", self.offloaded_atomics as f64);
+        reg.record("system.host_pei_atomics", self.host_pei_atomics as f64);
+        reg.record("system.uncached_reads", self.uncached_reads as f64);
+        reg.record("system.uncached_writes", self.uncached_writes as f64);
+        reg.record("system.memory_service_cycles", self.memory_service_cycles);
+        reg.record("system.total_cycles", total_cycles);
+        reg
+    }
+
     /// Finalizes the run: waits for all in-flight work and aggregates.
     pub fn into_metrics(mut self) -> RunMetrics {
         let mut end: Cycle = self.max_pim_done;
         for core in &mut self.cores {
             end = end.max(core.finish());
         }
-        let mut agg = CoreStats::default();
-        for core in &self.cores {
-            let s = core.stats();
-            agg.instructions += s.instructions;
-            agg.memory_ops += s.memory_ops;
-            agg.host_atomics += s.host_atomics;
-            agg.pim_atomics += s.pim_atomics;
-            agg.branches += s.branches;
-            agg.mispredicts += s.mispredicts;
-            agg.frontend_cycles += s.frontend_cycles;
-            agg.badspec_cycles += s.badspec_cycles;
-            agg.atomic_incore_cycles += s.atomic_incore_cycles;
-            agg.atomic_incache_cycles += s.atomic_incache_cycles;
+        let total_cycles = end.max(1e-9);
+        if self.trace.is_some() {
+            // Final snapshot: the only one where `system.total_cycles`
+            // reflects the finished run.
+            let counters = self.collect_counters(total_cycles);
+            if let Some(trace) = self.trace.take() {
+                let mut trace = trace;
+                trace.snapshot(self.superstep + 1, total_cycles, &counters);
+                if let Err(e) = trace.finish() {
+                    eprintln!("[trace] write failed: {e}");
+                }
+            }
         }
+        let agg = self.aggregated_core_stats();
         let (l1, l2, l3) = self.hierarchy.level_counts();
         RunMetrics {
             mode: self.config.mode,
             cores: self.cores.len(),
             issue_width: self.config.sim.core.issue_width,
-            total_cycles: end.max(1e-9),
+            total_cycles,
             core: agg,
             l1,
             l2,
@@ -371,6 +454,13 @@ impl TraceConsumer for SystemSim {
             core.barrier(release);
         }
         self.max_pim_done = release;
+        self.superstep += 1;
+        if self.trace.is_some() {
+            let counters = self.collect_counters(release);
+            if let Some(trace) = &mut self.trace {
+                trace.snapshot(self.superstep, release, &counters);
+            }
+        }
     }
 }
 

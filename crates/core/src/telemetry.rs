@@ -1,0 +1,243 @@
+//! Structured event-trace export: JSONL counter snapshots.
+//!
+//! When tracing is enabled (`GRAPHPIM_TRACE_DIR`, or
+//! `Experiments::with_trace_dir`), the system simulator snapshots every
+//! registered counter at each superstep barrier and once more at run end,
+//! and a [`TraceExporter`] appends each snapshot as one JSON line:
+//!
+//! ```json
+//! {"superstep":3,"cycle":51234.5,"counters":{"core.instructions":812993.0,...}}
+//! ```
+//!
+//! Values use Rust's shortest round-trip float formatting, and
+//! [`TraceSnapshot::parse_line`] reads them back exactly, so a trace's
+//! final snapshot is bit-identical to the run's `RunMetrics` counters.
+//! Tracing is observation-only: the simulator produces byte-identical
+//! metrics with it on or off (asserted by the engine tests).
+
+use crate::experiments::cache::json;
+use graphpim_sim::telemetry::CounterRegistry;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Formats one snapshot as a single JSON line (no trailing newline).
+pub fn format_snapshot(superstep: u64, cycle: f64, counters: &CounterRegistry) -> String {
+    let mut s = String::with_capacity(64 + 32 * counters.len());
+    let _ = write!(
+        s,
+        "{{\"superstep\":{superstep},\"cycle\":{cycle:?},\"counters\":{{"
+    );
+    for (i, (key, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{key}\":{value:?}");
+    }
+    s.push_str("}}");
+    s
+}
+
+/// One parsed trace snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Superstep index (1-based for barrier snapshots; the final snapshot
+    /// is one past the last barrier).
+    pub superstep: u64,
+    /// Simulated cycle the snapshot was taken at.
+    pub cycle: f64,
+    /// Every registered counter at that point.
+    pub counters: CounterRegistry,
+}
+
+impl TraceSnapshot {
+    /// Parses one JSONL line; `None` on malformed input.
+    pub fn parse_line(line: &str) -> Option<TraceSnapshot> {
+        let doc = json::parse(line.trim())?;
+        let top = doc.as_object()?;
+        let superstep = top.get("superstep")?.as_u64()?;
+        let cycle = top.get("cycle")?.as_f64()?;
+        let mut counters = CounterRegistry::default();
+        let json::Value::Object(fields) = top.get("counters")? else {
+            return None;
+        };
+        for (key, value) in fields {
+            counters.record(key, value.as_f64()?);
+        }
+        Some(TraceSnapshot {
+            superstep,
+            cycle,
+            counters,
+        })
+    }
+
+    /// Serializes back to the JSONL format [`parse_line`](Self::parse_line)
+    /// reads.
+    pub fn to_json_line(&self) -> String {
+        format_snapshot(self.superstep, self.cycle, &self.counters)
+    }
+}
+
+/// Appends counter snapshots to one JSONL trace file.
+pub struct TraceExporter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl TraceExporter {
+    /// Creates (truncating) the trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<TraceExporter> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(TraceExporter {
+            writer: BufWriter::new(File::create(&path)?),
+            path,
+            lines: 0,
+        })
+    }
+
+    /// The exporter selected by `GRAPHPIM_TRACE_DIR`, writing to
+    /// `<dir>/<label>.jsonl`, or `None` when tracing is off. `label` is
+    /// sanitized to filesystem-safe characters. Creation errors are
+    /// reported to stderr and degrade to no tracing.
+    pub fn from_env(label: &str) -> Option<TraceExporter> {
+        let dir = std::env::var_os("GRAPHPIM_TRACE_DIR")?;
+        let safe: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = PathBuf::from(dir).join(format!("{safe}.jsonl"));
+        match TraceExporter::create(&path) {
+            Ok(exporter) => Some(exporter),
+            Err(e) => {
+                eprintln!("[trace] cannot create {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Where the trace is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of snapshots written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Appends one snapshot line. Write errors are deferred to
+    /// [`finish`](Self::finish).
+    pub fn snapshot(&mut self, superstep: u64, cycle: f64, counters: &CounterRegistry) {
+        let line = format_snapshot(superstep, cycle, counters);
+        let _ = self.writer.write_all(line.as_bytes());
+        let _ = self.writer.write_all(b"\n");
+        self.lines += 1;
+    }
+
+    /// Flushes and closes the trace, returning its path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.writer.flush()?;
+        Ok(self.path)
+    }
+}
+
+impl std::fmt::Debug for TraceExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceExporter")
+            .field("path", &self.path)
+            .field("lines", &self.lines)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nasty_registry() -> CounterRegistry {
+        let mut reg = CounterRegistry::default();
+        reg.record("core.instructions", 812_993.0);
+        reg.record("system.total_cycles", 123_456.789_012_345_6);
+        reg.record("core.tiny", 1.5e-9);
+        reg.record("core.sum", 0.1 + 0.2); // 0.30000000000000004
+        reg.record("hmc.huge", 1e300);
+        reg.record("mem.l1.hits", 0.0);
+        reg
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let reg = nasty_registry();
+        let line = format_snapshot(7, 42.5, &reg);
+        let snap = TraceSnapshot::parse_line(&line).expect("parses");
+        assert_eq!(snap.superstep, 7);
+        assert_eq!(snap.cycle.to_bits(), 42.5f64.to_bits());
+        assert_eq!(snap.counters.len(), reg.len());
+        for (key, value) in reg.iter() {
+            let got = snap.counters.get(key).unwrap();
+            assert_eq!(got.to_bits(), value.to_bits(), "counter {key}");
+        }
+        // And serializing the parse gives back the identical line.
+        assert_eq!(snap.to_json_line(), line);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceSnapshot::parse_line("").is_none());
+        assert!(TraceSnapshot::parse_line("{\"superstep\":1}").is_none());
+        assert!(
+            TraceSnapshot::parse_line("{\"superstep\":1,\"cycle\":2.0,\"counters\":3}").is_none()
+        );
+        assert!(TraceSnapshot::parse_line("not json at all").is_none());
+    }
+
+    #[test]
+    fn exporter_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("graphpim-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("run.jsonl");
+        let mut exporter = TraceExporter::create(&path).expect("create");
+        let reg = nasty_registry();
+        exporter.snapshot(1, 10.0, &reg);
+        exporter.snapshot(2, 20.25, &reg);
+        assert_eq!(exporter.lines(), 2);
+        let written = exporter.finish().expect("flush");
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snaps: Vec<TraceSnapshot> = text
+            .lines()
+            .map(|l| TraceSnapshot::parse_line(l).expect("each line parses"))
+            .collect();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].superstep, 1);
+        assert_eq!(snaps[1].cycle, 20.25);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_env_sanitizes_label() {
+        let dir = std::env::temp_dir().join(format!("graphpim-trace-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Scoped: set, use, remove. Runs in its own test binary section;
+        // no other test in this binary touches GRAPHPIM_TRACE_DIR.
+        std::env::set_var("GRAPHPIM_TRACE_DIR", &dir);
+        let exporter = TraceExporter::from_env("BFS U-PEI/ideal").expect("enabled");
+        let path = exporter.path().to_path_buf();
+        std::env::remove_var("GRAPHPIM_TRACE_DIR");
+        assert!(path.ends_with("BFS_U-PEI_ideal.jsonl"), "{path:?}");
+        assert!(TraceExporter::from_env("x").is_none(), "env removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,8 @@
 //! Integration tests for the parallel experiment engine: concurrent
 //! prewarming must be bit-identical to serial simulation, the disk cache
-//! must round-trip results across contexts, and the environment knobs
-//! must parse strictly.
+//! must round-trip results across contexts, and telemetry must be
+//! observation-only. (Environment-mutating tests live in the dedicated
+//! `cache_env` binary so they cannot race contexts created here.)
 
 use graphpim::config::PimMode;
 use graphpim::experiments::{DiskCache, Experiments, RunKey};
@@ -112,28 +113,36 @@ fn disk_cache_misses_on_different_run_parameters() {
 }
 
 #[test]
-fn from_env_rejects_unknown_scale() {
-    // Sole test in this binary touching GRAPHPIM_SCALE, so no env races.
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
+fn traced_replay_is_bit_identical() {
+    let keys = eval_keys();
+    let trace_dir = tmp_dir("traced");
 
-    std::env::set_var("GRAPHPIM_SCALE", "10000");
-    let result = std::panic::catch_unwind(|| Experiments::from_env().size());
-    let message = *result
-        .expect_err("typo'd scale must panic, not fall back to a default")
-        .downcast::<String>()
-        .expect("panic payload");
-    assert!(
-        message.contains("1k, 10k, 100k, 1m"),
-        "error must list valid values: {message}"
-    );
+    // Plain reference sweep.
+    let plain = Experiments::with_cache(LdbcSize::K1, None);
+    let expected: Vec<RunMetrics> = keys.iter().map(|k| plain.metrics_for(k)).collect();
 
-    // Case-insensitive accept path.
-    std::env::set_var("GRAPHPIM_SCALE", "1K");
-    let size = std::panic::catch_unwind(|| Experiments::from_env().size())
-        .expect("uppercase scale is valid");
-    assert_eq!(size, LdbcSize::K1);
+    // Same sweep with tracing on: telemetry must be observation-only.
+    let traced = Experiments::with_cache(LdbcSize::K1, None).with_trace_dir(&trace_dir);
+    traced.prewarm(keys.iter().cloned());
+    for (key, want) in keys.iter().zip(&expected) {
+        let got = traced.metrics_for(key);
+        assert_eq!(&got, want, "tracing changed the result for {key:?}");
+        assert_eq!(
+            got.total_cycles.to_bits(),
+            want.total_cycles.to_bits(),
+            "cycle count not bit-identical under tracing for {key:?}"
+        );
+        let trace_file = trace_dir.join(format!("{}.jsonl", key.file_stem()));
+        assert!(trace_file.is_file(), "missing trace {trace_file:?}");
+    }
 
-    std::env::remove_var("GRAPHPIM_SCALE");
-    std::panic::set_hook(prev_hook);
+    // The engine profile saw the prewarm fan-out and every simulation.
+    let profile = traced.profile();
+    assert_eq!(profile.runs().len(), keys.len());
+    assert_eq!(profile.prewarms().len(), 1);
+    assert_eq!(profile.prewarms()[0].keys, keys.len());
+    assert!(profile.simulated_seconds() > 0.0);
+    assert!(profile.summary().contains("[profile] runs:"));
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
 }

@@ -1,0 +1,88 @@
+//! End-to-end telemetry tests: a traced run must produce bit-identical
+//! metrics, and its JSONL trace must parse back with the final snapshot
+//! agreeing exactly with the finalized `RunMetrics` counters.
+
+use graphpim::config::PimMode;
+use graphpim::experiments::{Experiments, RunKey};
+use graphpim::telemetry::TraceSnapshot;
+use graphpim_graph::generate::LdbcSize;
+
+#[test]
+fn traced_run_is_bit_identical_and_trace_parses() {
+    let trace_dir = std::env::temp_dir().join(format!("graphpim-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+
+    let plain = Experiments::with_cache(LdbcSize::K1, None);
+    let want = plain.metrics_for(&key);
+
+    let traced = Experiments::with_cache(LdbcSize::K1, None).with_trace_dir(&trace_dir);
+    let got = traced.metrics_for(&key);
+
+    // Telemetry is observation-only: every field identical, cycles
+    // bit-identical.
+    assert_eq!(got, want);
+    assert_eq!(got.total_cycles.to_bits(), want.total_cycles.to_bits());
+
+    // The trace exists, parses line by line, and is monotone.
+    let trace_file = trace_dir.join(format!("{}.jsonl", key.file_stem()));
+    let text = std::fs::read_to_string(&trace_file).expect("trace file written");
+    let snapshots: Vec<TraceSnapshot> = text
+        .lines()
+        .map(|line| TraceSnapshot::parse_line(line).expect("every line parses"))
+        .collect();
+    assert!(
+        snapshots.len() >= 2,
+        "expected at least one barrier snapshot plus the final one, got {}",
+        snapshots.len()
+    );
+    for pair in snapshots.windows(2) {
+        assert!(
+            pair[1].superstep > pair[0].superstep,
+            "supersteps must strictly increase"
+        );
+        assert!(
+            pair[1].cycle >= pair[0].cycle,
+            "snapshot cycles must be non-decreasing"
+        );
+    }
+
+    // Counters never decrease across snapshots (they are all cumulative
+    // counts or cycle sums) — spot-check the headline ones.
+    for counter in ["core.instructions", "hmc.atomics", "mem.l1.hits"] {
+        let series: Vec<f64> = snapshots
+            .iter()
+            .map(|s| s.counters.get(counter).expect("counter present"))
+            .collect();
+        assert!(
+            series.windows(2).all(|w| w[1] >= w[0]),
+            "{counter} decreased across snapshots: {series:?}"
+        );
+    }
+
+    // The final snapshot agrees bit-for-bit with the finalized metrics.
+    let last = snapshots.last().unwrap();
+    let finalized = got.counter_registry();
+    for (counter, value) in finalized.iter() {
+        let traced_value = last
+            .counters
+            .get(counter)
+            .unwrap_or_else(|| panic!("final snapshot missing {counter}"));
+        assert_eq!(
+            traced_value.to_bits(),
+            value.to_bits(),
+            "final snapshot disagrees with RunMetrics on {counter}"
+        );
+    }
+    assert_eq!(
+        last.counters.get("system.total_cycles").unwrap().to_bits(),
+        got.total_cycles.to_bits()
+    );
+
+    // Vault histograms are only present in traced runs, and only in the
+    // trace (never in RunMetrics).
+    assert!(last.counters.get("hmc.vault00.queue_wait.count").is_some());
+    assert!(finalized.get("hmc.vault00.queue_wait.count").is_none());
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}

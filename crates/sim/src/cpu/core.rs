@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 
 use crate::config::CoreConfig;
+use crate::telemetry::Telemetry;
 use crate::Cycle;
 
 /// Per-core event counters and attributed cycles.
@@ -55,6 +56,42 @@ impl CoreStats {
     /// Cycles spent usefully retiring at full width.
     pub fn retiring_cycles(&self, width: u32) -> f64 {
         self.instructions as f64 / width as f64
+    }
+
+    /// Adds every counter from `other` into `self` (used to aggregate
+    /// per-core stats into a machine-wide total).
+    pub fn accumulate(&mut self, other: &CoreStats) {
+        self.instructions += other.instructions;
+        self.memory_ops += other.memory_ops;
+        self.host_atomics += other.host_atomics;
+        self.pim_atomics += other.pim_atomics;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.frontend_cycles += other.frontend_cycles;
+        self.badspec_cycles += other.badspec_cycles;
+        self.atomic_incore_cycles += other.atomic_incore_cycles;
+        self.atomic_incache_cycles += other.atomic_incache_cycles;
+    }
+
+    /// Reports every counter under `prefix` (e.g. `core` →
+    /// `core.instructions`, `core.memory_ops`, ...).
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.instructions"), self.instructions as f64);
+        sink.record(&format!("{prefix}.memory_ops"), self.memory_ops as f64);
+        sink.record(&format!("{prefix}.host_atomics"), self.host_atomics as f64);
+        sink.record(&format!("{prefix}.pim_atomics"), self.pim_atomics as f64);
+        sink.record(&format!("{prefix}.branches"), self.branches as f64);
+        sink.record(&format!("{prefix}.mispredicts"), self.mispredicts as f64);
+        sink.record(&format!("{prefix}.frontend_cycles"), self.frontend_cycles);
+        sink.record(&format!("{prefix}.badspec_cycles"), self.badspec_cycles);
+        sink.record(
+            &format!("{prefix}.atomic_incore_cycles"),
+            self.atomic_incore_cycles,
+        );
+        sink.record(
+            &format!("{prefix}.atomic_incache_cycles"),
+            self.atomic_incache_cycles,
+        );
     }
 }
 
@@ -322,6 +359,34 @@ mod tests {
 
     fn core() -> CoreModel {
         CoreModel::new(&SimConfig::hpca_default().core)
+    }
+
+    #[test]
+    fn stats_accumulate_and_report() {
+        let a = CoreStats {
+            instructions: 100,
+            memory_ops: 10,
+            host_atomics: 3,
+            pim_atomics: 4,
+            branches: 20,
+            mispredicts: 2,
+            frontend_cycles: 5.0,
+            badspec_cycles: 6.0,
+            atomic_incore_cycles: 7.0,
+            atomic_incache_cycles: 8.0,
+        };
+        let mut total = a.clone();
+        total.accumulate(&a);
+        assert_eq!(total.instructions, 200);
+        assert_eq!(total.pim_atomics, 8);
+        assert_eq!(total.atomic_incache_cycles, 16.0);
+
+        let mut reg = crate::telemetry::CounterRegistry::default();
+        a.report_telemetry("core", &mut reg);
+        assert_eq!(reg.get("core.instructions"), Some(100.0));
+        assert_eq!(reg.get("core.mispredicts"), Some(2.0));
+        assert_eq!(reg.get("core.atomic_incore_cycles"), Some(7.0));
+        assert_eq!(reg.len(), 10);
     }
 
     #[test]

@@ -24,6 +24,39 @@ pub enum AtomicCategory {
     FloatExtension,
 }
 
+impl AtomicCategory {
+    /// All categories, in the order used by per-category counter arrays.
+    pub const ALL: [AtomicCategory; 5] = [
+        AtomicCategory::Arithmetic,
+        AtomicCategory::Bitwise,
+        AtomicCategory::Boolean,
+        AtomicCategory::Comparison,
+        AtomicCategory::FloatExtension,
+    ];
+
+    /// Position of this category in [`AtomicCategory::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            AtomicCategory::Arithmetic => 0,
+            AtomicCategory::Bitwise => 1,
+            AtomicCategory::Boolean => 2,
+            AtomicCategory::Comparison => 3,
+            AtomicCategory::FloatExtension => 4,
+        }
+    }
+
+    /// Namespaced telemetry key for this category's atomic count.
+    pub fn telemetry_key(self) -> &'static str {
+        match self {
+            AtomicCategory::Arithmetic => "hmc.atomic.arithmetic",
+            AtomicCategory::Bitwise => "hmc.atomic.bitwise",
+            AtomicCategory::Boolean => "hmc.atomic.boolean",
+            AtomicCategory::Comparison => "hmc.atomic.comparison",
+            AtomicCategory::FloatExtension => "hmc.atomic.float_extension",
+        }
+    }
+}
+
 /// One HMC atomic command.
 ///
 /// The 18 HMC 2.0 commands plus the two floating-point extension commands
@@ -289,6 +322,17 @@ mod tests {
         assert!(cats.contains(&AtomicCategory::Boolean));
         assert!(cats.contains(&AtomicCategory::Comparison));
         assert_eq!(cats.len(), 4);
+    }
+
+    #[test]
+    fn category_index_matches_all_order() {
+        for (i, cat) in AtomicCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+        assert_eq!(
+            AtomicCategory::FloatExtension.telemetry_key(),
+            "hmc.atomic.float_extension"
+        );
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! "bound-and-drift" approximation is documented in DESIGN.md and is
 //! adequate for the paper's relative comparisons.
 
+use super::atomic::AtomicCategory;
 use super::packet::PacketKind;
 use crate::config::HmcConfig;
 use crate::mem::addr::{vault_bank_of, Addr};
+use crate::telemetry::{Histogram, Telemetry};
 use crate::Cycle;
 
 /// DRAM row size used for the open-page row-buffer model.
@@ -77,6 +79,9 @@ pub struct HmcStats {
     pub dram_accesses: u64,
     /// Atomic count per vault (functional-unit pressure; Figure 11).
     pub atomics_per_vault: Vec<u64>,
+    /// Atomic count per Table I category, indexed by
+    /// [`AtomicCategory::index`].
+    pub atomics_by_category: [u64; 5],
 }
 
 impl HmcStats {
@@ -93,6 +98,88 @@ impl HmcStats {
     /// Total FLITs in both directions.
     pub fn total_flits(&self) -> u64 {
         self.request_flits() + self.response_flits()
+    }
+
+    /// Reports every counter under the `hmc.` namespace, including
+    /// per-category atomic counts and per-vault atomic pressure
+    /// (`hmc.vault00.atomics`, ...).
+    pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        sink.record("hmc.reads", self.reads as f64);
+        sink.record("hmc.writes", self.writes as f64);
+        sink.record("hmc.atomics", self.atomics as f64);
+        sink.record("hmc.fp_atomics", self.fp_atomics as f64);
+        sink.record("hmc.request_flits", self.request_flits() as f64);
+        sink.record("hmc.response_flits", self.response_flits() as f64);
+        sink.record("hmc.request_flits_atomic", self.request_flits_atomic as f64);
+        sink.record(
+            "hmc.response_flits_atomic",
+            self.response_flits_atomic as f64,
+        );
+        sink.record("hmc.bank_wait_cycles", self.bank_wait_cycles);
+        sink.record("hmc.bank_wait_max", self.bank_wait_max);
+        sink.record("hmc.bank_wait_long", self.bank_wait_long as f64);
+        sink.record("hmc.fu_wait_cycles", self.fu_wait_cycles);
+        sink.record("hmc.fu_busy_cycles", self.fu_busy_cycles);
+        sink.record("hmc.dram_activations", self.dram_activations as f64);
+        sink.record("hmc.dram_accesses", self.dram_accesses as f64);
+        for cat in AtomicCategory::ALL {
+            sink.record(
+                cat.telemetry_key(),
+                self.atomics_by_category[cat.index()] as f64,
+            );
+        }
+        for (v, &n) in self.atomics_per_vault.iter().enumerate() {
+            sink.record(&format!("hmc.vault{v:02}.atomics"), n as f64);
+        }
+    }
+}
+
+/// Optional per-vault contention histograms.
+///
+/// Today the cube computes each transaction's bank queueing delay and each
+/// atomic's functional-unit occupancy, uses them for timing, and throws the
+/// distribution away. When enabled (it is not by default), this records
+/// them: `queue_wait` samples every transaction's bank wait in cycles, and
+/// `fu_busy` samples how many of the vault's FUs were still busy at the
+/// moment each atomic's operand arrived (unit-occupancy pressure).
+/// Recording happens strictly after the timing decision, so enabling it
+/// cannot change any simulated time.
+#[derive(Debug, Clone)]
+pub struct VaultTelemetry {
+    queue_wait: Vec<Histogram>,
+    fu_busy: Vec<Histogram>,
+}
+
+impl VaultTelemetry {
+    fn new(vaults: usize) -> Self {
+        VaultTelemetry {
+            // 12 buckets: [0,1), ..., [1024, inf) cycles — the queue cap is
+            // 2000 cycles, so the tail bucket stays meaningful.
+            queue_wait: (0..vaults).map(|_| Histogram::new(12)).collect(),
+            // 6 buckets cover 0..=4 busy FUs exactly plus an open tail.
+            fu_busy: (0..vaults).map(|_| Histogram::new(6)).collect(),
+        }
+    }
+
+    /// Bank queue-wait histogram of `vault`.
+    pub fn queue_wait(&self, vault: usize) -> &Histogram {
+        &self.queue_wait[vault]
+    }
+
+    /// FU busy-occupancy histogram of `vault`.
+    pub fn fu_busy(&self, vault: usize) -> &Histogram {
+        &self.fu_busy[vault]
+    }
+
+    /// Reports summary statistics for every vault
+    /// (`hmc.vault00.queue_wait.p99`, `hmc.vault00.fu_busy.mean`, ...).
+    pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        for (v, h) in self.queue_wait.iter().enumerate() {
+            h.report_telemetry(&format!("hmc.vault{v:02}.queue_wait"), sink);
+        }
+        for (v, h) in self.fu_busy.iter().enumerate() {
+            h.report_telemetry(&format!("hmc.vault{v:02}.fu_busy"), sink);
+        }
     }
 }
 
@@ -122,6 +209,7 @@ pub struct HmcCube {
     open_row: Vec<Option<u64>>,
     fu_busy: Vec<Vec<Cycle>>,
     stats: HmcStats,
+    vault_telemetry: Option<VaultTelemetry>,
 }
 
 impl HmcCube {
@@ -157,6 +245,29 @@ impl HmcCube {
                 atomics_per_vault: vec![0; config.vaults],
                 ..HmcStats::default()
             },
+            vault_telemetry: None,
+        }
+    }
+
+    /// Turns on the per-vault queue-wait / FU-occupancy histograms
+    /// (observation-only; timing is unaffected).
+    pub fn enable_vault_telemetry(&mut self) {
+        if self.vault_telemetry.is_none() {
+            self.vault_telemetry = Some(VaultTelemetry::new(self.vaults));
+        }
+    }
+
+    /// The per-vault histograms, if enabled.
+    pub fn vault_telemetry(&self) -> Option<&VaultTelemetry> {
+        self.vault_telemetry.as_ref()
+    }
+
+    /// Reports traffic statistics plus (when enabled) the per-vault
+    /// histograms into `sink`.
+    pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        self.stats.report_telemetry(sink);
+        if let Some(vt) = &self.vault_telemetry {
+            vt.report_telemetry(sink);
         }
     }
 
@@ -242,6 +353,7 @@ impl HmcCube {
                     self.stats.fp_atomics += 1;
                 }
                 self.stats.atomics_per_vault[vault] += 1;
+                self.stats.atomics_by_category[op.category().index()] += 1;
                 self.stats.fu_busy_cycles += self.fu_op_cycles;
                 self.stats.request_flits_atomic += cost.request as u64;
                 self.stats.response_flits_atomic += cost.response as u64;
@@ -268,11 +380,20 @@ impl HmcCube {
             self.stats.bank_wait_long += 1;
         }
         self.bank_busy[bank_index] = bank_start + occupancy;
+        if let Some(vt) = &mut self.vault_telemetry {
+            vt.queue_wait[vault].record(bank_wait);
+        }
 
         // Atomics additionally contend for the vault FU pool.
         if kind.is_atomic() {
             let data_at = bank_start + access;
             let fus = &mut self.fu_busy[vault];
+            if let Some(vt) = &mut self.vault_telemetry {
+                // How many FUs were still busy when the operand arrived —
+                // the unit-occupancy pressure behind Figure 11.
+                let busy = fus.iter().filter(|&&free| free > data_at).count();
+                vt.fu_busy[vault].record(busy as f64);
+            }
             let (fu_index, fu_free) = fus
                 .iter()
                 .copied()
@@ -470,6 +591,65 @@ mod tests {
         let s = cube.stats();
         assert_eq!(s.atomics_per_vault[0], 1);
         assert_eq!(s.atomics_per_vault[1], 1);
+    }
+
+    #[test]
+    fn atomics_counted_by_category() {
+        let mut cube = cube();
+        cube.service(PacketKind::Atomic(HmcAtomicOp::Add16), 0, 0.0);
+        cube.service(PacketKind::Atomic(HmcAtomicOp::Swap16), 256, 0.0);
+        cube.service(PacketKind::Atomic(HmcAtomicOp::Xor16), 512, 0.0);
+        cube.service(PacketKind::Atomic(HmcAtomicOp::CasIfEqual8), 768, 0.0);
+        cube.service(PacketKind::Atomic(HmcAtomicOp::FpAdd64), 1024, 0.0);
+        cube.service(PacketKind::Atomic(HmcAtomicOp::FpAdd32), 1280, 0.0);
+        assert_eq!(cube.stats().atomics_by_category, [1, 1, 1, 1, 2]);
+        let mut reg = crate::telemetry::CounterRegistry::default();
+        cube.report_telemetry(&mut reg);
+        assert_eq!(reg.get("hmc.atomic.float_extension"), Some(2.0));
+        assert_eq!(reg.get("hmc.atomics"), Some(6.0));
+        assert_eq!(reg.get("hmc.vault00.atomics"), Some(1.0));
+        // Histograms are off by default: no per-vault distribution keys.
+        assert_eq!(reg.get("hmc.vault00.queue_wait.count"), None);
+    }
+
+    #[test]
+    fn vault_telemetry_records_without_changing_timing() {
+        let run = |telemetry: bool| {
+            let mut c = cube();
+            if telemetry {
+                c.enable_vault_telemetry();
+            }
+            let mut served = Vec::new();
+            for i in 0..64u64 {
+                // Hammer two banks with a mix of reads and atomics.
+                let addr = (i % 2) * 8192;
+                let kind = if i % 3 == 0 {
+                    PacketKind::Atomic(HmcAtomicOp::Add16)
+                } else {
+                    PacketKind::Read64
+                };
+                served.push(c.service(kind, addr, i as f64));
+            }
+            (c, served)
+        };
+        let (plain, served_plain) = run(false);
+        let (traced, served_traced) = run(true);
+        // Observation only: every timing result is bit-identical.
+        assert_eq!(served_plain, served_traced);
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(plain.vault_telemetry().is_none());
+        let vt = traced.vault_telemetry().expect("enabled");
+        // Every transaction sampled the queue-wait histogram of its vault.
+        let sampled: u64 = (0..traced.vault_count())
+            .map(|v| vt.queue_wait(v).count())
+            .sum();
+        assert_eq!(sampled, 64);
+        let fu_samples: u64 = (0..traced.vault_count())
+            .map(|v| vt.fu_busy(v).count())
+            .sum();
+        assert_eq!(fu_samples, traced.stats().atomics);
+        // The hammered banks actually queued.
+        assert!(vt.queue_wait(0).max() > 0.0);
     }
 
     #[test]

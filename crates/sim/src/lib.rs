@@ -18,6 +18,9 @@
 //!   of Table I (plus the paper's proposed FP extension).
 //! * [`trace`] — the instruction-level trace format the graph framework
 //!   emits and the core model consumes.
+//! * [`telemetry`] — a pull-based counter/histogram layer every component
+//!   reports into (off by default, observation-only so it cannot perturb
+//!   timing).
 //!
 //! Times are modeled in *CPU cycles* at the configured clock (default 2 GHz,
 //! Table IV) and carried as `f64` so sub-cycle issue bandwidth accumulates
@@ -40,6 +43,7 @@ pub mod cpu;
 pub mod hmc;
 pub mod mem;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 /// Simulation time in CPU cycles.

@@ -7,6 +7,7 @@
 
 use super::addr::Addr;
 use crate::config::CacheLevelConfig;
+use crate::telemetry::Telemetry;
 
 /// A line evicted to make room for a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +167,21 @@ impl Cache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Reports hit/miss counters and occupancy under `prefix` (e.g.
+    /// `mem.l3` → `mem.l3.hits`, `mem.l3.resident_lines`, ...).
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.hits"), self.hits as f64);
+        sink.record(&format!("{prefix}.misses"), self.misses as f64);
+        sink.record(
+            &format!("{prefix}.resident_lines"),
+            self.resident_lines() as f64,
+        );
+        sink.record(
+            &format!("{prefix}.capacity_lines"),
+            self.capacity_lines() as f64,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +276,19 @@ mod tests {
         c.lookup(0);
         c.reset_counters();
         assert_eq!(c.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    fn telemetry_reports_counters_and_occupancy() {
+        let mut c = tiny();
+        c.insert(0);
+        c.lookup(0);
+        c.lookup(64);
+        let mut reg = crate::telemetry::CounterRegistry::default();
+        c.report_telemetry("mem.l3", &mut reg);
+        assert_eq!(reg.get("mem.l3.hits"), Some(1.0));
+        assert_eq!(reg.get("mem.l3.misses"), Some(1.0));
+        assert_eq!(reg.get("mem.l3.resident_lines"), Some(1.0));
+        assert_eq!(reg.get("mem.l3.capacity_lines"), Some(4.0));
     }
 }

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use super::addr::{line_of, Addr};
 use super::cache::Cache;
 use crate::config::CacheConfig;
+use crate::telemetry::Telemetry;
 
 /// Which level serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +62,12 @@ impl LevelCounts {
         } else {
             self.misses as f64 / total as f64
         }
+    }
+
+    /// Reports hits and misses under `prefix` (e.g. `mem.l1`).
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.hits"), self.hits as f64);
+        sink.record(&format!("{prefix}.misses"), self.misses as f64);
     }
 }
 
@@ -234,6 +241,18 @@ impl CacheHierarchy {
         }
         let (h, m) = self.l3.hit_miss();
         (l1, l2, LevelCounts { hits: h, misses: m })
+    }
+
+    /// Reports aggregate per-level counters plus shared-L3 occupancy under
+    /// the `mem.l1` / `mem.l2` / `mem.l3` namespaces.
+    pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        let (l1, l2, l3) = self.level_counts();
+        l1.report_telemetry("mem.l1", sink);
+        l2.report_telemetry("mem.l2", sink);
+        l3.report_telemetry("mem.l3", sink);
+        // Adds resident/capacity on top of the L3 hits/misses already
+        // recorded (same keys, same values — the registry dedups).
+        self.l3.report_telemetry("mem.l3", sink);
     }
 
     /// Clears all hit/miss counters.
@@ -502,5 +521,22 @@ mod tests {
         let h = hierarchy();
         let (l1, _, _) = h.level_counts();
         assert_eq!(l1.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_telemetry_matches_level_counts() {
+        let mut h = hierarchy();
+        h.access(0, 0, false);
+        h.access(0, 0, false);
+        h.access(1, 0, false);
+        let (l1, l2, l3) = h.level_counts();
+        let mut reg = crate::telemetry::CounterRegistry::default();
+        h.report_telemetry(&mut reg);
+        assert_eq!(reg.get("mem.l1.hits"), Some(l1.hits as f64));
+        assert_eq!(reg.get("mem.l1.misses"), Some(l1.misses as f64));
+        assert_eq!(reg.get("mem.l2.misses"), Some(l2.misses as f64));
+        assert_eq!(reg.get("mem.l3.hits"), Some(l3.hits as f64));
+        assert!(reg.get("mem.l3.resident_lines").unwrap() >= 1.0);
+        assert!(reg.get("mem.l3.capacity_lines").unwrap() > 0.0);
     }
 }

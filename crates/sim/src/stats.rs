@@ -21,14 +21,29 @@ impl CycleBreakdown {
     /// Computes the breakdown from aggregated core statistics and the total
     /// elapsed cycles.
     ///
+    /// The attributed fractions can overshoot 1.0 when counters are
+    /// inconsistent with the elapsed time (e.g. an over-wide `issue_width`
+    /// makes retiring cycles exceed `total_cycles`). Rather than clamping
+    /// only `backend` — which lets `sum()` exceed 1.0 and mis-normalizes
+    /// the stacked figures — the three attributed fractions are rescaled
+    /// to fit and `backend` absorbs only genuine remainder, so the result
+    /// always satisfies `sum() == 1` up to rounding.
+    ///
     /// # Panics
     ///
     /// Panics if `total_cycles` is not positive.
     pub fn from_stats(stats: &CoreStats, issue_width: u32, total_cycles: f64) -> Self {
         assert!(total_cycles > 0.0, "total cycles must be positive");
-        let retiring = stats.retiring_cycles(issue_width) / total_cycles;
-        let frontend = stats.frontend_cycles / total_cycles;
-        let bad_speculation = stats.badspec_cycles / total_cycles;
+        let mut retiring = stats.retiring_cycles(issue_width) / total_cycles;
+        let mut frontend = stats.frontend_cycles / total_cycles;
+        let mut bad_speculation = stats.badspec_cycles / total_cycles;
+        let attributed = retiring + frontend + bad_speculation;
+        if attributed > 1.0 {
+            let scale = 1.0 / attributed;
+            retiring *= scale;
+            frontend *= scale;
+            bad_speculation *= scale;
+        }
         let backend = (1.0 - retiring - frontend - bad_speculation).max(0.0);
         CycleBreakdown {
             retiring,
@@ -38,7 +53,7 @@ impl CycleBreakdown {
         }
     }
 
-    /// The four fractions sum (should be ~1 unless clipped).
+    /// The four fractions sum (always ~1 after renormalization).
     pub fn sum(&self) -> f64 {
         self.retiring + self.frontend + self.bad_speculation + self.backend
     }
@@ -79,9 +94,43 @@ mod tests {
             instructions: 8000,
             ..CoreStats::default()
         };
+        // Over-retired scenario: retiring alone would be 2.0; it is
+        // renormalized to exactly 1.0 with nothing left for backend.
         let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
         assert_eq!(b.backend, 0.0);
-        assert!(b.retiring > 1.0); // over-retired: clipped scenario
+        assert!((b.retiring - 1.0).abs() < 1e-12);
+        assert!((b.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overshoot_renormalizes_all_fractions() {
+        // retiring 2.0, frontend 0.5, badspec 0.5 → attributed 3.0;
+        // scaled by 1/3 the proportions survive and the sum is 1.
+        let stats = CoreStats {
+            instructions: 8000,
+            frontend_cycles: 500.0,
+            badspec_cycles: 500.0,
+            ..CoreStats::default()
+        };
+        let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
+        assert!((b.retiring - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.frontend - 1.0 / 6.0).abs() < 1e-12);
+        assert!((b.bad_speculation - 1.0 / 6.0).abs() < 1e-12);
+        assert!(b.backend < 1e-12); // only rounding residue remains
+        assert!((b.sum() - 1.0).abs() < 1e-12);
+        // The healthy path is untouched by renormalization.
+        let ok = CycleBreakdown::from_stats(
+            &CoreStats {
+                instructions: 400,
+                frontend_cycles: 20.0,
+                badspec_cycles: 30.0,
+                ..CoreStats::default()
+            },
+            4,
+            1000.0,
+        );
+        assert!((ok.sum() - 1.0).abs() < 1e-9);
+        assert!((ok.backend - 0.85).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Unified simulation telemetry: a sink trait, a namespaced counter
+//! registry, and power-of-two histograms.
+//!
+//! Every model component exposes a `report_telemetry` method that pushes
+//! its counters into a [`Telemetry`] sink under dotted
+//! `component.counter` keys (`core.instructions`, `mem.l3.misses`,
+//! `hmc.vault07.queue_wait.p99`, ...). Reporting is *pull-based*: nothing
+//! is recorded while the models advance, so the layer costs nothing
+//! unless a driver asks for a snapshot — and because sinks only observe
+//! values the models already compute, enabling telemetry can never
+//! perturb timing.
+//!
+//! [`NullSink`] is the zero-cost default; [`CounterRegistry`] is the
+//! collecting sink the trace exporter snapshots per superstep.
+
+/// A sink for namespaced counter values.
+///
+/// Keys are dotted `component.counter` paths; values are `f64` so one
+/// channel carries both event counts and cycle totals (counts above
+/// 2^53 would round, which no realistic run approaches).
+pub trait Telemetry {
+    /// Records `value` for `key`, overwriting any earlier value.
+    fn record(&mut self, key: &str, value: f64);
+
+    /// Whether recorded values are observed at all. Lets callers skip
+    /// building expensive keys for a [`NullSink`].
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: drops everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Telemetry for NullSink {
+    fn record(&mut self, _key: &str, _value: f64) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A collecting sink: an insertion-ordered registry of counter values.
+///
+/// Insertion order is preserved so snapshots serialize deterministically;
+/// re-recording a key updates it in place.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterRegistry {
+    entries: Vec<(String, f64)>,
+}
+
+impl CounterRegistry {
+    /// Records `value` for `key` (same as the trait method, without
+    /// needing the trait in scope).
+    pub fn record(&mut self, key: &str, value: f64) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key.to_string(), value)),
+        }
+    }
+
+    /// The value recorded for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// All `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Entries whose key starts with `prefix`, in insertion order.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, f64)> {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Telemetry for CounterRegistry {
+    fn record(&mut self, key: &str, value: f64) {
+        CounterRegistry::record(self, key, value);
+    }
+}
+
+/// A histogram over non-negative samples with power-of-two bucket bounds.
+///
+/// Bucket `0` covers `[0, 1)`, bucket `i` covers `[2^(i-1), 2^i)`, and
+/// the last bucket is unbounded. Cheap enough to sit on the simulation
+/// hot path behind an `Option`, exact enough for queue-wait and
+/// occupancy distributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` bins (the last one unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Histogram {
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Records one sample. Negative and non-finite values clamp to 0.
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let mut bucket = 0usize;
+        let mut bound = 1.0f64;
+        while bucket + 1 < self.counts.len() && v >= bound {
+            bucket += 1;
+            bound *= 2.0;
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Per-bucket sample counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Exclusive upper bound of bucket `i` (the last bucket reports the
+    /// maximum observed sample).
+    pub fn bucket_bound(&self, i: usize) -> f64 {
+        if i + 1 >= self.counts.len() {
+            self.max
+        } else if i == 0 {
+            1.0
+        } else {
+            2.0f64.powi(i as i32)
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`p` in `[0, 1]`), or 0 with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Reports summary statistics under `prefix` (`prefix.count`,
+    /// `.mean`, `.max`, `.p50`, `.p99`).
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.count"), self.total as f64);
+        sink.record(&format!("{prefix}.mean"), self.mean());
+        sink.record(&format!("{prefix}.max"), self.max);
+        sink.record(&format!("{prefix}.p50"), self.percentile(0.50));
+        sink.record(&format!("{prefix}.p99"), self.percentile(0.99));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        sink.record("x", 1.0);
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn registry_records_and_overwrites() {
+        let mut reg = CounterRegistry::default();
+        reg.record("a.x", 1.0);
+        reg.record("a.y", 2.0);
+        reg.record("a.x", 3.0);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("a.x"), Some(3.0));
+        assert_eq!(reg.get("a.z"), None);
+        // Insertion order preserved across the overwrite.
+        let keys: Vec<&str> = reg.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a.x", "a.y"]);
+    }
+
+    #[test]
+    fn registry_prefix_filter() {
+        let mut reg = CounterRegistry::default();
+        reg.record("core.instructions", 10.0);
+        reg.record("mem.l1.hits", 5.0);
+        reg.record("core.branches", 2.0);
+        let core: Vec<&str> = reg.with_prefix("core.").map(|(k, _)| k).collect();
+        assert_eq!(core, ["core.instructions", "core.branches"]);
+    }
+
+    #[test]
+    fn registry_as_trait_object() {
+        let mut reg = CounterRegistry::default();
+        let sink: &mut dyn Telemetry = &mut reg;
+        assert!(sink.is_enabled());
+        sink.record("k", 7.0);
+        assert_eq!(reg.get("k"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new(4); // [0,1) [1,2) [2,4) [4,inf)
+        for v in [0.0, 0.5, 1.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 108.5 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_bad_samples() {
+        let mut h = Histogram::new(3);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.bucket_counts(), &[2, 0, 0]);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(8);
+        for _ in 0..99 {
+            h.record(0.5); // bucket 0, bound 1.0
+        }
+        h.record(50.0); // bucket 6: [32, 64)
+        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.99), 1.0);
+        // The top sample's bucket reports its upper bound.
+        assert_eq!(h.percentile(1.0), 64.0);
+        assert_eq!(Histogram::new(2).percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_reports_summary_keys() {
+        let mut h = Histogram::new(4);
+        h.record(2.0);
+        let mut reg = CounterRegistry::default();
+        h.report_telemetry("hmc.vault00.queue_wait", &mut reg);
+        assert_eq!(reg.get("hmc.vault00.queue_wait.count"), Some(1.0));
+        assert_eq!(reg.get("hmc.vault00.queue_wait.mean"), Some(2.0));
+        assert_eq!(reg.get("hmc.vault00.queue_wait.max"), Some(2.0));
+        assert_eq!(reg.get("hmc.vault00.queue_wait.p99"), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_needs_buckets() {
+        Histogram::new(0);
+    }
+}
