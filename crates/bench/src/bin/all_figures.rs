@@ -7,6 +7,13 @@
 //! the on-disk cache (`GRAPHPIM_CACHE_DIR` / `GRAPHPIM_NO_CACHE`), so a
 //! warm second invocation executes no new simulations.
 //!
+//! The instruction-trace store (`GRAPHPIM_TRACE_STORE`, on by default)
+//! additionally captures each distinct `(kernel, graph, threads)`
+//! workload's trace once and replays it for every sweep point, so wall
+//! time scales with the number of distinct workloads rather than the
+//! number of sweep points. `GRAPHPIM_NO_TRACE_STORE=1` disables it;
+//! `GRAPHPIM_STORE_STATS_JSON=<file>` dumps the capture/replay counters.
+//!
 //! Observability: `GRAPHPIM_TRACE_DIR=<dir>` writes one JSONL counter
 //! trace per fresh simulation; an engine-profiling summary (per-run wall
 //! time, disk-cache outcomes, pool utilization) goes to stderr at the
@@ -93,4 +100,5 @@ fn main() {
             Err(e) => eprintln!("[profile] cannot write {}: {e}", path.to_string_lossy()),
         }
     }
+    graphpim_bench::report_store_stats(&ctx);
 }

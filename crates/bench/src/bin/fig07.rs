@@ -1,12 +1,16 @@
 //! Regenerates Figure 7 (speedup over baseline) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//! `GRAPHPIM_STORE_STATS_JSON=<file>` dumps the trace-store counters
+//! (captures/replays/hits) after the run.
 
 use graphpim::experiments::{fig07, Experiments};
+use graphpim_bench::report_store_stats;
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig07] running at scale {} ...", ctx.size());
     let rows = fig07::run(&ctx);
     println!("{}", fig07::table(&rows));
+    report_store_stats(&ctx);
 }

@@ -1,10 +1,36 @@
 //! Benchmark harness crate for the GraphPIM reproduction.
 //!
-//! This crate carries no library code; it exists for its binaries (one per
-//! paper table/figure — see `src/bin/`) and its Criterion benches
-//! (`benches/`). Start with:
+//! This crate exists mainly for its binaries (one per paper table/figure
+//! — see `src/bin/`) and its Criterion benches (`benches/`); the library
+//! part carries only small helpers the binaries share. Start with:
 //!
 //! ```text
 //! cargo run --release -p graphpim-bench --bin all_figures
 //! cargo run --release -p graphpim-bench --bin run_kernel -- BFS --scale 10k
 //! ```
+
+use graphpim::experiments::Experiments;
+
+/// Emits the context's trace-store summary to stderr and, when
+/// `GRAPHPIM_STORE_STATS_JSON=<file>` is set, dumps the flat
+/// `tracestore.*` counter document there (consumed by CI's warm-store
+/// check).
+pub fn report_store_stats(ctx: &Experiments) {
+    let counts = ctx.profile().trace_store();
+    eprintln!(
+        "[tracestore] captures: {}, replays: {}, disk hits: {}, \
+         misses: {}, corrupt: {}, fallbacks: {}",
+        counts.captures,
+        counts.replays,
+        counts.disk_hits,
+        counts.disk_misses,
+        counts.corrupt,
+        counts.replay_fallbacks
+    );
+    if let Some(path) = std::env::var_os("GRAPHPIM_STORE_STATS_JSON") {
+        match std::fs::write(&path, ctx.store_stats_json()) {
+            Ok(()) => eprintln!("[tracestore] stats written to {}", path.to_string_lossy()),
+            Err(e) => eprintln!("[tracestore] cannot write {}: {e}", path.to_string_lossy()),
+        }
+    }
+}

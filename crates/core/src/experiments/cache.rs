@@ -33,22 +33,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// timing models, metric definitions, or this file format.
 ///
 /// v2: `HmcStats` gained `atomics_by_category`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: `RunMetrics` gained `trace_export_failed`.
+pub const SCHEMA_VERSION: u32 = 3;
 
-/// FNV-1a hash over the given parts (with separators, so part boundaries
-/// matter). Used as the config fingerprint.
-pub fn fingerprint(parts: &[&str]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for part in parts {
-        for b in part.bytes() {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash ^= 0x1f;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+pub use crate::fingerprint::fingerprint;
 
 /// Result of a [`DiskCache::lookup`].
 #[derive(Debug, Clone)]
@@ -247,9 +235,10 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
     let _ = writeln!(s, "  \"uncached_writes\": {},", m.uncached_writes);
     let _ = writeln!(
         s,
-        "  \"memory_service_cycles\": {:?}",
+        "  \"memory_service_cycles\": {:?},",
         m.memory_service_cycles
     );
+    let _ = writeln!(s, "  \"trace_export_failed\": {}", m.trace_export_failed);
     s.push_str("}\n");
     s
 }
@@ -338,6 +327,7 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
         uncached_reads: top.get("uncached_reads")?.as_u64()?,
         uncached_writes: top.get("uncached_writes")?.as_u64()?,
         memory_service_cycles: top.get("memory_service_cycles")?.as_f64()?,
+        trace_export_failed: top.get("trace_export_failed")?.as_bool()?,
     })
 }
 
@@ -399,6 +389,14 @@ pub(crate) mod json {
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Boolean value, or `None`.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
                 _ => None,
             }
         }
@@ -609,6 +607,7 @@ mod tests {
             uncached_reads: 5,
             uncached_writes: 4,
             memory_service_cycles: 1e12,
+            trace_export_failed: true,
         }
     }
 
@@ -694,9 +693,12 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_depends_on_part_boundaries() {
-        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
-        assert_ne!(fingerprint(&["x"]), fingerprint(&["x", ""]));
-        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+    fn fingerprint_is_reexported_from_shared_module() {
+        // The implementation lives in `crate::fingerprint`; both stores
+        // must resolve to the same function.
+        assert_eq!(
+            fingerprint(&["x", "y"]),
+            crate::fingerprint::fingerprint(&["x", "y"])
+        );
     }
 }

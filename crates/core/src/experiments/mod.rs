@@ -29,6 +29,10 @@
 //!   freshly simulated run (see [`crate::telemetry`]). Disk-cache hits
 //!   produce no trace; combine with `GRAPHPIM_NO_CACHE=1` to force
 //!   traces for every run.
+//! * `GRAPHPIM_TRACE_STORE=<dir>` — instruction-trace store directory
+//!   (default `<tmpdir>/graphpim-trace-store`; see [`crate::tracestore`]).
+//! * `GRAPHPIM_NO_TRACE_STORE=1` — disable trace capture/replay; every
+//!   run executes its kernel live.
 
 pub mod ablation;
 pub mod cache;
@@ -53,12 +57,15 @@ pub use cache::DiskCache;
 pub use profile::EngineProfile;
 
 use crate::config::{PimMode, SystemConfig};
+use crate::fingerprint::{fingerprint, result_env_fingerprint};
 use crate::metrics::RunMetrics;
 use crate::system::SystemSim;
 use crate::telemetry::TraceExporter;
+use crate::tracestore::{TraceLookup, TraceStore, WorkloadKey};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
-use graphpim_workloads::kernels::{by_name, KernelParams};
+use graphpim_sim::trace::codec::CODEC_VERSION;
+use graphpim_workloads::kernels::{by_name, Kernel, KernelParams};
 use profile::{PrewarmRecord, RunSource};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -68,22 +75,6 @@ use std::time::Instant;
 
 /// Seed for all generated input graphs (part of the cache fingerprint).
 const GRAPH_SEED: u64 = 7;
-
-/// Environment knobs that change simulation *results* (not just where or
-/// how fast they are computed). Their values are snapshotted into the
-/// cache fingerprint at context creation, so flipping one forces a
-/// disk-cache miss instead of silently replaying stale results.
-const RESULT_ENV_KNOBS: &[&str] = &["GRAPHPIM_SCALE"];
-
-/// Snapshot of [`RESULT_ENV_KNOBS`] for the cache fingerprint.
-fn result_env_fingerprint() -> String {
-    let mut s = String::new();
-    for knob in RESULT_ENV_KNOBS {
-        use std::fmt::Write as _;
-        let _ = write!(s, "{knob}={:?};", std::env::var(knob).ok());
-    }
-    s
-}
 
 /// A memoization key for one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -168,10 +159,17 @@ pub struct Experiments {
     verbose: bool,
     simulated: AtomicUsize,
     disk_hits: AtomicUsize,
-    /// Snapshot of [`RESULT_ENV_KNOBS`], folded into every fingerprint.
+    /// Snapshot of [`crate::fingerprint::RESULT_ENV_KNOBS`], folded into
+    /// every store fingerprint.
     env_fingerprint: String,
     /// Where freshly simulated runs write JSONL counter traces.
     trace_dir: Option<PathBuf>,
+    /// Instruction-trace store (`None` = capture/replay disabled; every
+    /// run executes its kernel live).
+    trace_store: Option<TraceStore>,
+    /// Workload → captured trace bytes, captured at most once per
+    /// distinct workload no matter how many sweep points replay it.
+    traces: OnceMap<WorkloadKey, Arc<Vec<u8>>>,
     profile: Mutex<EngineProfile>,
 }
 
@@ -197,7 +195,9 @@ impl Experiments {
 
     /// Context at an explicit scale with an explicit disk cache
     /// (`None` = in-memory memoization only). Tracing is taken from
-    /// `GRAPHPIM_TRACE_DIR` (off when unset).
+    /// `GRAPHPIM_TRACE_DIR` (off when unset); the instruction-trace
+    /// store from `GRAPHPIM_TRACE_STORE` / `GRAPHPIM_NO_TRACE_STORE`
+    /// (on by default).
     pub fn with_cache(size: LdbcSize, disk: Option<DiskCache>) -> Self {
         Experiments {
             size,
@@ -209,8 +209,22 @@ impl Experiments {
             disk_hits: AtomicUsize::new(0),
             env_fingerprint: result_env_fingerprint(),
             trace_dir: std::env::var_os("GRAPHPIM_TRACE_DIR").map(PathBuf::from),
+            trace_store: TraceStore::from_env(),
+            traces: Mutex::new(HashMap::new()),
             profile: Mutex::new(EngineProfile::default()),
         }
+    }
+
+    /// Same context with an explicit instruction-trace store (`None`
+    /// disables capture/replay). Overrides the environment selection.
+    pub fn with_trace_store(mut self, store: Option<TraceStore>) -> Self {
+        self.trace_store = store;
+        self
+    }
+
+    /// The instruction-trace store, if capture/replay is enabled.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.trace_store.as_ref()
     }
 
     /// Same context with an explicit trace directory: every freshly
@@ -367,38 +381,157 @@ impl Experiments {
         } else {
             self.graph(key.size)
         };
-        let mut params = KernelParams::scaled_for(graph.vertex_count());
-        params.root = pick_root(&graph);
-        let mut k =
-            by_name(&key.kernel, params).unwrap_or_else(|| panic!("unknown kernel {}", key.kernel));
         if self.verbose {
             eprintln!(
                 "[run] {} {} {} fus={} bw={}",
                 key.kernel, key.mode, key.size, key.fus, key.bw_tenths
             );
         }
-        let trace = self.trace_dir.as_ref().and_then(|dir| {
-            let path = dir.join(format!("{}.jsonl", key.file_stem()));
-            match TraceExporter::create(&path) {
-                Ok(exporter) => Some(exporter),
-                Err(e) => {
-                    eprintln!("[trace] cannot create {}: {e}", path.display());
-                    None
+        let config = self.config_for(key);
+        let make_exporter = || {
+            self.trace_dir.as_ref().and_then(|dir| {
+                let path = dir.join(format!("{}.jsonl", key.file_stem()));
+                match TraceExporter::create(&path) {
+                    Ok(exporter) => Some(exporter),
+                    Err(e) => {
+                        eprintln!("[trace] cannot create {}: {e}", path.display());
+                        None
+                    }
+                }
+            })
+        };
+        let live = || {
+            let mut k = self.build_kernel(key, &graph);
+            SystemSim::run_kernel_traced(k.as_mut(), &graph, &config, make_exporter())
+        };
+        let (metrics, source) = match self.workload_trace(key, &graph) {
+            Some(bytes) => {
+                match SystemSim::run_replayed_traced(&bytes, &config, make_exporter()) {
+                    Ok(m) => {
+                        self.profile.lock().unwrap().note_replay();
+                        (m, RunSource::Replayed)
+                    }
+                    Err(e) => {
+                        // Should be unreachable — entries are checksum-
+                        // validated at load — but a decode failure must
+                        // degrade to a correct live run, never a panic.
+                        eprintln!("[trace-store] replay failed ({e}); running live");
+                        self.profile.lock().unwrap().note_replay_fallback();
+                        (live(), RunSource::Simulated)
+                    }
                 }
             }
-        });
-        let metrics =
-            SystemSim::run_kernel_traced(k.as_mut(), &graph, &self.config_for(key), trace);
+            None => (live(), RunSource::Simulated),
+        };
         self.simulated.fetch_add(1, Ordering::Relaxed);
         if let Some(disk) = &self.disk {
             disk.store(key, fingerprint, &metrics);
         }
-        self.profile.lock().unwrap().record_run(
-            key.file_stem(),
-            start.elapsed().as_secs_f64(),
-            RunSource::Simulated,
-        );
+        let mut profile = self.profile.lock().unwrap();
+        if metrics.trace_export_failed {
+            profile.note_trace_export_failure();
+        }
+        profile.record_run(key.file_stem(), start.elapsed().as_secs_f64(), source);
+        drop(profile);
         metrics
+    }
+
+    /// A fresh kernel instance for `key`, parameterized exactly as every
+    /// run (live or capture) of this workload must be.
+    fn build_kernel(&self, key: &RunKey, graph: &CsrGraph) -> Box<dyn Kernel> {
+        let mut params = KernelParams::scaled_for(graph.vertex_count());
+        params.root = pick_root(graph);
+        by_name(&key.kernel, params).unwrap_or_else(|| panic!("unknown kernel {}", key.kernel))
+    }
+
+    /// The captured instruction trace for `key`'s workload, or `None`
+    /// when the trace store is disabled.
+    ///
+    /// Capture-once semantics: the first caller for a distinct
+    /// `(kernel, graph, threads)` workload either loads the trace from
+    /// the store or performs the single functional kernel execution and
+    /// persists it; all concurrent and later callers (any mode, FU count,
+    /// or bandwidth) share those bytes.
+    fn workload_trace(&self, key: &RunKey, graph: &Arc<CsrGraph>) -> Option<Arc<Vec<u8>>> {
+        let store = self.trace_store.as_ref()?;
+        let threads = self.config_for(key).sim.core.cores;
+        let wkey = WorkloadKey {
+            kernel: key.kernel.clone(),
+            graph: format!("ldbc-{}", key.size.name()),
+            threads,
+        };
+        let cell = {
+            let mut traces = self.traces.lock().unwrap();
+            Arc::clone(traces.entry(wkey.clone()).or_default())
+        };
+        Some(Arc::clone(cell.get_or_init(|| {
+            let fp = self.trace_fingerprint(key, threads);
+            match store.lookup(&wkey, fp) {
+                TraceLookup::Hit(bytes) => {
+                    if self.verbose {
+                        eprintln!("[trace-store hit] {}", wkey.file_stem());
+                    }
+                    self.profile.lock().unwrap().note_trace_disk_hit();
+                    Arc::new(bytes)
+                }
+                found => {
+                    {
+                        let mut profile = self.profile.lock().unwrap();
+                        match found {
+                            TraceLookup::Corrupt => profile.note_trace_corrupt(),
+                            _ => profile.note_trace_disk_miss(),
+                        }
+                    }
+                    if self.verbose {
+                        eprintln!("[capture] {}", wkey.file_stem());
+                    }
+                    let start = Instant::now();
+                    let mut k = self.build_kernel(key, graph);
+                    let bytes = crate::tracestore::capture_kernel(k.as_mut(), graph, threads);
+                    store.store(&wkey, fp, &bytes);
+                    self.profile
+                        .lock()
+                        .unwrap()
+                        .note_trace_capture(start.elapsed().as_secs_f64());
+                    Arc::new(bytes)
+                }
+            }
+        })))
+    }
+
+    /// Trace-store fingerprint: everything that determines the
+    /// instruction trace — codec and crate versions, kernel, the full
+    /// input-graph recipe, thread count, and the result-affecting env
+    /// knobs. Deliberately excludes the timing configuration: that is
+    /// what makes one capture serve every sweep point.
+    fn trace_fingerprint(&self, key: &RunKey, threads: usize) -> u64 {
+        fingerprint(&[
+            &format!("codec-v{CODEC_VERSION}"),
+            env!("CARGO_PKG_VERSION"),
+            &key.kernel,
+            &format!(
+                "ldbc:{}:seed{}:weighted={}",
+                key.size.name(),
+                GRAPH_SEED,
+                key.kernel == "SSSP"
+            ),
+            &threads.to_string(),
+            &self.env_fingerprint,
+        ])
+    }
+
+    /// Flat JSON document of the `tracestore.*` telemetry counters
+    /// (written by the figure binaries under `GRAPHPIM_STORE_STATS_JSON`).
+    pub fn store_stats_json(&self) -> String {
+        let reg = self.profile.lock().unwrap().tracestore_counters();
+        let mut s = String::from("{\n");
+        let entries: Vec<String> = reg
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:?}"))
+            .collect();
+        s.push_str(&entries.join(",\n"));
+        s.push_str("\n}\n");
+        s
     }
 
     /// The full system configuration a key resolves to.

@@ -9,15 +9,19 @@
 //! Wall times are measured around the experiment engine, not inside the
 //! simulator, so profiling never touches simulated timing.
 
+use graphpim_sim::telemetry::CounterRegistry;
 use std::fmt::Write as _;
 
 /// Where a run's result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunSource {
-    /// Freshly simulated in this process.
+    /// Freshly simulated in this process, kernel executed live.
     Simulated,
     /// Loaded from the persistent disk cache.
     DiskHit,
+    /// Timing-simulated in this process from a stored instruction trace
+    /// (no kernel execution).
+    Replayed,
 }
 
 impl RunSource {
@@ -25,6 +29,7 @@ impl RunSource {
         match self {
             RunSource::Simulated => "simulated",
             RunSource::DiskHit => "disk-hit",
+            RunSource::Replayed => "replayed",
         }
     }
 }
@@ -75,6 +80,30 @@ pub struct EngineProfile {
     disk_misses: usize,
     disk_stale: usize,
     prewarms: Vec<PrewarmRecord>,
+    trace: TraceStoreCounts,
+}
+
+/// Capture/replay counters of the trace-store subsystem, as accumulated
+/// by one experiment context. Exported to telemetry under the
+/// `tracestore.*` namespace ([`EngineProfile::tracestore_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStoreCounts {
+    /// Functional kernel executions performed to capture a trace.
+    pub captures: usize,
+    /// Wall seconds spent in those captures.
+    pub capture_seconds: f64,
+    /// Trace-store lookups satisfied from disk.
+    pub disk_hits: usize,
+    /// Trace-store lookups with no entry.
+    pub disk_misses: usize,
+    /// Entries rejected by codec validation (and removed).
+    pub corrupt: usize,
+    /// Runs resolved by replaying a captured trace.
+    pub replays: usize,
+    /// Replays that failed mid-stream and fell back to a live run.
+    pub replay_fallbacks: usize,
+    /// Runs whose attached JSONL trace export failed to write.
+    pub export_failures: usize,
 }
 
 impl EngineProfile {
@@ -108,6 +137,63 @@ impl EngineProfile {
         self.prewarms.push(record);
     }
 
+    /// Counts one trace capture (a functional kernel execution).
+    pub fn note_trace_capture(&mut self, seconds: f64) {
+        self.trace.captures += 1;
+        self.trace.capture_seconds += seconds;
+    }
+
+    /// Counts a trace-store disk hit.
+    pub fn note_trace_disk_hit(&mut self) {
+        self.trace.disk_hits += 1;
+    }
+
+    /// Counts a trace-store disk miss.
+    pub fn note_trace_disk_miss(&mut self) {
+        self.trace.disk_misses += 1;
+    }
+
+    /// Counts a corrupt trace-store entry (rejected and removed).
+    pub fn note_trace_corrupt(&mut self) {
+        self.trace.corrupt += 1;
+    }
+
+    /// Counts one run resolved by replay.
+    pub fn note_replay(&mut self) {
+        self.trace.replays += 1;
+    }
+
+    /// Counts a replay that failed and fell back to a live run.
+    pub fn note_replay_fallback(&mut self) {
+        self.trace.replay_fallbacks += 1;
+    }
+
+    /// Counts a run whose JSONL trace export failed to write.
+    pub fn note_trace_export_failure(&mut self) {
+        self.trace.export_failures += 1;
+    }
+
+    /// The accumulated trace-store counters.
+    pub fn trace_store(&self) -> TraceStoreCounts {
+        self.trace
+    }
+
+    /// The trace-store counters as a telemetry registry under the
+    /// `tracestore.*` namespace.
+    pub fn tracestore_counters(&self) -> CounterRegistry {
+        let mut reg = CounterRegistry::default();
+        let t = &self.trace;
+        reg.record("tracestore.captures", t.captures as f64);
+        reg.record("tracestore.capture_seconds", t.capture_seconds);
+        reg.record("tracestore.disk_hits", t.disk_hits as f64);
+        reg.record("tracestore.disk_misses", t.disk_misses as f64);
+        reg.record("tracestore.corrupt", t.corrupt as f64);
+        reg.record("tracestore.replays", t.replays as f64);
+        reg.record("tracestore.replay_fallbacks", t.replay_fallbacks as f64);
+        reg.record("tracestore.export_failures", t.export_failures as f64);
+        reg
+    }
+
     /// All run records, in resolution order.
     pub fn runs(&self) -> &[RunRecord] {
         &self.runs
@@ -128,11 +214,12 @@ impl EngineProfile {
         self.disk_stale
     }
 
-    /// Total wall seconds spent actually simulating.
+    /// Total wall seconds spent actually simulating (live and replayed
+    /// timing runs; disk hits excluded).
     pub fn simulated_seconds(&self) -> f64 {
         self.runs
             .iter()
-            .filter(|r| r.source == RunSource::Simulated)
+            .filter(|r| r.source != RunSource::DiskHit)
             .map(|r| r.seconds)
             .sum()
     }
@@ -151,7 +238,7 @@ impl EngineProfile {
         let simulated = self
             .runs
             .iter()
-            .filter(|r| r.source == RunSource::Simulated)
+            .filter(|r| r.source != RunSource::DiskHit)
             .count();
         let _ = writeln!(
             s,
@@ -166,6 +253,29 @@ impl EngineProfile {
             "[profile] disk cache: {} hits, {} misses, {} stale",
             self.disk_hits, self.disk_misses, self.disk_stale
         );
+        if self.trace != TraceStoreCounts::default() {
+            let t = &self.trace;
+            let _ = writeln!(
+                s,
+                "[profile] trace store: {} captures ({:.2}s), {} disk hits, \
+                 {} misses, {} corrupt; {} replays, {} fallbacks",
+                t.captures,
+                t.capture_seconds,
+                t.disk_hits,
+                t.disk_misses,
+                t.corrupt,
+                t.replays,
+                t.replay_fallbacks
+            );
+        }
+        if self.trace.export_failures > 0 {
+            let _ = writeln!(
+                s,
+                "[profile] WARNING: {} JSONL trace exports failed to write \
+                 (traces on disk are incomplete)",
+                self.trace.export_failures
+            );
+        }
         if let Some(slowest) = self.slowest() {
             let _ = writeln!(
                 s,
@@ -209,6 +319,21 @@ impl EngineProfile {
             s,
             "  ],\n  \"disk\": {{\"hits\": {}, \"misses\": {}, \"stale\": {}}},",
             self.disk_hits, self.disk_misses, self.disk_stale
+        );
+        let t = &self.trace;
+        let _ = writeln!(
+            s,
+            "  \"tracestore\": {{\"captures\": {}, \"capture_seconds\": {:?}, \
+             \"disk_hits\": {}, \"disk_misses\": {}, \"corrupt\": {}, \
+             \"replays\": {}, \"replay_fallbacks\": {}, \"export_failures\": {}}},",
+            t.captures,
+            t.capture_seconds,
+            t.disk_hits,
+            t.disk_misses,
+            t.corrupt,
+            t.replays,
+            t.replay_fallbacks,
+            t.export_failures
         );
         s.push_str("  \"prewarm\": [\n");
         for (i, p) in self.prewarms.iter().enumerate() {
@@ -312,6 +437,45 @@ mod tests {
                 .as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn trace_store_counters_flow_to_summary_and_telemetry() {
+        let mut p = EngineProfile::default();
+        p.note_trace_disk_miss();
+        p.note_trace_capture(0.5);
+        p.note_replay();
+        p.record_run("bfs-k1".into(), 0.1, RunSource::Replayed);
+        p.note_trace_disk_hit();
+        p.note_replay();
+        p.record_run("bfs-k1-pim".into(), 0.1, RunSource::Replayed);
+        p.note_trace_export_failure();
+        let t = p.trace_store();
+        assert_eq!(t.captures, 1);
+        assert_eq!(t.disk_hits, 1);
+        assert_eq!(t.disk_misses, 1);
+        assert_eq!(t.replays, 2);
+        assert_eq!(t.export_failures, 1);
+        // Replayed runs count as simulated time.
+        assert!((p.simulated_seconds() - 0.2).abs() < 1e-12);
+        let summary = p.summary();
+        assert!(summary.contains("trace store: 1 captures"));
+        assert!(summary.contains("2 replays"));
+        assert!(summary.contains("WARNING: 1 JSONL trace exports failed"));
+        let reg = p.tracestore_counters();
+        assert_eq!(reg.get("tracestore.captures"), Some(1.0));
+        assert_eq!(reg.get("tracestore.replays"), Some(2.0));
+        assert_eq!(reg.get("tracestore.export_failures"), Some(1.0));
+        // The JSON dump stays parseable with the new section.
+        let doc = crate::experiments::cache::json::parse(&p.to_json()).expect("valid JSON");
+        let ts = doc
+            .as_object()
+            .unwrap()
+            .get("tracestore")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(ts.get("replays").unwrap().as_u64(), Some(2));
     }
 
     #[test]

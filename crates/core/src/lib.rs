@@ -43,8 +43,10 @@ pub mod analytic;
 pub mod config;
 pub mod energy;
 pub mod experiments;
+pub mod fingerprint;
 pub mod metrics;
 pub mod pou;
 pub mod report;
 pub mod system;
 pub mod telemetry;
+pub mod tracestore;

@@ -48,6 +48,10 @@ pub struct RunMetrics {
     /// Total cycles of main-memory service experienced by demand requests
     /// (the "uncore time" proxy of Table VIII).
     pub memory_service_cycles: f64,
+    /// Whether an attached JSONL trace export failed to write completely.
+    /// The metrics themselves are still valid (telemetry is
+    /// observation-only), but the trace file on disk must not be trusted.
+    pub trace_export_failed: bool,
 }
 
 impl RunMetrics {
@@ -222,6 +226,7 @@ mod tests {
             uncached_reads: 0,
             uncached_writes: 0,
             memory_service_cycles: 400.0,
+            trace_export_failed: false,
         }
     }
 

@@ -27,7 +27,8 @@ use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
 use graphpim_sim::mem::hierarchy::{CacheHierarchy, ServiceLevel};
 use graphpim_sim::mem::Addr;
 use graphpim_sim::telemetry::CounterRegistry;
-use graphpim_sim::trace::{Superstep, TraceOp};
+use graphpim_sim::trace::codec::{CodecError, TraceReader};
+use graphpim_sim::trace::{Superstep, TraceEvent, TraceOp};
 use graphpim_sim::Cycle;
 use graphpim_workloads::framework::{Framework, TraceConsumer};
 use graphpim_workloads::kernels::Kernel;
@@ -53,6 +54,7 @@ pub struct SystemSim {
     uncached_writes: u64,
     memory_service_cycles: f64,
     trace: Option<TraceExporter>,
+    trace_export_failed: bool,
     superstep: u64,
 }
 
@@ -82,6 +84,7 @@ impl SystemSim {
             uncached_writes: 0,
             memory_service_cycles: 0.0,
             trace: None,
+            trace_export_failed: false,
             superstep: 0,
         }
     }
@@ -144,6 +147,40 @@ impl SystemSim {
         sys.into_metrics()
     }
 
+    /// Replays a captured binary trace (see
+    /// [`graphpim_sim::trace::codec`]) through the timing models under
+    /// `config`, without executing any kernel code.
+    ///
+    /// The trace must have been captured with a thread count equal to
+    /// `config.sim.core.cores`; the result is then bit-identical to
+    /// [`run_kernel`](Self::run_kernel) of the same workload under the
+    /// same config — replay drives the exact chunk/barrier event sequence
+    /// a live run produces.
+    pub fn run_replayed(bytes: &[u8], config: &SystemConfig) -> Result<RunMetrics, CodecError> {
+        Self::run_replayed_traced(bytes, config, None)
+    }
+
+    /// [`run_replayed`](Self::run_replayed) with an optional trace
+    /// exporter.
+    pub fn run_replayed_traced(
+        bytes: &[u8],
+        config: &SystemConfig,
+        trace: Option<TraceExporter>,
+    ) -> Result<RunMetrics, CodecError> {
+        let mut reader = TraceReader::new(bytes)?;
+        let mut sys = SystemSim::new(config.clone());
+        if let Some(trace) = trace {
+            sys.enable_trace(trace);
+        }
+        while let Some(event) = reader.next_event()? {
+            match event {
+                TraceEvent::Chunk(step) => sys.chunk(step),
+                TraceEvent::Barrier => sys.barrier(),
+            }
+        }
+        Ok(sys.into_metrics())
+    }
+
     /// Sums statistics over all cores.
     fn aggregated_core_stats(&self) -> CoreStats {
         let mut agg = CoreStats::default();
@@ -198,6 +235,7 @@ impl SystemSim {
                 trace.snapshot(self.superstep + 1, total_cycles, &counters);
                 if let Err(e) = trace.finish() {
                     eprintln!("[trace] write failed: {e}");
+                    self.trace_export_failed = true;
                 }
             }
         }
@@ -220,6 +258,7 @@ impl SystemSim {
             uncached_reads: self.uncached_reads,
             uncached_writes: self.uncached_writes,
             memory_service_cycles: self.memory_service_cycles,
+            trace_export_failed: self.trace_export_failed,
         }
     }
 

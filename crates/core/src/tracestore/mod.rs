@@ -1,0 +1,246 @@
+//! Content-addressed on-disk store of captured instruction traces.
+//!
+//! The `TraceOp` stream of a run is invariant across timing
+//! configurations — only `(kernel, graph, threads)` determines it (plus
+//! the environment knobs that pick the graph, i.e. `GRAPHPIM_SCALE`).
+//! The experiment engine therefore **captures** each distinct workload
+//! once — a purely functional kernel execution streamed through the
+//! binary codec, no timing simulation — and **replays** the stored bytes
+//! through [`SystemSim::run_replayed`](crate::system::SystemSim::run_replayed)
+//! for every sweep point. This mirrors the paper's methodology split:
+//! MacSim generates the instruction trace once, SST's memory timing
+//! models consume it per configuration.
+//!
+//! Entries are one `.trace` file per (workload, fingerprint) pair, where
+//! the fingerprint (see [`crate::fingerprint`]) covers the codec version,
+//! crate version, graph recipe, thread count, and the result-affecting
+//! env knobs. Writes go through a unique temp file plus rename, so
+//! concurrent writers never expose a torn entry; reads validate the
+//! codec checksum and degrade corrupt entries to regeneration, never to
+//! wrong replays.
+//!
+//! Environment knobs:
+//!
+//! * `GRAPHPIM_TRACE_STORE=<dir>` — store directory (default
+//!   `<tmpdir>/graphpim-trace-store`).
+//! * `GRAPHPIM_NO_TRACE_STORE=1` — disable capture/replay entirely
+//!   (every run executes its kernel live, as before this subsystem).
+
+use graphpim_graph::CsrGraph;
+use graphpim_sim::trace::codec::TraceReader;
+use graphpim_workloads::framework::{EncodeTrace, Framework};
+use graphpim_workloads::kernels::Kernel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one functional workload: everything that determines the
+/// instruction trace (timing configuration explicitly excluded).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    /// Kernel name as accepted by `graphpim_workloads::kernels::by_name`.
+    pub kernel: String,
+    /// Short filesystem-safe input label (e.g. `ldbc-1k`). The full graph
+    /// recipe goes into the fingerprint; this only names the file.
+    pub graph: String,
+    /// Simulated thread count the trace was captured with (must match the
+    /// core count of any config it is replayed under).
+    pub threads: usize,
+}
+
+impl WorkloadKey {
+    /// Filesystem-safe stem for store entries.
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}-{}-t{}",
+            self.kernel.replace('/', "_"),
+            self.graph.replace('/', "_"),
+            self.threads
+        )
+    }
+}
+
+/// Result of a [`TraceStore::lookup`].
+#[derive(Debug)]
+pub enum TraceLookup {
+    /// A checksum-valid entry for this (key, fingerprint) pair.
+    Hit(Vec<u8>),
+    /// The entry exists but fails codec validation (torn write, bit rot,
+    /// or written by an incompatible codec without a fingerprint bump).
+    /// The caller should recapture; the bad file has been removed.
+    Corrupt,
+    /// Never captured.
+    Miss,
+}
+
+/// A directory of captured traces, one binary file per
+/// (workload, fingerprint) pair. All operations are best-effort: I/O
+/// errors degrade to misses / skipped writes, never to wrong results.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// The store selected by the environment, or `None` when
+    /// `GRAPHPIM_NO_TRACE_STORE` is set.
+    pub fn from_env() -> Option<TraceStore> {
+        if std::env::var_os("GRAPHPIM_NO_TRACE_STORE").is_some() {
+            return None;
+        }
+        let dir = std::env::var_os("GRAPHPIM_TRACE_STORE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("graphpim-trace-store"));
+        Some(TraceStore::at(dir))
+    }
+
+    /// A store rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> TraceStore {
+        TraceStore { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads and validates the trace captured for `key` under
+    /// `fingerprint`. A corrupt entry is deleted (best-effort) so the
+    /// recapture that follows can land cleanly.
+    pub fn lookup(&self, key: &WorkloadKey, fingerprint: u64) -> TraceLookup {
+        let path = self.path(key, fingerprint);
+        match std::fs::read(&path) {
+            Ok(bytes) => match TraceReader::new(&bytes) {
+                Ok(_) => TraceLookup::Hit(bytes),
+                Err(_) => {
+                    let _ = std::fs::remove_file(&path);
+                    TraceLookup::Corrupt
+                }
+            },
+            Err(_) => TraceLookup::Miss,
+        }
+    }
+
+    /// Persists `bytes` for `key` under `fingerprint`. Atomic: written to
+    /// a unique temp file, then renamed, so concurrent writers (threads
+    /// or processes) never expose a torn entry.
+    pub fn store(&self, key: &WorkloadKey, fingerprint: u64, bytes: &[u8]) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, bytes).is_ok()
+            && std::fs::rename(&tmp, self.path(key, fingerprint)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn path(&self, key: &WorkloadKey, fingerprint: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}-{fingerprint:016x}.trace", key.file_stem()))
+    }
+}
+
+/// Captures the full instruction trace of one kernel run: a purely
+/// functional execution over `threads` simulated threads, streamed
+/// straight into the binary codec. No timing model is involved; the
+/// result replays bit-identically under any `SystemConfig` whose core
+/// count equals `threads`.
+pub fn capture_kernel(kernel: &mut dyn Kernel, graph: &CsrGraph, threads: usize) -> Vec<u8> {
+    let mut encoder = EncodeTrace::new(threads);
+    {
+        let mut fw = Framework::new(threads, &mut encoder);
+        kernel.run(graph, &mut fw);
+        fw.finish();
+    }
+    encoder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_sim::trace::codec;
+    use graphpim_workloads::kernels::Bfs;
+
+    fn tmp_store(name: &str) -> TraceStore {
+        let dir = std::env::temp_dir().join(format!(
+            "graphpim-tracestore-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TraceStore::at(dir)
+    }
+
+    fn key() -> WorkloadKey {
+        WorkloadKey {
+            kernel: "BFS".into(),
+            graph: "uniform-200".into(),
+            threads: 2,
+        }
+    }
+
+    fn sample_trace() -> Vec<u8> {
+        let graph = GraphSpec::uniform(200, 800).seed(3).build();
+        capture_kernel(&mut Bfs::new(0), &graph, 2)
+    }
+
+    #[test]
+    fn capture_produces_a_valid_trace() {
+        let bytes = sample_trace();
+        let (threads, events) = codec::decode(&bytes).expect("capture must be decodable");
+        assert_eq!(threads, 2);
+        assert!(!events.is_empty(), "BFS must emit work");
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let store = tmp_store("roundtrip");
+        let bytes = sample_trace();
+        store.store(&key(), 0xFEED, &bytes);
+        match store.lookup(&key(), 0xFEED) {
+            TraceLookup::Hit(loaded) => assert_eq!(loaded, bytes),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn changed_fingerprint_misses() {
+        let store = tmp_store("fingerprint");
+        store.store(&key(), 1, &sample_trace());
+        assert!(matches!(store.lookup(&key(), 2), TraceLookup::Miss));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_reported_and_removed() {
+        let store = tmp_store("corrupt");
+        let bytes = sample_trace();
+        store.store(&key(), 7, &bytes);
+        // Flip one payload byte: the codec checksum must catch it.
+        let path = store.path(&key(), 7);
+        let mut bad = std::fs::read(&path).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(store.lookup(&key(), 7), TraceLookup::Corrupt));
+        // The bad file is gone, so the next lookup is a clean miss.
+        assert!(matches!(store.lookup(&key(), 7), TraceLookup::Miss));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn file_stems_are_filesystem_safe_and_distinct() {
+        let a = key();
+        let mut b = key();
+        b.threads = 16;
+        assert_ne!(a.file_stem(), b.file_stem());
+        assert!(!a.file_stem().contains('/'));
+    }
+}

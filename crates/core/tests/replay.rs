@@ -1,0 +1,159 @@
+//! Integration tests for the trace-store subsystem: replaying a captured
+//! instruction trace must be bit-identical to a live run under the same
+//! config, capture must happen at most once per distinct workload, and a
+//! warm store must satisfy a fresh context entirely from disk.
+
+use graphpim::config::{PimMode, SystemConfig};
+use graphpim::experiments::{Experiments, RunKey};
+use graphpim::metrics::RunMetrics;
+use graphpim::system::SystemSim;
+use graphpim::tracestore::{capture_kernel, TraceStore};
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_graph::CsrGraph;
+use graphpim_workloads::kernels::{Bfs, Kernel, PRank};
+use std::path::PathBuf;
+
+fn graph() -> CsrGraph {
+    GraphSpec::uniform(3_000, 12_000).seed(11).build()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphpim-replay-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_bit_identical(live: &RunMetrics, replayed: &RunMetrics, what: &str) {
+    assert_eq!(replayed, live, "replay diverged for {what}");
+    assert_eq!(
+        replayed.total_cycles.to_bits(),
+        live.total_cycles.to_bits(),
+        "cycle count not bit-identical for {what}"
+    );
+    assert_eq!(
+        replayed.memory_service_cycles.to_bits(),
+        live.memory_service_cycles.to_bits(),
+        "memory service cycles not bit-identical for {what}"
+    );
+}
+
+/// One capture serves both an atomic-heavy (BFS) and an FP (PageRank)
+/// kernel across baseline and PIM configs: the replay of each trace is
+/// bit-identical to the corresponding live run.
+#[test]
+fn replay_is_bit_identical_to_live_run() {
+    let g = graph();
+    type MakeKernel = fn() -> Box<dyn Kernel>;
+    let kernels: [(&str, MakeKernel); 2] = [
+        ("BFS", || Box::new(Bfs::new(0))),
+        ("PRank", || Box::new(PRank::new(2))),
+    ];
+    for (name, make) in kernels {
+        let config = SystemConfig::tiny(PimMode::Baseline);
+        let bytes = capture_kernel(make().as_mut(), &g, config.sim.core.cores);
+        for mode in [PimMode::Baseline, PimMode::GraphPim, PimMode::UPei] {
+            let config = SystemConfig::tiny(mode);
+            let live = SystemSim::run_kernel(make().as_mut(), &g, &config);
+            let replayed = SystemSim::run_replayed(&bytes, &config).expect("valid trace");
+            assert_bit_identical(&live, &replayed, &format!("{name} under {mode}"));
+        }
+        // The same trace also replays faithfully under non-default timing
+        // parameters — the point of capture-once / replay-many.
+        let tweaked = SystemConfig::tiny(PimMode::GraphPim)
+            .with_fus_per_vault(4)
+            .with_link_bandwidth_factor(0.5);
+        let live = SystemSim::run_kernel(make().as_mut(), &g, &tweaked);
+        let replayed = SystemSim::run_replayed(&bytes, &tweaked).expect("valid trace");
+        assert_bit_identical(&live, &replayed, &format!("{name} tweaked"));
+    }
+}
+
+#[test]
+fn garbage_bytes_are_rejected_not_replayed() {
+    let config = SystemConfig::tiny(PimMode::Baseline);
+    assert!(SystemSim::run_replayed(b"not a trace", &config).is_err());
+    assert!(SystemSim::run_replayed(&[], &config).is_err());
+}
+
+/// The engine captures each distinct workload once and replays it for
+/// every sweep point; disabling the store must not change any metric.
+#[test]
+fn engine_replay_matches_store_disabled_runs() {
+    let keys: Vec<RunKey> = [PimMode::Baseline, PimMode::GraphPim, PimMode::UPei]
+        .into_iter()
+        .map(|mode| RunKey::new("BFS", mode, LdbcSize::K1))
+        .chain([RunKey::new("BFS", PimMode::GraphPim, LdbcSize::K1).with_fus(4)])
+        .collect();
+
+    // Reference: trace store disabled, every run executes live.
+    let plain = Experiments::with_cache(LdbcSize::K1, None).with_trace_store(None);
+    let expected: Vec<RunMetrics> = keys.iter().map(|k| plain.metrics_for(k)).collect();
+    assert_eq!(plain.profile().trace_store().captures, 0);
+
+    let store_dir = tmp_dir("engine");
+    let ctx = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    ctx.prewarm(keys.iter().cloned());
+    for (key, want) in keys.iter().zip(&expected) {
+        let got = ctx.metrics_for(key);
+        assert_eq!(&got, want, "trace-store replay diverged for {key:?}");
+        assert_eq!(got.total_cycles.to_bits(), want.total_cycles.to_bits());
+    }
+
+    // Four sweep points, one workload: exactly one functional execution.
+    let counts = ctx.profile().trace_store();
+    assert_eq!(counts.captures, 1, "one capture per distinct workload");
+    assert_eq!(counts.replays, keys.len());
+    assert_eq!(counts.replay_fallbacks, 0);
+    assert_eq!(counts.corrupt, 0);
+    // Timing simulations still count as simulations.
+    assert_eq!(ctx.simulations_executed(), keys.len());
+
+    // A fresh context over the same store replays without capturing.
+    let warm = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    let again = warm.metrics_for(&keys[0]);
+    assert_eq!(again, expected[0]);
+    let counts = warm.profile().trace_store();
+    assert_eq!(counts.captures, 0, "warm store must not re-execute kernels");
+    assert_eq!(counts.disk_hits, 1);
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// A corrupt store entry degrades to recapture, never to a wrong replay.
+#[test]
+fn corrupt_store_entry_forces_recapture() {
+    let store_dir = tmp_dir("corrupt");
+    let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+
+    let first = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    let want = first.metrics_for(&key);
+    assert_eq!(first.profile().trace_store().captures, 1);
+    drop(first);
+
+    // Flip a byte in the middle of every stored trace.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&store_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "trace") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x08;
+            std::fs::write(&path, &bytes).unwrap();
+            flipped += 1;
+        }
+    }
+    assert_eq!(flipped, 1);
+
+    let second = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    let got = second.metrics_for(&key);
+    assert_eq!(got, want, "recaptured replay must match");
+    let counts = second.profile().trace_store();
+    assert_eq!(counts.corrupt, 1);
+    assert_eq!(counts.captures, 1, "corruption must force a recapture");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

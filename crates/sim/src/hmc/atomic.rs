@@ -139,6 +139,66 @@ impl HmcAtomicOp {
         HmcAtomicOp::CompareEqual16,
     ];
 
+    /// Every command, HMC 2.0 set first, FP extension last. The position
+    /// of a command in this array is its stable wire code
+    /// ([`code`](Self::code) / [`from_code`](Self::from_code)) used by the
+    /// binary trace codec — append only, never reorder.
+    pub const ALL: [HmcAtomicOp; 20] = [
+        HmcAtomicOp::DualAdd8,
+        HmcAtomicOp::Add16,
+        HmcAtomicOp::DualAdd8Ret,
+        HmcAtomicOp::Add16Ret,
+        HmcAtomicOp::Increment8,
+        HmcAtomicOp::Swap16,
+        HmcAtomicOp::BitWrite8,
+        HmcAtomicOp::BitWrite8Ret,
+        HmcAtomicOp::And16,
+        HmcAtomicOp::Nand16,
+        HmcAtomicOp::Or16,
+        HmcAtomicOp::Nor16,
+        HmcAtomicOp::Xor16,
+        HmcAtomicOp::CasIfEqual8,
+        HmcAtomicOp::CasIfZero16,
+        HmcAtomicOp::CasIfGreater16,
+        HmcAtomicOp::CasIfLess16,
+        HmcAtomicOp::CompareEqual16,
+        HmcAtomicOp::FpAdd32,
+        HmcAtomicOp::FpAdd64,
+    ];
+
+    /// Stable one-byte wire code of this command (its position in
+    /// [`HmcAtomicOp::ALL`]).
+    pub fn code(self) -> u8 {
+        use HmcAtomicOp::*;
+        match self {
+            DualAdd8 => 0,
+            Add16 => 1,
+            DualAdd8Ret => 2,
+            Add16Ret => 3,
+            Increment8 => 4,
+            Swap16 => 5,
+            BitWrite8 => 6,
+            BitWrite8Ret => 7,
+            And16 => 8,
+            Nand16 => 9,
+            Or16 => 10,
+            Nor16 => 11,
+            Xor16 => 12,
+            CasIfEqual8 => 13,
+            CasIfZero16 => 14,
+            CasIfGreater16 => 15,
+            CasIfLess16 => 16,
+            CompareEqual16 => 17,
+            FpAdd32 => 18,
+            FpAdd64 => 19,
+        }
+    }
+
+    /// The command with the given wire code, or `None`.
+    pub fn from_code(code: u8) -> Option<HmcAtomicOp> {
+        Self::ALL.get(code as usize).copied()
+    }
+
     /// Table I category of this command.
     pub fn category(self) -> AtomicCategory {
         use HmcAtomicOp::*;
@@ -302,6 +362,17 @@ impl std::fmt::Display for HmcAtomicOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for (i, op) in HmcAtomicOp::ALL.iter().enumerate() {
+            assert_eq!(op.code() as usize, i, "code must match ALL position");
+            assert_eq!(HmcAtomicOp::from_code(op.code()), Some(*op));
+        }
+        assert_eq!(HmcAtomicOp::from_code(20), None);
+        // The HMC 2.0 prefix of ALL is exactly HMC20_SET.
+        assert_eq!(&HmcAtomicOp::ALL[..18], &HmcAtomicOp::HMC20_SET[..]);
+    }
 
     #[test]
     fn table1_has_18_commands() {

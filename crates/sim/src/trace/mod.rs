@@ -5,6 +5,13 @@
 //! thread per superstep. The system driver feeds these streams through the
 //! core and memory models. This is the same division of labor as the
 //! paper's MacSim frontend + SST memory backend, collapsed into one process.
+//!
+//! The [`codec`] submodule serializes a full trace — the exact sequence of
+//! [`TraceEvent`]s a run produces — into a compact binary form, which is
+//! what lets a trace be captured once and replayed under many timing
+//! configurations.
+
+pub mod codec;
 
 use crate::hmc::HmcAtomicOp;
 use crate::mem::addr::Addr;
@@ -67,8 +74,22 @@ impl TraceOp {
     }
 }
 
+/// One event of a trace-consumer stream, in emission order.
+///
+/// A full run is the exact sequence of chunk and barrier events the
+/// framework produced; replaying that sequence through the timing models
+/// reproduces the run bit for bit (chunk boundaries matter — the system
+/// driver interleaves threads within one chunk at a time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A batch of per-thread ops with no synchronization implied.
+    Chunk(Superstep),
+    /// A global barrier.
+    Barrier,
+}
+
 /// The per-thread instruction streams between two barriers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Superstep {
     /// One stream per simulated thread (index = thread = core).
     pub threads: Vec<Vec<TraceOp>>,

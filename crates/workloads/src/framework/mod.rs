@@ -16,7 +16,8 @@ pub use property::{MetaArray, MetaQueue, PropertyArray};
 
 use graphpim_sim::hmc::HmcAtomicOp;
 use graphpim_sim::mem::addr::{Addr, Region};
-use graphpim_sim::trace::{Superstep, TraceOp};
+use graphpim_sim::trace::codec::TraceEncoder;
+use graphpim_sim::trace::{Superstep, TraceEvent, TraceOp};
 
 /// Receives trace batches as the framework produces them.
 ///
@@ -65,6 +66,63 @@ impl CollectTrace {
             .iter()
             .map(|c| c.threads.iter().map(Vec::len).sum::<usize>())
             .sum()
+    }
+}
+
+/// A [`TraceConsumer`] that keeps the full event stream *in order* —
+/// chunks and barriers interleaved exactly as emitted. This is the
+/// capture side of trace replay: the recorded sequence, fed back through
+/// a timing driver's consumer methods, reproduces a live run bit for bit.
+#[derive(Debug, Default)]
+pub struct RecordEvents {
+    /// The complete event stream, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceConsumer for RecordEvents {
+    fn chunk(&mut self, step: Superstep) {
+        self.events.push(TraceEvent::Chunk(step));
+    }
+
+    fn barrier(&mut self) {
+        self.events.push(TraceEvent::Barrier);
+    }
+}
+
+/// A [`TraceConsumer`] that streams straight into the binary codec, so a
+/// capture run never holds more than one chunk of trace in memory.
+#[derive(Debug)]
+pub struct EncodeTrace {
+    encoder: TraceEncoder,
+}
+
+impl EncodeTrace {
+    /// Starts an encoding capture for `threads` simulated threads. Must
+    /// match the thread count of the [`Framework`] feeding it.
+    pub fn new(threads: usize) -> Self {
+        EncodeTrace {
+            encoder: TraceEncoder::new(threads),
+        }
+    }
+
+    /// Seals and returns the encoded trace bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.encoder.finish()
+    }
+
+    /// Events (chunks + barriers) captured so far.
+    pub fn events(&self) -> u64 {
+        self.encoder.events()
+    }
+}
+
+impl TraceConsumer for EncodeTrace {
+    fn chunk(&mut self, step: Superstep) {
+        self.encoder.chunk(&step);
+    }
+
+    fn barrier(&mut self) {
+        self.encoder.barrier();
     }
 }
 
@@ -330,6 +388,52 @@ mod tests {
         fw.atomic(meta, HmcAtomicOp::Add16, false);
         assert_eq!(fw.atomic_counts(), (2, 1));
         fw.finish();
+    }
+
+    #[test]
+    fn record_events_preserves_order() {
+        let mut sink = RecordEvents::default();
+        {
+            let mut fw = Framework::new(2, &mut sink);
+            fw.load(0x10, false);
+            fw.barrier();
+            fw.on_thread(1);
+            fw.store(0x20);
+            fw.barrier();
+        }
+        assert_eq!(sink.events.len(), 4);
+        assert!(matches!(sink.events[0], TraceEvent::Chunk(_)));
+        assert!(matches!(sink.events[1], TraceEvent::Barrier));
+        assert!(matches!(sink.events[2], TraceEvent::Chunk(_)));
+        assert!(matches!(sink.events[3], TraceEvent::Barrier));
+    }
+
+    #[test]
+    fn encode_trace_matches_recorded_events() {
+        fn drive(fw: &mut Framework<'_>) {
+            let prop = fw.pmr_malloc(256);
+            for i in 0..100usize {
+                fw.spread(i);
+                fw.load(prop + i as u64 * 8, false);
+                fw.atomic(prop + i as u64 * 8, HmcAtomicOp::Add16, true);
+                fw.branch(false, true);
+            }
+            fw.barrier();
+        }
+        let mut recorded = RecordEvents::default();
+        {
+            let mut fw = Framework::new(2, &mut recorded);
+            drive(&mut fw);
+        }
+        let mut encoded = EncodeTrace::new(2);
+        {
+            let mut fw = Framework::new(2, &mut encoded);
+            drive(&mut fw);
+        }
+        let bytes = encoded.finish();
+        let (threads, events) = graphpim_sim::trace::codec::decode(&bytes).expect("valid trace");
+        assert_eq!(threads, 2);
+        assert_eq!(events, recorded.events);
     }
 
     #[test]
