@@ -1,6 +1,7 @@
 //! System configurations of the evaluation (Section IV-B).
 
 use graphpim_sim::config::SimConfig;
+use graphpim_sim::validate::{fraction, ConfigError};
 use serde::{Deserialize, Serialize};
 
 /// Which offloading policy the system uses.
@@ -115,6 +116,22 @@ impl SystemConfig {
         self
     }
 
+    /// Validates the substrate slices plus the system-level fields.
+    ///
+    /// Invoked by [`crate::system::SystemSim::new`] (so a bad
+    /// configuration fails before any simulation) and by the experiment
+    /// engine's key resolution. Note that `fp_extension` being off while
+    /// a workload emits FP atomics is *not* a config error — it is a
+    /// legal configuration the paper evaluates (those atomics execute
+    /// host-side); the run-invariant layer instead rejects runs where FP
+    /// atomics reached the cube without the extension.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.sim.validate()?;
+        fraction("mispredict_rate", self.mispredict_rate)?;
+        fraction("hmc_property_fraction", self.hmc_property_fraction)?;
+        Ok(())
+    }
+
     /// A smaller configuration for fast tests (2 cores, tiny caches).
     pub fn tiny(mode: PimMode) -> Self {
         SystemConfig {
@@ -145,6 +162,32 @@ mod tests {
         let c = SystemConfig::hpca(PimMode::GraphPim);
         assert_eq!(c.sim.core.cores, 16);
         assert!(c.fp_extension);
+    }
+
+    #[test]
+    fn validate_covers_system_fields() {
+        for mode in PimMode::ALL {
+            SystemConfig::hpca(mode).validate().expect("hpca valid");
+            SystemConfig::tiny(mode).validate().expect("tiny valid");
+        }
+        let mut c = SystemConfig::hpca(PimMode::GraphPim);
+        c.mispredict_rate = 1.5;
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("mispredict_rate"));
+        let mut c = SystemConfig::hpca(PimMode::GraphPim);
+        c.hmc_property_fraction = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::hpca(PimMode::GraphPim);
+        c.sim.core.issue_width = 0;
+        assert!(c.validate().is_err(), "substrate errors must propagate");
+        // fp off is a legal config, not a config error.
+        SystemConfig::hpca(PimMode::GraphPim)
+            .without_fp_extension()
+            .validate()
+            .expect("fp-off is legal");
     }
 
     #[test]

@@ -34,7 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v2: `HmcStats` gained `atomics_by_category`.
 /// v3: `RunMetrics` gained `trace_export_failed`.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: `HmcStats` gained `requests_per_vault`; `RunMetrics` gained
+///     `uncached_atomics` (validation-layer conservation counters).
+pub const SCHEMA_VERSION: u32 = 4;
 
 pub use crate::fingerprint::fingerprint;
 
@@ -192,6 +194,12 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
         );
     }
     let vaults: Vec<String> = m.hmc.atomics_per_vault.iter().map(u64::to_string).collect();
+    let vault_requests: Vec<String> = m
+        .hmc
+        .requests_per_vault
+        .iter()
+        .map(u64::to_string)
+        .collect();
     let _ = writeln!(
         s,
         "  \"hmc\": {{\"request_flits_read\": {}, \"request_flits_write\": {}, \
@@ -201,6 +209,7 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
          \"bank_wait_cycles\": {:?}, \"bank_wait_max\": {:?}, \"bank_wait_long\": {}, \
          \"fu_wait_cycles\": {:?}, \"fu_busy_cycles\": {:?}, \
          \"dram_activations\": {}, \"dram_accesses\": {}, \
+         \"requests_per_vault\": [{}], \
          \"atomics_per_vault\": [{}], \"atomics_by_category\": [{}]}},",
         m.hmc.request_flits_read,
         m.hmc.request_flits_write,
@@ -219,6 +228,7 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
         m.hmc.fu_busy_cycles,
         m.hmc.dram_activations,
         m.hmc.dram_accesses,
+        vault_requests.join(", "),
         vaults.join(", "),
         m.hmc
             .atomics_by_category
@@ -233,6 +243,7 @@ fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
     let _ = writeln!(s, "  \"host_pei_atomics\": {},", m.host_pei_atomics);
     let _ = writeln!(s, "  \"uncached_reads\": {},", m.uncached_reads);
     let _ = writeln!(s, "  \"uncached_writes\": {},", m.uncached_writes);
+    let _ = writeln!(s, "  \"uncached_atomics\": {},", m.uncached_atomics);
     let _ = writeln!(
         s,
         "  \"memory_service_cycles\": {:?},",
@@ -293,6 +304,12 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
             fu_busy_cycles: o.get("fu_busy_cycles")?.as_f64()?,
             dram_activations: o.get("dram_activations")?.as_u64()?,
             dram_accesses: o.get("dram_accesses")?.as_u64()?,
+            requests_per_vault: o
+                .get("requests_per_vault")?
+                .as_array()?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
             atomics_per_vault: o
                 .get("atomics_per_vault")?
                 .as_array()?
@@ -326,6 +343,7 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
         host_pei_atomics: top.get("host_pei_atomics")?.as_u64()?,
         uncached_reads: top.get("uncached_reads")?.as_u64()?,
         uncached_writes: top.get("uncached_writes")?.as_u64()?,
+        uncached_atomics: top.get("uncached_atomics")?.as_u64()?,
         memory_service_cycles: top.get("memory_service_cycles")?.as_f64()?,
         trace_export_failed: top.get("trace_export_failed")?.as_bool()?,
     })
@@ -595,6 +613,7 @@ mod tests {
             l3: LevelCounts { hits: 1, misses: 1 },
             hmc: HmcStats {
                 atomics: 7,
+                requests_per_vault: vec![2, 2, 3, 1],
                 atomics_per_vault: vec![1, 2, 3, 1],
                 atomics_by_category: [4, 0, 1, 2, 0],
                 fu_wait_cycles: 1.5e-9,
@@ -606,6 +625,7 @@ mod tests {
             host_pei_atomics: 0,
             uncached_reads: 5,
             uncached_writes: 4,
+            uncached_atomics: 3,
             memory_service_cycles: 1e12,
             trace_export_failed: true,
         }

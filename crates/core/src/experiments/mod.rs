@@ -33,6 +33,11 @@
 //!   (default `<tmpdir>/graphpim-trace-store`; see [`crate::tracestore`]).
 //! * `GRAPHPIM_NO_TRACE_STORE=1` — disable trace capture/replay; every
 //!   run executes its kernel live.
+//! * `GRAPHPIM_VALIDATE=1|0` — per-run conservation invariants (see
+//!   [`crate::validate`]). Unset: on in debug builds (so `cargo test`
+//!   enforces them), off in release sweeps. Never affects results, only
+//!   whether an inconsistent run panics — so it is deliberately *not*
+//!   part of [`crate::fingerprint::RESULT_ENV_KNOBS`].
 
 pub mod ablation;
 pub mod cache;
@@ -535,12 +540,21 @@ impl Experiments {
     }
 
     /// The full system configuration a key resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resolved configuration is invalid (e.g. a sweep
+    /// key with zero FUs): figure drivers must fail loudly before
+    /// simulating, caching, or fingerprinting a broken config.
     fn config_for(&self, key: &RunKey) -> SystemConfig {
         let mut config = SystemConfig::hpca(key.mode)
             .with_fus_per_vault(key.fus)
             .with_link_bandwidth_factor(key.bw_tenths as f64 / 10.0);
         if key.plain_atomics {
             config = config.with_atomics_as_plain();
+        }
+        if let Err(e) = config.validate() {
+            panic!("run key {key:?} resolves to an invalid configuration: {e}");
         }
         config
     }

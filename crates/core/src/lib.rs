@@ -19,9 +19,12 @@
 //! `graphpim-sim` substrate and produces [`metrics::RunMetrics`];
 //! [`analytic`] implements the paper's CPI model (Equations 1–2);
 //! [`energy`] the uncore energy breakdown (Figure 15);
-//! [`experiments`] one driver per paper table/figure; and
+//! [`experiments`] one driver per paper table/figure;
 //! [`telemetry`] the JSONL event-trace exporter behind
-//! `GRAPHPIM_TRACE_DIR`.
+//! `GRAPHPIM_TRACE_DIR`; and [`validate`] the validation layer —
+//! config checking, per-run conservation invariants (default-on in
+//! tests via `GRAPHPIM_VALIDATE`), and the sim-vs-analytic differential
+//! harness.
 //!
 //! # Example
 //!
@@ -50,3 +53,4 @@ pub mod report;
 pub mod system;
 pub mod telemetry;
 pub mod tracestore;
+pub mod validate;

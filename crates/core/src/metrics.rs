@@ -45,6 +45,10 @@ pub struct RunMetrics {
     pub uncached_reads: u64,
     /// Uncacheable PMR stores.
     pub uncached_writes: u64,
+    /// Atomics on uncacheable PMR memory the cube could not execute
+    /// (unsupported op, e.g. FP without the extension): the host RMW
+    /// degrades to bus locking (Section III-B).
+    pub uncached_atomics: u64,
     /// Total cycles of main-memory service experienced by demand requests
     /// (the "uncore time" proxy of Table VIII).
     pub memory_service_cycles: f64,
@@ -177,6 +181,7 @@ impl RunMetrics {
         sink.record("system.host_pei_atomics", self.host_pei_atomics as f64);
         sink.record("system.uncached_reads", self.uncached_reads as f64);
         sink.record("system.uncached_writes", self.uncached_writes as f64);
+        sink.record("system.uncached_atomics", self.uncached_atomics as f64);
         sink.record("system.memory_service_cycles", self.memory_service_cycles);
         sink.record("system.total_cycles", self.total_cycles);
     }
@@ -225,6 +230,7 @@ mod tests {
             host_pei_atomics: 0,
             uncached_reads: 0,
             uncached_writes: 0,
+            uncached_atomics: 0,
             memory_service_cycles: 400.0,
             trace_export_failed: false,
         }

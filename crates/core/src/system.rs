@@ -52,6 +52,7 @@ pub struct SystemSim {
     host_pei_atomics: u64,
     uncached_reads: u64,
     uncached_writes: u64,
+    uncached_atomics: u64,
     memory_service_cycles: f64,
     trace: Option<TraceExporter>,
     trace_export_failed: bool,
@@ -60,7 +61,16 @@ pub struct SystemSim {
 
 impl SystemSim {
     /// Builds a system for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`SystemConfig::validate`]) — a bad geometry must fail here, not
+    /// produce a wrong simulation.
     pub fn new(config: SystemConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let cores = (0..config.sim.core.cores)
             .map(|_| CoreModel::new(&config.sim.core))
             .collect();
@@ -82,6 +92,7 @@ impl SystemSim {
             host_pei_atomics: 0,
             uncached_reads: 0,
             uncached_writes: 0,
+            uncached_atomics: 0,
             memory_service_cycles: 0.0,
             trace: None,
             trace_export_failed: false,
@@ -214,6 +225,7 @@ impl SystemSim {
         reg.record("system.host_pei_atomics", self.host_pei_atomics as f64);
         reg.record("system.uncached_reads", self.uncached_reads as f64);
         reg.record("system.uncached_writes", self.uncached_writes as f64);
+        reg.record("system.uncached_atomics", self.uncached_atomics as f64);
         reg.record("system.memory_service_cycles", self.memory_service_cycles);
         reg.record("system.total_cycles", total_cycles);
         reg
@@ -241,7 +253,7 @@ impl SystemSim {
         }
         let agg = self.aggregated_core_stats();
         let (l1, l2, l3) = self.hierarchy.level_counts();
-        RunMetrics {
+        let metrics = RunMetrics {
             mode: self.config.mode,
             cores: self.cores.len(),
             issue_width: self.config.sim.core.issue_width,
@@ -257,9 +269,20 @@ impl SystemSim {
             host_pei_atomics: self.host_pei_atomics,
             uncached_reads: self.uncached_reads,
             uncached_writes: self.uncached_writes,
+            uncached_atomics: self.uncached_atomics,
             memory_service_cycles: self.memory_service_cycles,
             trace_export_failed: self.trace_export_failed,
+        };
+        if crate::validate::validation_enabled() {
+            // Conservation pass (see `crate::validate`): the finalized
+            // metrics must satisfy every invariant, and must agree with
+            // the counters pulled live from the components.
+            let counters = self.collect_counters(total_cycles);
+            let mut violations = crate::validate::check_run(&metrics, &counters);
+            violations.extend(crate::validate::check_run_config(&metrics, &self.config));
+            crate::validate::enforce(&format!("{:?} run", self.config.mode), &violations);
         }
+        metrics
     }
 
     fn process(&mut self, t: usize, op: TraceOp) {
@@ -356,6 +379,7 @@ impl SystemSim {
             let service = (write.memory_done - start) + BUS_LOCK_PENALTY;
             self.memory_service_cycles += service;
             self.cores[t].host_atomic_finish(service, 0.0);
+            self.uncached_atomics += 1;
             return;
         }
         let out = self.hierarchy.access(t, addr, true);
@@ -633,10 +657,22 @@ mod tests {
         );
         assert!(with.offloaded_atomics > 0);
         assert_eq!(without.offloaded_atomics, 0);
+        assert_eq!(with.uncached_atomics, 0);
+        // Unsupported FP atomics on uncacheable PMR degrade to bus-locked
+        // host RMWs — and are counted, not silently dropped.
+        assert_eq!(without.uncached_atomics, without.offload_candidates);
         assert!(
             with.total_cycles < without.total_cycles,
             "FP extension should help PRank"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SystemConfig")]
+    fn invalid_config_rejected_at_construction() {
+        let mut config = SystemConfig::tiny(PimMode::Baseline);
+        config.sim.cache.l1.ways = 0;
+        let _ = SystemSim::new(config);
     }
 
     #[test]

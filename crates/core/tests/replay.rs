@@ -121,6 +121,77 @@ fn engine_replay_matches_store_disabled_runs() {
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
+/// FNV-1a, as the trace codec computes its integrity footer.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A decode error *mid-replay* — after the up-front checksum verification
+/// passed — must discard the partially-replayed state and fall back to a
+/// live run with metrics identical to a cold, store-disabled run,
+/// incrementing `tracestore.replay_fallbacks` exactly once.
+///
+/// Flipping a byte naively cannot reach this path (`TraceReader::new`
+/// verifies the whole-file checksum first), so the corruption is
+/// *resealed*: the end-frame tag becomes an invalid op tag and the FNV-1a
+/// footer is recomputed over the tampered bytes.
+#[test]
+fn mid_replay_decode_error_falls_back_to_live_run() {
+    let store_dir = tmp_dir("fallback");
+    let key = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+
+    let first = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    let want = first.metrics_for(&key);
+    assert_eq!(first.profile().trace_store().captures, 1);
+    drop(first);
+
+    let mut resealed = 0;
+    for entry in std::fs::read_dir(&store_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "trace") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let len = bytes.len();
+            assert_eq!(bytes[len - 9], 0x00, "end-frame tag precedes the footer");
+            bytes[len - 9] = 0x7F; // no such frame tag
+            let sum = fnv1a(&bytes[..len - 8]).to_le_bytes();
+            bytes[len - 8..].copy_from_slice(&sum);
+            std::fs::write(&path, &bytes).unwrap();
+            resealed += 1;
+        }
+    }
+    assert_eq!(resealed, 1);
+
+    // Reference: a cold run with the store disabled entirely.
+    let plain = Experiments::with_cache(LdbcSize::K1, None).with_trace_store(None);
+    let live = plain.metrics_for(&key);
+
+    let second = Experiments::with_cache(LdbcSize::K1, None)
+        .with_trace_store(Some(TraceStore::at(&store_dir)));
+    let got = second.metrics_for(&key);
+    assert_bit_identical(&live, &got, "mid-replay fallback");
+    assert_eq!(
+        got, want,
+        "fallback must also match the original capture run"
+    );
+
+    let counts = second.profile().trace_store();
+    assert_eq!(counts.replay_fallbacks, 1, "exactly one fallback");
+    assert_eq!(
+        counts.corrupt, 0,
+        "resealed trace passes the integrity check"
+    );
+    assert_eq!(counts.captures, 0, "fallback runs live without recapturing");
+    assert_eq!(counts.replays, 0, "a failed replay is not a replay");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
 /// A corrupt store entry degrades to recapture, never to a wrong replay.
 #[test]
 fn corrupt_store_entry_forces_recapture() {

@@ -118,9 +118,9 @@ impl CoreModel {
     ///
     /// Panics if `issue_width`, `rob_size`, or `mshrs` is zero.
     pub fn new(config: &CoreConfig) -> Self {
-        assert!(config.issue_width > 0, "issue width must be positive");
-        assert!(config.rob_size > 0, "ROB must be non-empty");
-        assert!(config.mshrs > 0, "need at least one MSHR");
+        if let Err(e) = config.validate() {
+            panic!("invalid CoreConfig: {e}");
+        }
         CoreModel {
             issue_cost: 1.0 / config.issue_width as f64,
             frontend_stall: config.frontend_stall_per_instr,

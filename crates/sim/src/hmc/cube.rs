@@ -77,6 +77,9 @@ pub struct HmcStats {
     pub dram_activations: u64,
     /// All DRAM column accesses (hits + misses).
     pub dram_accesses: u64,
+    /// Transactions serviced per vault (every read, write, and atomic;
+    /// the per-vault denominator the histogram sample counts must match).
+    pub requests_per_vault: Vec<u64>,
     /// Atomic count per vault (functional-unit pressure; Figure 11).
     pub atomics_per_vault: Vec<u64>,
     /// Atomic count per Table I category, indexed by
@@ -127,6 +130,9 @@ impl HmcStats {
                 cat.telemetry_key(),
                 self.atomics_by_category[cat.index()] as f64,
             );
+        }
+        for (v, &n) in self.requests_per_vault.iter().enumerate() {
+            sink.record(&format!("hmc.vault{v:02}.requests"), n as f64);
         }
         for (v, &n) in self.atomics_per_vault.iter().enumerate() {
             sink.record(&format!("hmc.vault{v:02}.atomics"), n as f64);
@@ -220,9 +226,9 @@ impl HmcCube {
     ///
     /// Panics if vault/bank/FU counts are zero.
     pub fn new(config: &HmcConfig, clock_ghz: f64) -> Self {
-        assert!(config.vaults > 0, "need at least one vault");
-        assert!(config.banks_per_vault > 0, "need at least one bank");
-        assert!(config.fus_per_vault > 0, "need at least one FU per vault");
+        if let Err(e) = config.validate() {
+            panic!("invalid HmcConfig: {e}");
+        }
         let ns = clock_ghz; // cycles per nanosecond
         HmcCube {
             flit_cycles: config.flit_seconds() * 1e9 * ns,
@@ -242,6 +248,7 @@ impl HmcCube {
             open_row: vec![None; config.vaults * config.banks_per_vault],
             fu_busy: vec![vec![0.0; config.fus_per_vault]; config.vaults],
             stats: HmcStats {
+                requests_per_vault: vec![0; config.vaults],
                 atomics_per_vault: vec![0; config.vaults],
                 ..HmcStats::default()
             },
@@ -306,6 +313,7 @@ impl HmcCube {
         // Open-page row-buffer check (DRAMSim2-style): a row hit skips the
         // precharge + activate and pays only the column access.
         self.stats.dram_accesses += 1;
+        self.stats.requests_per_vault[vault] += 1;
         let row = addr / ROW_BYTES;
         let row_hit = self.open_row[bank_index] == Some(row);
         let access = if row_hit {
@@ -436,6 +444,7 @@ impl HmcCube {
     pub fn reset_stats(&mut self) {
         let vaults = self.vaults;
         self.stats = HmcStats {
+            requests_per_vault: vec![0; vaults],
             atomics_per_vault: vec![0; vaults],
             ..HmcStats::default()
         };
@@ -588,9 +597,18 @@ mod tests {
         let mut cube = cube();
         cube.service(PacketKind::Atomic(HmcAtomicOp::Add16), 0, 0.0);
         cube.service(PacketKind::Atomic(HmcAtomicOp::Add16), 256, 0.0);
+        cube.service(PacketKind::Read64, 0, 0.0);
         let s = cube.stats();
         assert_eq!(s.atomics_per_vault[0], 1);
         assert_eq!(s.atomics_per_vault[1], 1);
+        // Every serviced transaction lands in exactly one vault bucket,
+        // and atomics are a subset of each vault's requests.
+        assert_eq!(s.requests_per_vault[0], 2);
+        assert_eq!(s.requests_per_vault[1], 1);
+        assert_eq!(s.requests_per_vault.iter().sum::<u64>(), s.dram_accesses);
+        for (r, a) in s.requests_per_vault.iter().zip(&s.atomics_per_vault) {
+            assert!(a <= r);
+        }
     }
 
     #[test]
@@ -608,6 +626,7 @@ mod tests {
         assert_eq!(reg.get("hmc.atomic.float_extension"), Some(2.0));
         assert_eq!(reg.get("hmc.atomics"), Some(6.0));
         assert_eq!(reg.get("hmc.vault00.atomics"), Some(1.0));
+        assert_eq!(reg.get("hmc.vault00.requests"), Some(1.0));
         // Histograms are off by default: no per-vault distribution keys.
         assert_eq!(reg.get("hmc.vault00.queue_wait.count"), None);
     }
@@ -644,6 +663,14 @@ mod tests {
             .map(|v| vt.queue_wait(v).count())
             .sum();
         assert_eq!(sampled, 64);
+        // Histogram sample counts agree with the per-vault request counters.
+        for v in 0..traced.vault_count() {
+            assert_eq!(
+                vt.queue_wait(v).count(),
+                traced.stats().requests_per_vault[v]
+            );
+            assert_eq!(vt.fu_busy(v).count(), traced.stats().atomics_per_vault[v]);
+        }
         let fu_samples: u64 = (0..traced.vault_count())
             .map(|v| vt.fu_busy(v).count())
             .sum();
@@ -668,6 +695,8 @@ mod tests {
         cube.reset_stats();
         assert_eq!(cube.stats().reads, 0);
         assert_eq!(cube.stats().atomics_per_vault.len(), 32);
+        assert_eq!(cube.stats().requests_per_vault.len(), 32);
+        assert_eq!(cube.stats().requests_per_vault.iter().sum::<u64>(), 0);
         // Bank is still busy from before the reset.
         let again = cube.service(PacketKind::Read64, 0, 0.0);
         assert!(again.bank_wait > 0.0);

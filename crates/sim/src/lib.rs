@@ -21,6 +21,9 @@
 //! * [`telemetry`] — a pull-based counter/histogram layer every component
 //!   reports into (off by default, observation-only so it cannot perturb
 //!   timing).
+//! * [`validate`] — typed configuration validation ([`validate::ConfigError`])
+//!   run by every constructor, plus the `GRAPHPIM_VALIDATE` gate the
+//!   run-invariant checks upstream consult.
 //!
 //! Times are modeled in *CPU cycles* at the configured clock (default 2 GHz,
 //! Table IV) and carried as `f64` so sub-cycle issue bandwidth accumulates
@@ -45,6 +48,7 @@ pub mod mem;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
+pub mod validate;
 
 /// Simulation time in CPU cycles.
 ///

@@ -96,6 +96,9 @@ impl CacheHierarchy {
     /// any cache geometry is invalid.
     pub fn new(config: &CacheConfig, cores: usize) -> Self {
         assert!((1..=16).contains(&cores), "1..=16 cores supported");
+        if let Err(e) = config.validate() {
+            panic!("invalid CacheConfig: {e}");
+        }
         CacheHierarchy {
             line_bytes: config.line_bytes,
             l1_latency: config.l1.latency_cycles,

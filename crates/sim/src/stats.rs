@@ -17,27 +17,63 @@ pub struct CycleBreakdown {
     pub backend: f64,
 }
 
+/// A cycle-breakdown conservation violation: the attributed fractions
+/// (retiring + frontend + bad-speculation) exceeded the elapsed cycles.
+///
+/// Real simulator runs never produce this — each core's attributed work
+/// is bounded by its own clock — so an overshoot means the counters and
+/// the elapsed time came from inconsistent sources (e.g. a mis-scaled
+/// `issue_width` or a truncated `total_cycles`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownError {
+    /// The attributed fraction sum that exceeded 1.
+    pub attributed: f64,
+    /// The breakdown after rescaling the attributed fractions to fit
+    /// (the pre-validation-layer fallback behavior).
+    pub renormalized: CycleBreakdown,
+}
+
+impl std::fmt::Display for BreakdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle-breakdown conservation violated: attributed fractions sum \
+             to {:.6} > 1 (retiring + frontend + bad-speculation exceed the \
+             elapsed cycles)",
+            self.attributed
+        )
+    }
+}
+
+impl std::error::Error for BreakdownError {}
+
+/// Attributed sums up to this far above 1.0 are treated as floating-point
+/// rounding, not a conservation violation.
+const BREAKDOWN_TOLERANCE: f64 = 1e-9;
+
 impl CycleBreakdown {
     /// Computes the breakdown from aggregated core statistics and the total
-    /// elapsed cycles.
+    /// elapsed cycles, reporting overshoot as an error.
     ///
-    /// The attributed fractions can overshoot 1.0 when counters are
-    /// inconsistent with the elapsed time (e.g. an over-wide `issue_width`
-    /// makes retiring cycles exceed `total_cycles`). Rather than clamping
-    /// only `backend` — which lets `sum()` exceed 1.0 and mis-normalizes
-    /// the stacked figures — the three attributed fractions are rescaled
-    /// to fit and `backend` absorbs only genuine remainder, so the result
-    /// always satisfies `sum() == 1` up to rounding.
+    /// When the attributed fractions (retiring + frontend +
+    /// bad-speculation) sum above 1 beyond rounding tolerance, the counters
+    /// are inconsistent with the elapsed time; `Err` carries both the
+    /// overshooting sum and the renormalized fallback breakdown.
     ///
     /// # Panics
     ///
     /// Panics if `total_cycles` is not positive.
-    pub fn from_stats(stats: &CoreStats, issue_width: u32, total_cycles: f64) -> Self {
+    pub fn try_from_stats(
+        stats: &CoreStats,
+        issue_width: u32,
+        total_cycles: f64,
+    ) -> Result<Self, BreakdownError> {
         assert!(total_cycles > 0.0, "total cycles must be positive");
         let mut retiring = stats.retiring_cycles(issue_width) / total_cycles;
         let mut frontend = stats.frontend_cycles / total_cycles;
         let mut bad_speculation = stats.badspec_cycles / total_cycles;
         let attributed = retiring + frontend + bad_speculation;
+        let overshoot = attributed > 1.0 + BREAKDOWN_TOLERANCE;
         if attributed > 1.0 {
             let scale = 1.0 / attributed;
             retiring *= scale;
@@ -45,11 +81,60 @@ impl CycleBreakdown {
             bad_speculation *= scale;
         }
         let backend = (1.0 - retiring - frontend - bad_speculation).max(0.0);
-        CycleBreakdown {
+        let breakdown = CycleBreakdown {
             retiring,
             frontend,
             bad_speculation,
             backend,
+        };
+        if overshoot {
+            Err(BreakdownError {
+                attributed,
+                renormalized: breakdown,
+            })
+        } else {
+            Ok(breakdown)
+        }
+    }
+
+    /// Like [`Self::try_from_stats`], but an overshoot panics instead of
+    /// renormalizing. This is the behavior [`Self::from_stats`] takes when
+    /// `GRAPHPIM_VALIDATE` is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cycles` is not positive or the attributed
+    /// fractions overshoot 1.
+    pub fn from_stats_strict(stats: &CoreStats, issue_width: u32, total_cycles: f64) -> Self {
+        match Self::try_from_stats(stats, issue_width, total_cycles) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Computes the breakdown from aggregated core statistics and the total
+    /// elapsed cycles.
+    ///
+    /// Overshooting attributed fractions are a conservation violation:
+    /// with `GRAPHPIM_VALIDATE` on (the default under `cargo test`; see
+    /// [`crate::validate::validation_enabled`]) this panics via
+    /// [`Self::from_stats_strict`]. With validation off it falls back to
+    /// rescaling the three attributed fractions to fit — `backend` absorbs
+    /// only genuine remainder, so the result always satisfies `sum() == 1`
+    /// up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cycles` is not positive, or on overshoot while
+    /// validation is enabled.
+    pub fn from_stats(stats: &CoreStats, issue_width: u32, total_cycles: f64) -> Self {
+        if crate::validate::validation_enabled() {
+            Self::from_stats_strict(stats, issue_width, total_cycles)
+        } else {
+            match Self::try_from_stats(stats, issue_width, total_cycles) {
+                Ok(b) => b,
+                Err(e) => e.renormalized,
+            }
         }
     }
 
@@ -94,16 +179,19 @@ mod tests {
             instructions: 8000,
             ..CoreStats::default()
         };
-        // Over-retired scenario: retiring alone would be 2.0; it is
-        // renormalized to exactly 1.0 with nothing left for backend.
-        let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
+        // Over-retired scenario: retiring alone would be 2.0 — a
+        // conservation violation. The error carries the renormalized
+        // fallback: exactly 1.0 retiring with nothing left for backend.
+        let err = CycleBreakdown::try_from_stats(&stats, 4, 1000.0).unwrap_err();
+        assert!((err.attributed - 2.0).abs() < 1e-12);
+        let b = err.renormalized;
         assert_eq!(b.backend, 0.0);
         assert!((b.retiring - 1.0).abs() < 1e-12);
         assert!((b.sum() - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    fn overshoot_renormalizes_all_fractions() {
+    fn overshoot_is_a_violation_with_renormalized_fallback() {
         // retiring 2.0, frontend 0.5, badspec 0.5 → attributed 3.0;
         // scaled by 1/3 the proportions survive and the sum is 1.
         let stats = CoreStats {
@@ -112,14 +200,17 @@ mod tests {
             badspec_cycles: 500.0,
             ..CoreStats::default()
         };
-        let b = CycleBreakdown::from_stats(&stats, 4, 1000.0);
+        let err = CycleBreakdown::try_from_stats(&stats, 4, 1000.0).unwrap_err();
+        assert!((err.attributed - 3.0).abs() < 1e-12);
+        assert!(err.to_string().contains("conservation violated"));
+        let b = err.renormalized;
         assert!((b.retiring - 2.0 / 3.0).abs() < 1e-12);
         assert!((b.frontend - 1.0 / 6.0).abs() < 1e-12);
         assert!((b.bad_speculation - 1.0 / 6.0).abs() < 1e-12);
         assert!(b.backend < 1e-12); // only rounding residue remains
         assert!((b.sum() - 1.0).abs() < 1e-12);
-        // The healthy path is untouched by renormalization.
-        let ok = CycleBreakdown::from_stats(
+        // The healthy path is Ok and untouched by renormalization.
+        let ok = CycleBreakdown::try_from_stats(
             &CoreStats {
                 instructions: 400,
                 frontend_cycles: 20.0,
@@ -128,9 +219,20 @@ mod tests {
             },
             4,
             1000.0,
-        );
+        )
+        .expect("consistent counters");
         assert!((ok.sum() - 1.0).abs() < 1e-9);
         assert!((ok.backend - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation violated")]
+    fn strict_breakdown_panics_on_overshoot() {
+        let stats = CoreStats {
+            instructions: 8000,
+            ..CoreStats::default()
+        };
+        CycleBreakdown::from_stats_strict(&stats, 4, 1000.0);
     }
 
     #[test]

@@ -186,11 +186,19 @@ impl Histogram {
 
     /// Upper bound of the bucket containing the `p`-quantile
     /// (`p` in `[0, 1]`), or 0 with no samples.
+    ///
+    /// Every input yields a defined value: `p` outside `[0, 1]` clamps
+    /// (so a caller passing percent units degrades to the min/max bucket
+    /// rather than garbage), `p <= 0` reports the first occupied bucket,
+    /// `p >= 1` the last, and a NaN `p` is read as 1 — previously the
+    /// NaN→integer cast silently returned the *minimum* bucket, the worst
+    /// possible misreading of an undefined quantile.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        let target = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let p = if p.is_nan() { 1.0 } else { p.clamp(0.0, 1.0) };
+        let target = ((p * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -301,6 +309,61 @@ mod tests {
         assert_eq!(reg.get("hmc.vault00.queue_wait.mean"), Some(2.0));
         assert_eq!(reg.get("hmc.vault00.queue_wait.max"), Some(2.0));
         assert_eq!(reg.get("hmc.vault00.queue_wait.p99"), Some(4.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_defined_values() {
+        let h = Histogram::new(4);
+        for p in [f64::NAN, f64::NEG_INFINITY, -1.0, 0.0, 0.5, 1.0, 99.0] {
+            assert_eq!(h.percentile(p), 0.0, "p = {p}");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn percentile_p_extremes_are_clamped() {
+        let mut h = Histogram::new(8);
+        for _ in 0..9 {
+            h.record(0.5); // bucket 0, bound 1.0
+        }
+        h.record(50.0); // bucket 6: [32, 64)
+
+        // p <= 0 reports the first occupied bucket; p >= 1 the last.
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(-3.0), 1.0);
+        assert_eq!(h.percentile(1.0), 64.0);
+        // Percent units (100 for "p100") degrade to the max bucket, not
+        // garbage.
+        assert_eq!(h.percentile(100.0), 64.0);
+    }
+
+    #[test]
+    fn percentile_nan_reads_as_max_quantile() {
+        let mut h = Histogram::new(8);
+        for _ in 0..9 {
+            h.record(0.5);
+        }
+        h.record(50.0);
+        // A NaN p used to cast to 0 and silently report the *minimum*
+        // bucket; it now reads as p = 1.
+        assert_eq!(h.percentile(f64::NAN), h.percentile(1.0));
+        assert!(!h.percentile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn single_bucket_histogram_is_defined() {
+        let mut h = Histogram::new(1);
+        h.record(3.0);
+        h.record(7.0);
+        // One bucket holds everything; its bound is the observed max.
+        assert_eq!(h.bucket_counts(), &[2]);
+        for p in [f64::NAN, 0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(p), 7.0, "p = {p}");
+            assert!(!h.percentile(p).is_nan());
+        }
+        assert_eq!(h.mean(), 5.0);
     }
 
     #[test]

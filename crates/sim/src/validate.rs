@@ -1,0 +1,448 @@
+//! Configuration validation: typed [`ConfigError`]s plus the
+//! `GRAPHPIM_VALIDATE` gate shared by the run-invariant checks upstream.
+//!
+//! Every substrate constructor ([`crate::cpu::CoreModel`],
+//! [`crate::mem::CacheHierarchy`], [`crate::hmc::HmcCube`]) validates its
+//! configuration slice before building state, so an impossible geometry
+//! (zero ways, a non-power-of-two line size, a vault count that does not
+//! divide the interleaved address space) fails with a typed, descriptive
+//! error instead of a wrong simulation or a panic deep inside the model.
+//! Config validation is unconditional — it is cheap and runs once per
+//! constructed component; only the *per-run* conservation checks upstream
+//! consult [`validation_enabled`].
+
+use crate::config::{CacheConfig, CacheLevelConfig, CoreConfig, HmcConfig, SimConfig};
+use crate::mem::addr::Region;
+
+/// Why a configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Core count outside the hierarchy's supported range.
+    CoreCount(usize),
+    /// `issue_width == 0`.
+    ZeroIssueWidth,
+    /// `rob_size == 0`.
+    EmptyRob,
+    /// `mshrs == 0`.
+    ZeroMshrs,
+    /// Cache line size that is zero or not a power of two.
+    LineSize(usize),
+    /// A cache level with zero ways.
+    ZeroWays(&'static str),
+    /// A cache level too small to hold even one set of lines.
+    ZeroSets(&'static str),
+    /// Cache lines per level not divisible by the associativity.
+    Geometry {
+        /// Which level ("L1"/"L2"/"L3").
+        level: &'static str,
+        /// Lines the capacity holds at the configured line size.
+        lines: usize,
+        /// Configured associativity.
+        ways: usize,
+    },
+    /// `vaults == 0`.
+    ZeroVaults,
+    /// `banks_per_vault == 0`.
+    ZeroBanks,
+    /// `fus_per_vault == 0`.
+    ZeroFus,
+    /// `links == 0`.
+    ZeroLinks,
+    /// Vault interleave granularity that is zero or not a power of two.
+    Interleave(u64),
+    /// The vault count does not divide the region address space evenly,
+    /// so round-robin interleaving would load vaults unequally.
+    VaultSplit {
+        /// Configured vault count.
+        vaults: usize,
+        /// Interleave blocks in one address region.
+        blocks: u64,
+    },
+    /// A numeric field that must be strictly positive and finite.
+    NonPositive {
+        /// Dotted field path.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A numeric field that must be non-negative and finite.
+    Negative {
+        /// Dotted field path.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A numeric field that must be a fraction in `[0, 1]`.
+    Fraction {
+        /// Dotted field path.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CoreCount(n) => {
+                write!(
+                    f,
+                    "core count {n} outside the supported range: 1..=16 cores supported"
+                )
+            }
+            ConfigError::ZeroIssueWidth => write!(f, "issue width must be positive"),
+            ConfigError::EmptyRob => write!(f, "ROB must be non-empty"),
+            ConfigError::ZeroMshrs => write!(f, "need at least one MSHR"),
+            ConfigError::LineSize(n) => {
+                write!(f, "cache line size {n} must be a non-zero power of two")
+            }
+            ConfigError::ZeroWays(level) => write!(f, "{level} must have at least one way"),
+            ConfigError::ZeroSets(level) => {
+                write!(
+                    f,
+                    "{level} capacity holds zero sets at the configured line size"
+                )
+            }
+            ConfigError::Geometry { level, lines, ways } => write!(
+                f,
+                "{level} cache lines ({lines}) must divide evenly into {ways} ways"
+            ),
+            ConfigError::ZeroVaults => write!(f, "need at least one vault"),
+            ConfigError::ZeroBanks => write!(f, "need at least one bank per vault"),
+            ConfigError::ZeroFus => write!(f, "need at least one FU per vault"),
+            ConfigError::ZeroLinks => write!(f, "need at least one link"),
+            ConfigError::Interleave(n) => {
+                write!(f, "vault interleave {n} must be a non-zero power of two")
+            }
+            ConfigError::VaultSplit { vaults, blocks } => write!(
+                f,
+                "vault count {vaults} does not divide the address space \
+                 ({blocks} interleave blocks per region)"
+            ),
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative and finite, got {value}")
+            }
+            ConfigError::Fraction { field, value } => {
+                write!(f, "{field} must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Whether the per-run conservation checks are on.
+///
+/// * `GRAPHPIM_VALIDATE=0` (or empty) — off;
+/// * `GRAPHPIM_VALIDATE=<anything else>` — on;
+/// * unset — on in debug builds (so `cargo test` enforces every
+///   invariant), off in release builds (so benches and figure sweeps pay
+///   nothing unless they opt in).
+pub fn validation_enabled() -> bool {
+    match std::env::var_os("GRAPHPIM_VALIDATE") {
+        Some(v) => {
+            let v = v.to_string_lossy();
+            !(v.is_empty() || v == "0")
+        }
+        None => cfg!(debug_assertions),
+    }
+}
+
+fn positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositive { field, value })
+    }
+}
+
+fn non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { field, value })
+    }
+}
+
+/// Checks that `value` is a finite fraction in `[0, 1]` (used by the
+/// system-level config checks upstream).
+pub fn fraction(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::Fraction { field, value })
+    }
+}
+
+impl CoreConfig {
+    /// Checks the pipeline parameters for internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 || self.cores > 16 {
+            return Err(ConfigError::CoreCount(self.cores));
+        }
+        if self.issue_width == 0 {
+            return Err(ConfigError::ZeroIssueWidth);
+        }
+        if self.rob_size == 0 {
+            return Err(ConfigError::EmptyRob);
+        }
+        if self.mshrs == 0 {
+            return Err(ConfigError::ZeroMshrs);
+        }
+        positive("core.clock_ghz", self.clock_ghz)?;
+        non_negative("core.atomic_incore_cycles", self.atomic_incore_cycles)?;
+        non_negative("core.mispredict_penalty", self.mispredict_penalty)?;
+        non_negative(
+            "core.frontend_stall_per_instr",
+            self.frontend_stall_per_instr,
+        )?;
+        Ok(())
+    }
+}
+
+fn validate_level(
+    level: &'static str,
+    cfg: &CacheLevelConfig,
+    line_bytes: usize,
+) -> Result<(), ConfigError> {
+    if cfg.ways == 0 {
+        return Err(ConfigError::ZeroWays(level));
+    }
+    let lines = cfg.capacity_bytes / line_bytes;
+    if lines == 0 {
+        return Err(ConfigError::ZeroSets(level));
+    }
+    if !lines.is_multiple_of(cfg.ways) {
+        return Err(ConfigError::Geometry {
+            level,
+            lines,
+            ways: cfg.ways,
+        });
+    }
+    Ok(())
+}
+
+impl CacheConfig {
+    /// Checks line size and the geometry of every level.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineSize(self.line_bytes));
+        }
+        validate_level("L1", &self.l1, self.line_bytes)?;
+        validate_level("L2", &self.l2, self.line_bytes)?;
+        validate_level("L3", &self.l3, self.line_bytes)?;
+        Ok(())
+    }
+}
+
+impl HmcConfig {
+    /// Checks cube structure, timing, and the vault/address-space split.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vaults == 0 {
+            return Err(ConfigError::ZeroVaults);
+        }
+        if self.banks_per_vault == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if self.fus_per_vault == 0 {
+            return Err(ConfigError::ZeroFus);
+        }
+        if self.links == 0 {
+            return Err(ConfigError::ZeroLinks);
+        }
+        if self.vault_interleave_bytes == 0 || !self.vault_interleave_bytes.is_power_of_two() {
+            return Err(ConfigError::Interleave(self.vault_interleave_bytes));
+        }
+        // One address region spans `Structure.base() - Meta.base()` bytes
+        // (16 TiB); round-robin interleaving is only uniform when the vault
+        // count divides the region's block count.
+        let region_bytes = Region::Structure.base() - Region::Meta.base();
+        let blocks = region_bytes / self.vault_interleave_bytes;
+        if !blocks.is_multiple_of(self.vaults as u64) {
+            return Err(ConfigError::VaultSplit {
+                vaults: self.vaults,
+                blocks,
+            });
+        }
+        positive("hmc.link_gbps", self.link_gbps)?;
+        positive("hmc.t_cl_ns", self.t_cl_ns)?;
+        non_negative("hmc.t_ras_ns", self.t_ras_ns)?;
+        non_negative("hmc.t_ccd_ns", self.t_ccd_ns)?;
+        non_negative("hmc.link_latency_ns", self.link_latency_ns)?;
+        non_negative("hmc.vault_overhead_ns", self.vault_overhead_ns)?;
+        non_negative("hmc.fu_op_ns", self.fu_op_ns)?;
+        Ok(())
+    }
+}
+
+impl SimConfig {
+    /// Validates every slice of the substrate configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        self.cache.validate()?;
+        self.hmc.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        SimConfig::hpca_default().validate().expect("hpca valid");
+        SimConfig::test_tiny().validate().expect("tiny valid");
+    }
+
+    #[test]
+    fn zero_issue_width_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.core.issue_width = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroIssueWidth));
+        assert!(c
+            .core
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("issue width"));
+    }
+
+    #[test]
+    fn zero_rob_and_mshrs_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.core.rob_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::EmptyRob));
+        let mut c = SimConfig::hpca_default();
+        c.core.mshrs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMshrs));
+    }
+
+    #[test]
+    fn core_count_bounds() {
+        let mut c = SimConfig::hpca_default();
+        c.core.cores = 0;
+        assert_eq!(c.validate(), Err(ConfigError::CoreCount(0)));
+        c.core.cores = 17;
+        assert_eq!(c.validate(), Err(ConfigError::CoreCount(17)));
+    }
+
+    #[test]
+    fn non_power_of_two_line_size_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.cache.line_bytes = 48;
+        assert_eq!(c.validate(), Err(ConfigError::LineSize(48)));
+        c.cache.line_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::LineSize(0)));
+    }
+
+    #[test]
+    fn zero_ways_and_bad_geometry_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.cache.l2.ways = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroWays("L2")));
+        let mut c = SimConfig::hpca_default();
+        c.cache.l1.ways = 3;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Geometry { level: "L1", .. }));
+        // Same wording as the legacy assert in `CacheLevelConfig::sets`.
+        assert!(err.to_string().contains("divide evenly"));
+    }
+
+    #[test]
+    fn tiny_capacity_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.cache.l1.capacity_bytes = 32; // below one 64 B line
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSets("L1")));
+    }
+
+    #[test]
+    fn hmc_structure_rejected() {
+        for (field, err) in [
+            ("vaults", ConfigError::ZeroVaults),
+            ("banks", ConfigError::ZeroBanks),
+            ("fus", ConfigError::ZeroFus),
+            ("links", ConfigError::ZeroLinks),
+        ] {
+            let mut c = SimConfig::hpca_default();
+            match field {
+                "vaults" => c.hmc.vaults = 0,
+                "banks" => c.hmc.banks_per_vault = 0,
+                "fus" => c.hmc.fus_per_vault = 0,
+                _ => c.hmc.links = 0,
+            }
+            assert_eq!(c.validate(), Err(err), "{field}");
+        }
+    }
+
+    #[test]
+    fn vault_split_must_divide_address_space() {
+        let mut c = SimConfig::hpca_default();
+        c.hmc.vaults = 7; // 2^44 / 256 blocks are not divisible by 7
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::VaultSplit { vaults: 7, .. })
+        ));
+        // Every power-of-two vault count divides the space.
+        for vaults in [1usize, 2, 4, 8, 16, 32] {
+            let mut c = SimConfig::hpca_default();
+            c.hmc.vaults = vaults;
+            assert_eq!(c.validate(), Ok(()), "{vaults} vaults");
+        }
+    }
+
+    #[test]
+    fn bad_interleave_rejected() {
+        let mut c = SimConfig::hpca_default();
+        c.hmc.vault_interleave_bytes = 192;
+        assert_eq!(c.validate(), Err(ConfigError::Interleave(192)));
+        c.hmc.vault_interleave_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Interleave(0)));
+    }
+
+    #[test]
+    fn numeric_fields_must_be_finite() {
+        let mut c = SimConfig::hpca_default();
+        c.core.clock_ghz = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "core.clock_ghz",
+                ..
+            })
+        ));
+        let mut c = SimConfig::hpca_default();
+        c.hmc.t_cl_ns = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::hpca_default();
+        c.core.atomic_incore_cycles = -1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::Negative { .. })));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let msgs = [
+            ConfigError::ZeroVaults.to_string(),
+            ConfigError::ZeroIssueWidth.to_string(),
+            ConfigError::LineSize(48).to_string(),
+            ConfigError::VaultSplit {
+                vaults: 7,
+                blocks: 99,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn gate_reads_environment() {
+        // Cannot mutate the process environment safely in tests; just make
+        // sure the call is well-defined either way.
+        let _ = validation_enabled();
+    }
+}
