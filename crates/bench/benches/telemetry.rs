@@ -1,0 +1,82 @@
+//! Criterion micro-benchmark for the telemetry counter sink: indexed
+//! `CounterRegistry::record` versus the linear scan it replaced.
+//!
+//! The hot pattern is a sweep re-recording the same few hundred dotted
+//! keys (e.g. `hmc.vaultNN.*`) once per run snapshot; the linear scan
+//! made that quadratic in the key count.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphpim_sim::telemetry::{CounterRegistry, Telemetry};
+
+/// The pre-index `CounterRegistry`: records by scanning the entry list.
+#[derive(Default)]
+struct LinearRegistry {
+    entries: Vec<(String, f64)>,
+}
+
+impl Telemetry for LinearRegistry {
+    fn record(&mut self, key: &str, value: f64) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            *v = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+    }
+}
+
+/// A realistic key set: per-vault HMC counters plus core/cache summaries.
+fn keys() -> Vec<String> {
+    let mut keys = Vec::new();
+    for vault in 0..32 {
+        for stat in ["dram_accesses", "atomics", "queue_wait.p99", "fu_busy.mean"] {
+            keys.push(format!("hmc.vault{vault:02}.{stat}"));
+        }
+    }
+    for stat in [
+        "core.instructions",
+        "core.cycles",
+        "cache.l1_hits",
+        "cache.l2_hits",
+        "cache.l3_hits",
+        "attrib.core.busy",
+        "attrib.hmc.total",
+    ] {
+        keys.push(stat.to_string());
+    }
+    keys
+}
+
+fn bench_record(c: &mut Criterion) {
+    let keys = keys();
+    // 8 snapshot rounds over the full key set — every round past the
+    // first re-records existing keys, the case the index accelerates.
+    const ROUNDS: u64 = 8;
+    let mut group = c.benchmark_group("counter_registry_record");
+    group.throughput(Throughput::Elements(ROUNDS * keys.len() as u64));
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut registry = CounterRegistry::default();
+            for round in 0..ROUNDS {
+                for key in &keys {
+                    registry.record(key, round as f64);
+                }
+            }
+            criterion::black_box(registry);
+        });
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut registry = LinearRegistry::default();
+            for round in 0..ROUNDS {
+                for key in &keys {
+                    registry.record(key, round as f64);
+                }
+            }
+            criterion::black_box(registry.entries.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -15,7 +15,9 @@
 //! `GRAPHPIM_STORE_STATS_JSON=<file>` dumps the capture/replay counters.
 //!
 //! Observability: `GRAPHPIM_TRACE_DIR=<dir>` writes one JSONL counter
-//! trace per fresh simulation; an engine-profiling summary (per-run wall
+//! trace per fresh simulation, `GRAPHPIM_PERFETTO_DIR=<dir>` one Chrome
+//! trace-event file for ui.perfetto.dev, and `GRAPHPIM_ATTRIB=1` adds
+//! `attrib.*` cycle-attribution counters; an engine-profiling summary (per-run wall
 //! time, disk-cache outcomes, pool utilization) goes to stderr at the
 //! end, and `GRAPHPIM_PROFILE_JSON=<file>` dumps it as JSON.
 
@@ -94,6 +96,13 @@ fn main() {
     // Engine profiling summary (stderr, so figure output stays clean).
     let profile = ctx.profile();
     eprint!("{}", profile.summary());
+    let export_failures = profile.trace_store().export_failures;
+    if export_failures > 0 {
+        eprintln!(
+            "[all] warning: {export_failures} run(s) failed to export traces \
+             (failing paths in the preceding [trace]/[perfetto] errors)"
+        );
+    }
     if let Some(path) = std::env::var_os("GRAPHPIM_PROFILE_JSON") {
         match std::fs::write(&path, profile.to_json()) {
             Ok(()) => eprintln!("[profile] written to {}", path.to_string_lossy()),

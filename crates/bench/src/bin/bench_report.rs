@@ -1,0 +1,241 @@
+//! Bench regression gate: runs the key figure drivers, writes a
+//! machine-readable `BENCH.json`, and (with `--check`) compares the
+//! model metrics against a committed baseline.
+//!
+//! ```text
+//! bench_report [--check] [--warn-only] [--out PATH] [--baseline PATH]
+//!
+//! --check           compare metrics against the baseline and fail on drift
+//! --warn-only       with --check: report violations but exit 0
+//! --out PATH        where to write the report        (default: BENCH.json)
+//! --baseline PATH   baseline to check against
+//!                   (default: crates/bench/baseline.json)
+//! ```
+//!
+//! The report carries two sections:
+//!
+//! * `wall_seconds.*` — per-driver wall time. Reported for trending,
+//!   **never gated**: wall time depends on the machine, cache state, and
+//!   thread count.
+//! * `metrics.*` — model outputs (Figure 7 speedups, Figure 1 baseline
+//!   IPC, GraphPIM offload fractions). The simulator is deterministic,
+//!   so `--check` gates these at a relative tolerance of `1e-6` — tight
+//!   enough that any model change trips the gate, loose enough to absorb
+//!   float formatting round-trips.
+//!
+//! The scale is part of the report (`GRAPHPIM_SCALE`, default 10k); a
+//! `--check` against a baseline recorded at a different scale is an
+//! error, not a tolerance question. CI runs this at 1k scale warn-only
+//! against `crates/bench/baseline.json`.
+
+use graphpim::config::PimMode;
+use graphpim::experiments::cache::json;
+use graphpim::experiments::{fig01, fig07, Experiments, EVAL_KERNELS};
+use std::process::exit;
+use std::time::Instant;
+
+/// Relative tolerance for gated metrics. The simulator is deterministic;
+/// this only absorbs decimal round-trips through the JSON report.
+const CHECK_TOLERANCE: f64 = 1e-6;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nUsage: bench_report [--check] [--warn-only] [--out PATH] [--baseline PATH]");
+    exit(2)
+}
+
+struct Options {
+    check: bool,
+    warn_only: bool,
+    out: String,
+    baseline: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        check: false,
+        warn_only: false,
+        out: "BENCH.json".to_string(),
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json").to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--warn-only" => opts.warn_only = true,
+            "--out" => opts.out = value("--out"),
+            "--baseline" => opts.baseline = value("--baseline"),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+/// One timed driver pass plus the flat metric list it contributes.
+struct Report {
+    scale: String,
+    wall: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
+}
+
+fn collect(ctx: &Experiments) -> Report {
+    let mut wall = Vec::new();
+    let mut metrics = Vec::new();
+
+    // Figure 7: the headline speedups (plus the geomean "Average" row).
+    let start = Instant::now();
+    let rows = fig07::run(ctx);
+    wall.push(("fig07".to_string(), start.elapsed().as_secs_f64()));
+    for row in &rows {
+        metrics.push((format!("speedup.upei.{}", row.workload), row.upei));
+        metrics.push((format!("speedup.graphpim.{}", row.workload), row.graphpim));
+    }
+
+    // Figure 1: baseline IPC across the full kernel set.
+    let start = Instant::now();
+    let rows = fig01::run(ctx);
+    wall.push(("fig01".to_string(), start.elapsed().as_secs_f64()));
+    for row in &rows {
+        metrics.push((format!("ipc.baseline.{}", row.workload), row.ipc));
+    }
+
+    // Offload fractions under GraphPIM (memoized — reuses the fig07 runs).
+    let start = Instant::now();
+    for &kernel in &EVAL_KERNELS {
+        let m = ctx.metrics(kernel, PimMode::GraphPim);
+        let fraction = m.offloaded_atomics as f64 / (m.offload_candidates.max(1)) as f64;
+        metrics.push((format!("offload_fraction.graphpim.{kernel}"), fraction));
+    }
+    wall.push(("offload".to_string(), start.elapsed().as_secs_f64()));
+
+    Report {
+        scale: ctx.size().to_string(),
+        wall,
+        metrics,
+    }
+}
+
+/// Serializes the report. `{:?}` floats round-trip exactly through the
+/// raw-token JSON reader, so `--check` sees bit-identical values.
+fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"graphpim-bench-report-v1\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale));
+    out.push_str("  \"wall_seconds\": {\n");
+    for (i, (key, value)) in report.wall.iter().enumerate() {
+        let comma = if i + 1 < report.wall.len() { "," } else { "" };
+        out.push_str(&format!("    \"{key}\": {value:?}{comma}\n"));
+    }
+    out.push_str("  },\n  \"metrics\": {\n");
+    for (i, (key, value)) in report.metrics.iter().enumerate() {
+        let comma = if i + 1 < report.metrics.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!("    \"{key}\": {value:?}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Compares `report` against the baseline file. Returns the violation
+/// messages (empty = pass).
+fn check(report: &Report, baseline_path: &str) -> Vec<String> {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("cannot read baseline {baseline_path}: {e}")],
+    };
+    let Some(doc) = json::parse(&text) else {
+        return vec![format!("baseline {baseline_path} is not valid JSON")];
+    };
+    let Some(obj) = doc.as_object() else {
+        return vec![format!("baseline {baseline_path} is not a JSON object")];
+    };
+    let mut violations = Vec::new();
+    match obj.get("scale").and_then(|v| v.as_str()) {
+        Some(scale) if scale == report.scale => {}
+        Some(scale) => {
+            return vec![format!(
+                "scale mismatch: baseline recorded at {scale}, this run is {} \
+                 (set GRAPHPIM_SCALE to match or regenerate the baseline)",
+                report.scale
+            )]
+        }
+        None => violations.push("baseline has no \"scale\" field".to_string()),
+    }
+    let expected: Vec<(&str, f64)> = match obj.get("metrics") {
+        Some(json::Value::Object(fields)) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.as_str(), n)))
+            .collect(),
+        _ => {
+            violations.push("baseline has no \"metrics\" object".to_string());
+            Vec::new()
+        }
+    };
+    for (key, want) in expected {
+        match report.metrics.iter().find(|(k, _)| k == key) {
+            None => violations.push(format!("metric {key} missing from this run")),
+            Some((_, got)) => {
+                let scale = want.abs().max(got.abs()).max(1.0);
+                if (got - want).abs() > CHECK_TOLERANCE * scale {
+                    violations.push(format!(
+                        "metric {key} drifted: baseline {want:?}, got {got:?} \
+                         (rel. err {:.2e}, tolerance {CHECK_TOLERANCE:.0e})",
+                        (got - want).abs() / scale
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    let opts = parse_args();
+    let ctx = Experiments::from_env();
+    eprintln!("[bench_report] scale {}", ctx.size());
+
+    let report = collect(&ctx);
+    for (key, seconds) in &report.wall {
+        eprintln!("[bench_report] {key}: {seconds:.2}s wall");
+    }
+    if let Err(e) = std::fs::write(&opts.out, to_json(&report)) {
+        eprintln!("[bench_report] cannot write {}: {e}", opts.out);
+        exit(1);
+    }
+    println!(
+        "wrote {} ({} metrics, {} drivers timed)",
+        opts.out,
+        report.metrics.len(),
+        report.wall.len()
+    );
+
+    if opts.check {
+        let violations = check(&report, &opts.baseline);
+        if violations.is_empty() {
+            println!(
+                "check passed against {} (tolerance {CHECK_TOLERANCE:.0e})",
+                opts.baseline
+            );
+        } else {
+            for v in &violations {
+                eprintln!("[bench_report] VIOLATION: {v}");
+            }
+            eprintln!(
+                "[bench_report] {} violation(s) against {}",
+                violations.len(),
+                opts.baseline
+            );
+            if !opts.warn_only {
+                exit(1);
+            }
+            eprintln!("[bench_report] --warn-only: exiting 0 despite violations");
+        }
+    }
+}

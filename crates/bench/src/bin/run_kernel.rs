@@ -20,12 +20,14 @@
 //! ```
 //!
 //! With `GRAPHPIM_TRACE_DIR=<dir>` set, each run additionally writes a
-//! JSONL counter trace to `<dir>/<kernel>-<mode>.jsonl`.
+//! JSONL counter trace to `<dir>/<kernel>-<mode>.jsonl`;
+//! `GRAPHPIM_PERFETTO_DIR=<dir>` likewise writes a Chrome trace-event
+//! file `<kernel>-<mode>.trace.json` for ui.perfetto.dev, and
+//! `GRAPHPIM_ATTRIB=1` adds `attrib.*` cycle-attribution counters.
 
 use graphpim::config::{PimMode, SystemConfig};
 use graphpim::experiments::pick_root;
-use graphpim::system::SystemSim;
-use graphpim::telemetry::TraceExporter;
+use graphpim::system::{Instrumentation, SystemSim};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::CsrGraph;
 use graphpim_workloads::kernels::{by_name, KernelParams};
@@ -166,8 +168,12 @@ fn main() {
         if !opts.fp {
             config = config.without_fp_extension();
         }
-        let trace = TraceExporter::from_env(&format!("{}-{}", opts.kernel, mode.label()));
-        let m = SystemSim::run_kernel_traced(kernel.as_mut(), &graph, &config, trace);
+        let label = format!("{}-{}", opts.kernel, mode.label());
+        let instr = Instrumentation::from_env(&label);
+        let m = SystemSim::run_kernel_instrumented(kernel.as_mut(), &graph, &config, instr);
+        if m.trace_export_failed {
+            eprintln!("warning: trace export failed for run {label} (see preceding error)");
+        }
         if mode == PimMode::Baseline {
             baseline_cycles = Some(m.total_cycles);
         }

@@ -352,7 +352,7 @@ fn metrics_from_json(value: &json::Value, key: &RunKey) -> Option<RunMetrics> {
 /// Minimal JSON reader for the cache files and the trace exporter.
 /// Numbers are kept as raw source tokens and converted at
 /// field-extraction time, so `u64` and `f64` both round-trip exactly.
-pub(crate) mod json {
+pub mod json {
     /// One parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {

@@ -29,6 +29,13 @@
 //!   freshly simulated run (see [`crate::telemetry`]). Disk-cache hits
 //!   produce no trace; combine with `GRAPHPIM_NO_CACHE=1` to force
 //!   traces for every run.
+//! * `GRAPHPIM_PERFETTO_DIR=<dir>` — write one Chrome trace-event file
+//!   (`<key stem>.trace.json`, see [`crate::perfetto`]) per freshly
+//!   simulated run, openable in ui.perfetto.dev. Like
+//!   `GRAPHPIM_TRACE_DIR`, disk-cache hits produce no trace.
+//! * `GRAPHPIM_ATTRIB=1` — tag each fresh simulation with cycle
+//!   attribution ledgers ([`graphpim_sim::attrib`]); results gain
+//!   `attrib.*` counters while timing stays bit-identical.
 //! * `GRAPHPIM_TRACE_STORE=<dir>` — instruction-trace store directory
 //!   (default `<tmpdir>/graphpim-trace-store`; see [`crate::tracestore`]).
 //! * `GRAPHPIM_NO_TRACE_STORE=1` — disable trace capture/replay; every
@@ -64,7 +71,8 @@ pub use profile::EngineProfile;
 use crate::config::{PimMode, SystemConfig};
 use crate::fingerprint::{fingerprint, result_env_fingerprint};
 use crate::metrics::RunMetrics;
-use crate::system::SystemSim;
+use crate::perfetto::PerfettoTrace;
+use crate::system::{Instrumentation, SystemSim};
 use crate::telemetry::TraceExporter;
 use crate::tracestore::{TraceLookup, TraceStore, WorkloadKey};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
@@ -169,6 +177,11 @@ pub struct Experiments {
     env_fingerprint: String,
     /// Where freshly simulated runs write JSONL counter traces.
     trace_dir: Option<PathBuf>,
+    /// Where freshly simulated runs write Chrome trace-event spans.
+    perfetto_dir: Option<PathBuf>,
+    /// Whether runs tag cycles with [`graphpim_sim::attrib`] ledgers
+    /// (`attrib.*` counters). Observation-only, like tracing.
+    attribution: bool,
     /// Instruction-trace store (`None` = capture/replay disabled; every
     /// run executes its kernel live).
     trace_store: Option<TraceStore>,
@@ -214,6 +227,8 @@ impl Experiments {
             disk_hits: AtomicUsize::new(0),
             env_fingerprint: result_env_fingerprint(),
             trace_dir: std::env::var_os("GRAPHPIM_TRACE_DIR").map(PathBuf::from),
+            perfetto_dir: std::env::var_os("GRAPHPIM_PERFETTO_DIR").map(PathBuf::from),
+            attribution: std::env::var_os("GRAPHPIM_ATTRIB").is_some(),
             trace_store: TraceStore::from_env(),
             traces: Mutex::new(HashMap::new()),
             profile: Mutex::new(EngineProfile::default()),
@@ -243,6 +258,33 @@ impl Experiments {
     /// The trace directory, if tracing is enabled.
     pub fn trace_dir(&self) -> Option<&std::path::Path> {
         self.trace_dir.as_deref()
+    }
+
+    /// Same context with an explicit Perfetto directory: every freshly
+    /// simulated run writes `<dir>/<key stem>.trace.json` (see
+    /// [`crate::perfetto`]). Observation-only, like [`Self::with_trace_dir`].
+    pub fn with_perfetto_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.perfetto_dir = Some(dir.into());
+        self
+    }
+
+    /// The Perfetto trace directory, if span export is enabled.
+    pub fn perfetto_dir(&self) -> Option<&std::path::Path> {
+        self.perfetto_dir.as_deref()
+    }
+
+    /// Same context with cycle attribution forced on or off (overrides
+    /// `GRAPHPIM_ATTRIB`). When on, each fresh simulation carries
+    /// [`graphpim_sim::attrib`] ledgers and reports `attrib.*` counters;
+    /// timing stays bit-identical either way.
+    pub fn with_attribution(mut self, enabled: bool) -> Self {
+        self.attribution = enabled;
+        self
+    }
+
+    /// Whether cycle attribution is enabled for fresh simulations.
+    pub fn attribution(&self) -> bool {
+        self.attribution
     }
 
     /// A snapshot of the engine profile accumulated so far (per-run wall
@@ -393,8 +435,8 @@ impl Experiments {
             );
         }
         let config = self.config_for(key);
-        let make_exporter = || {
-            self.trace_dir.as_ref().and_then(|dir| {
+        let make_instrumentation = || Instrumentation {
+            trace: self.trace_dir.as_ref().and_then(|dir| {
                 let path = dir.join(format!("{}.jsonl", key.file_stem()));
                 match TraceExporter::create(&path) {
                     Ok(exporter) => Some(exporter),
@@ -403,15 +445,20 @@ impl Experiments {
                         None
                     }
                 }
-            })
+            }),
+            perfetto: self.perfetto_dir.as_ref().map(|dir| {
+                PerfettoTrace::create(dir.join(format!("{}.trace.json", key.file_stem())))
+            }),
+            attribution: self.attribution,
         };
         let live = || {
             let mut k = self.build_kernel(key, &graph);
-            SystemSim::run_kernel_traced(k.as_mut(), &graph, &config, make_exporter())
+            SystemSim::run_kernel_instrumented(k.as_mut(), &graph, &config, make_instrumentation())
         };
         let (metrics, source) = match self.workload_trace(key, &graph) {
             Some(bytes) => {
-                match SystemSim::run_replayed_traced(&bytes, &config, make_exporter()) {
+                match SystemSim::run_replayed_instrumented(&bytes, &config, make_instrumentation())
+                {
                     Ok(m) => {
                         self.profile.lock().unwrap().note_replay();
                         (m, RunSource::Replayed)
@@ -434,6 +481,12 @@ impl Experiments {
         }
         let mut profile = self.profile.lock().unwrap();
         if metrics.trace_export_failed {
+            // The write-time eprintln already named the exact file; repeat
+            // the run so sweep logs connect the warning to a figure row.
+            eprintln!(
+                "[trace] export failed for run {} (see preceding error)",
+                key.file_stem()
+            );
             profile.note_trace_export_failure();
         }
         profile.record_run(key.file_stem(), start.elapsed().as_secs_f64(), source);

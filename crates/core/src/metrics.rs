@@ -184,6 +184,10 @@ impl RunMetrics {
         sink.record("system.uncached_atomics", self.uncached_atomics as f64);
         sink.record("system.memory_service_cycles", self.memory_service_cycles);
         sink.record("system.total_cycles", self.total_cycles);
+        sink.record(
+            "telemetry.export_failures",
+            if self.trace_export_failed { 1.0 } else { 0.0 },
+        );
     }
 
     /// All counters of this run as a registry (convenience over

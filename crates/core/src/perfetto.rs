@@ -1,0 +1,229 @@
+//! Chrome trace-event export for ui.perfetto.dev.
+//!
+//! A [`PerfettoTrace`] accumulates spans during a run and writes one
+//! `trace.json` in the Chrome trace-event format (the JSON array flavor
+//! Perfetto ingests directly). The simulator emits three row groups:
+//!
+//! * **pid 0 — supersteps**: one span per superstep barrier interval;
+//! * **pid 1 — cores**: per-core busy / barrier-stall spans;
+//! * **pid 2 — requests**: sampled memory-request lifecycles with their
+//!   queue/FU waits as span arguments.
+//!
+//! Timestamps are simulated CPU cycles reported in the format's
+//! microsecond field (1 cycle = 1 "µs"), which keeps the UI's zoom and
+//! duration arithmetic exact — absolute wall time is meaningless for a
+//! simulator anyway.
+//!
+//! Like the JSONL [`crate::telemetry::TraceExporter`], the writer buffers
+//! everything in memory and touches the filesystem only in
+//! [`PerfettoTrace::write`], so export cannot perturb timing.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Accumulates trace events and writes them as Chrome trace-event JSON.
+#[derive(Debug)]
+pub struct PerfettoTrace {
+    path: PathBuf,
+    events: Vec<String>,
+}
+
+impl PerfettoTrace {
+    /// Creates an exporter targeting `path`. No I/O happens until
+    /// [`PerfettoTrace::write`].
+    pub fn create(path: impl Into<PathBuf>) -> PerfettoTrace {
+        PerfettoTrace {
+            path: path.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates an exporter when `GRAPHPIM_PERFETTO_DIR` is set, writing to
+    /// `<dir>/<label>.trace.json` with the label sanitized to
+    /// filesystem-safe characters.
+    pub fn from_env(label: &str) -> Option<PerfettoTrace> {
+        let dir = std::env::var_os("GRAPHPIM_PERFETTO_DIR")?;
+        let safe: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        Some(PerfettoTrace::create(
+            PathBuf::from(dir).join(format!("{safe}.trace.json")),
+        ))
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process row `pid` (a `process_name` metadata event).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// Names the thread row `(pid, tid)` (a `thread_name` metadata event).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// Records a complete span (`ph: "X"`) from `start` to `end` cycles on
+    /// row `(pid, tid)`, with numeric `args` attached. Negative durations
+    /// are clamped to zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u32,
+        tid: u32,
+        start: f64,
+        end: f64,
+        args: &[(&str, f64)],
+    ) {
+        let dur = (end - start).max(0.0);
+        let mut event = format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{start:?},\"dur\":{dur:?},\
+             \"pid\":{pid},\"tid\":{tid}",
+            json_string(name),
+            json_string(cat),
+        );
+        if !args.is_empty() {
+            event.push_str(",\"args\":{");
+            for (i, (key, value)) in args.iter().enumerate() {
+                if i > 0 {
+                    event.push(',');
+                }
+                event.push_str(&format!("{}:{value:?}", json_string(key)));
+            }
+            event.push('}');
+        }
+        event.push('}');
+        self.events.push(event);
+    }
+
+    /// Writes the accumulated events as one `{"traceEvents": [...]}`
+    /// document and returns the path.
+    pub fn write(self) -> std::io::Result<PathBuf> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(&self.path)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(b"{\"traceEvents\":[\n")?;
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",\n")?;
+            }
+            w.write_all(event.as_bytes())?;
+        }
+        w.write_all(b"\n],\"displayTimeUnit\":\"ns\",")?;
+        w.write_all(b"\"otherData\":{\"clock\":\"simulated CPU cycles (1 cycle = 1 us)\"}}\n")?;
+        w.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes, backslashes, control
+/// characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::cache::json;
+
+    #[test]
+    fn span_and_metadata_round_trip_through_parser() {
+        let dir = std::env::temp_dir().join(format!("graphpim-perfetto-{}", std::process::id()));
+        let mut trace = PerfettoTrace::create(dir.join("unit.trace.json"));
+        trace.process_name(0, "supersteps");
+        trace.thread_name(1, 3, "core 3");
+        trace.span("superstep 1", "superstep", 0, 0, 0.0, 1500.5, &[]);
+        trace.span(
+            "load.miss",
+            "request",
+            2,
+            3,
+            10.0,
+            96.25,
+            &[("bank_wait", 4.0), ("fu_wait", 0.0)],
+        );
+        assert_eq!(trace.len(), 4);
+        let path = trace.write().expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let value = json::parse(&text).expect("valid JSON");
+        let doc = value.as_object().expect("object");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        let span = events[3].as_object().expect("event object");
+        assert_eq!(span.get("name").and_then(|v| v.as_str()), Some("load.miss"));
+        assert_eq!(span.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(86.25));
+        let args = span.get("args").and_then(|v| v.as_object()).expect("args");
+        assert_eq!(args.get("bank_wait").and_then(|v| v.as_f64()), Some(4.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_duration_clamped_and_strings_escaped() {
+        let mut trace = PerfettoTrace::create("unused.json");
+        trace.span("we\"ird\\name", "cat", 0, 0, 10.0, 5.0, &[]);
+        let event = &trace.events[0];
+        assert!(event.contains("\"dur\":0.0"));
+        assert!(event.contains("we\\\"ird\\\\name"));
+        assert!(json::parse(&format!("[{event}]")).is_some());
+    }
+
+    #[test]
+    fn from_env_requires_variable() {
+        // Serialized via the env-lock-free convention: the variable is not
+        // set by any test in this crate except transiently elsewhere.
+        if std::env::var_os("GRAPHPIM_PERFETTO_DIR").is_none() {
+            assert!(PerfettoTrace::from_env("BFS baseline").is_none());
+        }
+    }
+}

@@ -18,12 +18,14 @@
 
 use crate::config::{PimMode, SystemConfig};
 use crate::metrics::RunMetrics;
+use crate::perfetto::PerfettoTrace;
 use crate::pou::{AtomicPath, Pou};
 use crate::telemetry::TraceExporter;
 use graphpim_graph::generate::SplitMix64;
 use graphpim_graph::CsrGraph;
+use graphpim_sim::attrib::CoreAttrib;
 use graphpim_sim::cpu::{CoreModel, CoreStats};
-use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, PacketKind};
+use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, HmcServed, PacketKind};
 use graphpim_sim::mem::hierarchy::{CacheHierarchy, ServiceLevel};
 use graphpim_sim::mem::Addr;
 use graphpim_sim::telemetry::CounterRegistry;
@@ -36,6 +38,36 @@ use graphpim_workloads::kernels::Kernel;
 /// Extra penalty for a host atomic forced onto uncacheable memory (the
 /// cache-line lock degrades to bus locking; Section III-B discussion).
 const BUS_LOCK_PENALTY: f64 = 100.0;
+
+/// One in this many memory-request lifecycles is exported as a Perfetto
+/// span (full export would dwarf the run it describes).
+const PERFETTO_REQUEST_SAMPLE: u64 = 64;
+
+/// Optional observers attached to a run. All of them are pull-based or
+/// record already-computed deltas, so any combination leaves the
+/// simulated timing bit-identical.
+#[derive(Debug, Default)]
+pub struct Instrumentation {
+    /// Superstep counter snapshots (JSONL; see [`TraceExporter`]).
+    pub trace: Option<TraceExporter>,
+    /// Chrome trace-event span export (see [`PerfettoTrace`]).
+    pub perfetto: Option<PerfettoTrace>,
+    /// Cycle-attribution ledgers, reported under `attrib.*` keys.
+    pub attribution: bool,
+}
+
+impl Instrumentation {
+    /// Builds the instrumentation the environment asks for:
+    /// `GRAPHPIM_TRACE_DIR`, `GRAPHPIM_PERFETTO_DIR`, and `GRAPHPIM_ATTRIB`
+    /// (presence-checked). `label` names the output files.
+    pub fn from_env(label: &str) -> Instrumentation {
+        Instrumentation {
+            trace: TraceExporter::from_env(label),
+            perfetto: PerfettoTrace::from_env(label),
+            attribution: std::env::var_os("GRAPHPIM_ATTRIB").is_some(),
+        }
+    }
+}
 
 /// The assembled system.
 pub struct SystemSim {
@@ -55,8 +87,14 @@ pub struct SystemSim {
     uncached_atomics: u64,
     memory_service_cycles: f64,
     trace: Option<TraceExporter>,
+    perfetto: Option<PerfettoTrace>,
+    attribution: bool,
     trace_export_failed: bool,
     superstep: u64,
+    /// Release time of the previous barrier (start of the current
+    /// superstep) — the left edge of the Perfetto spans being built.
+    step_start: Cycle,
+    request_samples: u64,
 }
 
 impl SystemSim {
@@ -95,8 +133,12 @@ impl SystemSim {
             uncached_atomics: 0,
             memory_service_cycles: 0.0,
             trace: None,
+            perfetto: None,
+            attribution: false,
             trace_export_failed: false,
             superstep: 0,
+            step_start: 0.0,
+            request_samples: 0,
         }
     }
 
@@ -106,6 +148,47 @@ impl SystemSim {
     pub fn enable_trace(&mut self, trace: TraceExporter) {
         self.cube.enable_vault_telemetry();
         self.trace = Some(trace);
+    }
+
+    /// Attaches a Perfetto span exporter: supersteps, per-core busy/stall
+    /// spans, and sampled request lifecycles are recorded and written as
+    /// Chrome trace-event JSON when the run finalizes. Observation-only.
+    pub fn enable_perfetto(&mut self, mut perfetto: PerfettoTrace) {
+        perfetto.process_name(0, "supersteps");
+        perfetto.process_name(1, "cores");
+        perfetto.process_name(2, "requests (sampled)");
+        perfetto.thread_name(0, 0, "superstep");
+        for c in 0..self.cores.len() {
+            perfetto.thread_name(1, c as u32, &format!("core {c}"));
+            perfetto.thread_name(2, c as u32, &format!("core {c} requests"));
+        }
+        self.perfetto = Some(perfetto);
+    }
+
+    /// Turns on cycle attribution in every component (cores, cache
+    /// hierarchy, HMC cube). The ledgers surface as `attrib.*` telemetry
+    /// keys; timing stays bit-identical (the ledgers record deltas the
+    /// timing path already computed).
+    pub fn enable_attribution(&mut self) {
+        self.attribution = true;
+        for core in &mut self.cores {
+            core.enable_attribution();
+        }
+        self.hierarchy.enable_attribution();
+        self.cube.enable_attribution();
+    }
+
+    /// Attaches any combination of observers.
+    pub fn instrument(&mut self, instrumentation: Instrumentation) {
+        if let Some(trace) = instrumentation.trace {
+            self.enable_trace(trace);
+        }
+        if let Some(perfetto) = instrumentation.perfetto {
+            self.enable_perfetto(perfetto);
+        }
+        if instrumentation.attribution {
+            self.enable_attribution();
+        }
     }
 
     /// Runs a kernel end to end under `config` and returns the metrics.
@@ -127,6 +210,16 @@ impl SystemSim {
         Self::run_with_traced(config, trace, |fw| kernel.run(graph, fw))
     }
 
+    /// [`run_kernel`](Self::run_kernel) with the full observer set.
+    pub fn run_kernel_instrumented(
+        kernel: &mut dyn Kernel,
+        graph: &CsrGraph,
+        config: &SystemConfig,
+        instrumentation: Instrumentation,
+    ) -> RunMetrics {
+        Self::run_with_instrumented(config, instrumentation, |fw| kernel.run(graph, fw))
+    }
+
     /// Runs an arbitrary framework workload (used by the real-world
     /// applications) and returns the metrics.
     pub fn run_with<F>(config: &SystemConfig, workload: F) -> RunMetrics
@@ -145,11 +238,28 @@ impl SystemSim {
     where
         F: FnOnce(&mut Framework<'_>),
     {
+        Self::run_with_instrumented(
+            config,
+            Instrumentation {
+                trace,
+                ..Instrumentation::default()
+            },
+            workload,
+        )
+    }
+
+    /// [`run_with`](Self::run_with) with the full observer set.
+    pub fn run_with_instrumented<F>(
+        config: &SystemConfig,
+        instrumentation: Instrumentation,
+        workload: F,
+    ) -> RunMetrics
+    where
+        F: FnOnce(&mut Framework<'_>),
+    {
         let threads = config.sim.core.cores;
         let mut sys = SystemSim::new(config.clone());
-        if let Some(trace) = trace {
-            sys.enable_trace(trace);
-        }
+        sys.instrument(instrumentation);
         {
             let mut fw = Framework::new(threads, &mut sys);
             workload(&mut fw);
@@ -178,11 +288,25 @@ impl SystemSim {
         config: &SystemConfig,
         trace: Option<TraceExporter>,
     ) -> Result<RunMetrics, CodecError> {
+        Self::run_replayed_instrumented(
+            bytes,
+            config,
+            Instrumentation {
+                trace,
+                ..Instrumentation::default()
+            },
+        )
+    }
+
+    /// [`run_replayed`](Self::run_replayed) with the full observer set.
+    pub fn run_replayed_instrumented(
+        bytes: &[u8],
+        config: &SystemConfig,
+        instrumentation: Instrumentation,
+    ) -> Result<RunMetrics, CodecError> {
         let mut reader = TraceReader::new(bytes)?;
         let mut sys = SystemSim::new(config.clone());
-        if let Some(trace) = trace {
-            sys.enable_trace(trace);
-        }
+        sys.instrument(instrumentation);
         while let Some(event) = reader.next_event()? {
             match event {
                 TraceEvent::Chunk(step) => sys.chunk(step),
@@ -228,6 +352,38 @@ impl SystemSim {
         reg.record("system.uncached_atomics", self.uncached_atomics as f64);
         reg.record("system.memory_service_cycles", self.memory_service_cycles);
         reg.record("system.total_cycles", total_cycles);
+        reg.record(
+            "telemetry.export_failures",
+            if self.trace_export_failed { 1.0 } else { 0.0 },
+        );
+        if self.attribution {
+            let mut core_attrib = CoreAttrib::default();
+            for core in &self.cores {
+                core_attrib.accumulate(core.attrib().expect("attribution enabled"));
+            }
+            core_attrib.report_telemetry("attrib.core", &mut reg);
+            // Per-core clocks telescope into the buckets, so `busy` is the
+            // sum of all core-local time; `idle` is each core's gap to the
+            // machine-wide end. busy + idle = machine cycles (checked by
+            // the validation layer).
+            reg.record("attrib.core.busy", core_attrib.total());
+            let idle: f64 = self
+                .cores
+                .iter()
+                .map(|c| (total_cycles - c.now()).max(0.0))
+                .sum();
+            reg.record("attrib.core.idle", idle);
+            reg.record(
+                "attrib.core.machine_cycles",
+                total_cycles * self.cores.len() as f64,
+            );
+            if let Some(a) = self.hierarchy.attrib() {
+                a.report_telemetry("attrib.cache", &mut reg);
+            }
+            if let Some(a) = self.cube.attrib() {
+                a.report_telemetry("attrib.hmc", &mut reg);
+            }
+        }
         reg
     }
 
@@ -238,15 +394,39 @@ impl SystemSim {
             end = end.max(core.finish());
         }
         let total_cycles = end.max(1e-9);
+        if let Some(mut perfetto) = self.perfetto.take() {
+            // Close out the last (possibly barrier-less) superstep: cores
+            // are drained at `now()`, then idle until the machine-wide end.
+            for (c, core) in self.cores.iter().enumerate() {
+                let busy_end = core.now().min(total_cycles);
+                perfetto.span("busy", "core", 1, c as u32, self.step_start, busy_end, &[]);
+                perfetto.span("drain", "core", 1, c as u32, busy_end, total_cycles, &[]);
+            }
+            perfetto.span(
+                &format!("superstep {}", self.superstep + 1),
+                "superstep",
+                0,
+                0,
+                self.step_start,
+                total_cycles,
+                &[],
+            );
+            let path = perfetto.path().to_path_buf();
+            if let Err(e) = perfetto.write() {
+                eprintln!("[perfetto] cannot write {}: {e}", path.display());
+                self.trace_export_failed = true;
+            }
+        }
         if self.trace.is_some() {
             // Final snapshot: the only one where `system.total_cycles`
             // reflects the finished run.
             let counters = self.collect_counters(total_cycles);
             if let Some(trace) = self.trace.take() {
                 let mut trace = trace;
+                let path = trace.path().to_path_buf();
                 trace.snapshot(self.superstep + 1, total_cycles, &counters);
                 if let Err(e) = trace.finish() {
-                    eprintln!("[trace] write failed: {e}");
+                    eprintln!("[trace] cannot write {}: {e}", path.display());
                     self.trace_export_failed = true;
                 }
             }
@@ -305,6 +485,7 @@ impl SystemSim {
             let t0 = self.cores[t].begin_mem(dep, true);
             let served = self.cube.service(PacketKind::Read16, addr, t0);
             self.memory_service_cycles += served.response_at - t0;
+            self.perfetto_request(t, "load.pmr", t0, &served);
             self.cores[t].complete_load(served.response_at, true);
             self.uncached_reads += 1;
             return;
@@ -318,6 +499,7 @@ impl SystemSim {
                 .cube
                 .service(PacketKind::Read64, addr, t1 + out.latency as f64);
             self.memory_service_cycles += served.response_at - t1;
+            self.perfetto_request(t, "load.miss", t1, &served);
             self.cores[t].complete_load(served.response_at, true);
         } else {
             self.cores[t].complete_load(t0 + out.latency as f64, false);
@@ -378,6 +560,7 @@ impl SystemSim {
                 .service(PacketKind::Write16, addr, read.response_at);
             let service = (write.memory_done - start) + BUS_LOCK_PENALTY;
             self.memory_service_cycles += service;
+            self.perfetto_request(t, "atomic.host-buslock", start, &write);
             self.cores[t].host_atomic_finish(service, 0.0);
             self.uncached_atomics += 1;
             return;
@@ -394,6 +577,7 @@ impl SystemSim {
                 .cube
                 .service(PacketKind::Read64, addr, start + cache_part);
             service += served.response_at - (start + cache_part);
+            self.perfetto_request(t, "atomic.host-fill", start, &served);
         }
         self.memory_service_cycles += service;
         self.cores[t].host_atomic_finish(service, cache_part);
@@ -422,6 +606,7 @@ impl SystemSim {
         let served = self
             .cube
             .service(PacketKind::Atomic(op), addr, t1 + out.latency as f64);
+        self.perfetto_request(t, "atomic.upei", t1, &served);
         if op.has_return() {
             self.finish_pim(t, op, t1, served.response_at, served.memory_done);
         } else {
@@ -442,6 +627,7 @@ impl SystemSim {
             t0
         };
         let served = self.cube.service(PacketKind::Atomic(op), addr, t1);
+        self.perfetto_request(t, "atomic.pim", t1, &served);
         self.finish_pim(t, op, t1, served.response_at, served.memory_done);
     }
 
@@ -460,6 +646,30 @@ impl SystemSim {
         }
         self.cores[t].complete_pim_atomic(response_at, returns);
         self.max_pim_done = self.max_pim_done.max(memory_done);
+    }
+
+    /// Exports every [`PERFETTO_REQUEST_SAMPLE`]-th request lifecycle as a
+    /// span on the requests row (pid 2). Posted stores and writebacks are
+    /// skipped — they never stall the core.
+    fn perfetto_request(&mut self, t: usize, name: &str, issued: Cycle, served: &HmcServed) {
+        if self.perfetto.is_none() {
+            return;
+        }
+        self.request_samples += 1;
+        if !(self.request_samples - 1).is_multiple_of(PERFETTO_REQUEST_SAMPLE) {
+            return;
+        }
+        if let Some(perfetto) = &mut self.perfetto {
+            perfetto.span(
+                name,
+                "request",
+                2,
+                t as u32,
+                issued,
+                served.response_at,
+                &[("bank_wait", served.bank_wait), ("fu_wait", served.fu_wait)],
+            );
+        }
     }
 
     fn flush_writebacks(&mut self, writebacks: &[Addr], now: Cycle) {
@@ -513,11 +723,31 @@ impl TraceConsumer for SystemSim {
         for core in &self.cores {
             release = release.max(core.drain_time());
         }
+        if let Some(perfetto) = &mut self.perfetto {
+            // Spans for the superstep that just ended: each core is busy
+            // until its own drain point, then stalled at the barrier.
+            for (c, core) in self.cores.iter().enumerate() {
+                let busy_end = core.drain_time().min(release);
+                let start = self.step_start;
+                perfetto.span("busy", "core", 1, c as u32, start, busy_end, &[]);
+                perfetto.span("barrier", "core", 1, c as u32, busy_end, release, &[]);
+            }
+            perfetto.span(
+                &format!("superstep {}", self.superstep + 1),
+                "superstep",
+                0,
+                0,
+                self.step_start,
+                release,
+                &[],
+            );
+        }
         for core in &mut self.cores {
             core.barrier(release);
         }
         self.max_pim_done = release;
         self.superstep += 1;
+        self.step_start = release;
         if self.trace.is_some() {
             let counters = self.collect_counters(release);
             if let Some(trace) = &mut self.trace {

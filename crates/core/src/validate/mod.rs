@@ -50,6 +50,16 @@ impl std::fmt::Display for Violation {
 /// Breakdown fraction sums within this of 1.0 count as conserved.
 const BREAKDOWN_SUM_TOLERANCE: f64 = 1e-6;
 
+/// Relative tolerance for attribution closure (sums of exact per-event
+/// floats; only association-order rounding separates the two sides).
+const ATTRIB_CLOSE_TOLERANCE: f64 = 1e-6;
+
+/// Whether `a` and `b` agree within [`ATTRIB_CLOSE_TOLERANCE`]
+/// relative to their magnitude (absolute near zero).
+fn attrib_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= ATTRIB_CLOSE_TOLERANCE * a.abs().max(b.abs()).max(1.0)
+}
+
 fn check(violations: &mut Vec<Violation>, invariant: &'static str, ok: bool, detail: String) {
     if !ok {
         violations.push(Violation { invariant, detail });
@@ -345,6 +355,77 @@ pub fn check_run(m: &RunMetrics, counters: &CounterRegistry) -> Vec<Violation> {
         }
     }
 
+    // Attribution closure (only when cycle attribution was on): the
+    // `attrib.*` ledgers must telescope to the quantities the metrics
+    // already account — every bucket named by CycleBreakdown agrees with
+    // its CoreStats source, the buckets sum to the total busy time, and
+    // busy + idle covers the whole machine. The cache and HMC ledgers
+    // must each equal the sum of their own components.
+    if let Some(busy) = counters.get("attrib.core.busy") {
+        let get = |key: &str| counters.get(key).unwrap_or(0.0);
+        let idle = get("attrib.core.idle");
+        let machine = get("attrib.core.machine_cycles");
+        check(
+            &mut v,
+            "attrib-closure",
+            attrib_close(machine, m.machine_cycles()),
+            format!(
+                "attrib.core.machine_cycles ({machine}) != metrics machine_cycles ({})",
+                m.machine_cycles()
+            ),
+        );
+        check(
+            &mut v,
+            "attrib-closure",
+            attrib_close(busy + idle, machine),
+            format!("busy ({busy}) + idle ({idle}) != machine cycles ({machine})"),
+        );
+        let bucket_sum = get("attrib.core.issue")
+            + get("attrib.core.frontend")
+            + get("attrib.core.bad_speculation")
+            + get("attrib.core.dep_wait")
+            + get("attrib.core.rob_stall")
+            + get("attrib.core.mshr_wait")
+            + get("attrib.core.atomic_serialize")
+            + get("attrib.core.barrier_wait")
+            + get("attrib.core.drain_wait");
+        check(
+            &mut v,
+            "attrib-closure",
+            attrib_close(bucket_sum, busy),
+            format!("core buckets sum to {bucket_sum} != busy ({busy})"),
+        );
+        // The buckets CycleBreakdown also derives must agree with it.
+        for (key, expected) in [
+            ("attrib.core.issue", m.core.retiring_cycles(m.issue_width)),
+            ("attrib.core.frontend", m.core.frontend_cycles),
+            ("attrib.core.bad_speculation", m.core.badspec_cycles),
+            ("attrib.core.atomic_serialize", m.core.atomic_incore_cycles),
+        ] {
+            let got = get(key);
+            check(
+                &mut v,
+                "attrib-closure",
+                attrib_close(got, expected),
+                format!("{key} ({got}) != CycleBreakdown source ({expected})"),
+            );
+        }
+        for prefix in ["attrib.cache", "attrib.hmc"] {
+            let total = get(&format!("{prefix}.total"));
+            let components: f64 = counters
+                .with_prefix(&format!("{prefix}."))
+                .filter(|(key, _)| !key.ends_with(".total"))
+                .map(|(_, value)| value)
+                .sum();
+            check(
+                &mut v,
+                "attrib-closure",
+                attrib_close(components, total),
+                format!("{prefix} components sum to {components} != total ({total})"),
+            );
+        }
+    }
+
     v
 }
 
@@ -581,6 +662,56 @@ mod tests {
         live.record("hmc.vault00.queue_wait.count", 2.0);
         let v = check_run(&m, &live);
         assert!(v.iter().any(|x| x.invariant == "vault-histograms"), "{v:?}");
+    }
+
+    #[test]
+    fn coherent_attribution_passes() {
+        let m = consistent();
+        let mut live = m.counter_registry();
+        // A ledger that telescopes: buckets sum to busy, busy + idle spans
+        // the machine, and the CycleBreakdown-source buckets agree with
+        // CoreStats (retiring = 400 instr / 4-wide = 100 cycles).
+        live.record("attrib.core.issue", 100.0);
+        live.record("attrib.core.frontend", 20.0);
+        live.record("attrib.core.bad_speculation", 30.0);
+        live.record("attrib.core.busy", 150.0);
+        live.record("attrib.core.idle", 1850.0);
+        live.record("attrib.core.machine_cycles", 2000.0);
+        let v = check_run(&m, &live);
+        assert!(!v.iter().any(|x| x.invariant == "attrib-closure"), "{v:?}");
+    }
+
+    #[test]
+    fn attribution_that_does_not_close_is_detected() {
+        let m = consistent();
+        let mut live = m.counter_registry();
+        live.record("attrib.core.busy", 900.0);
+        live.record("attrib.core.idle", 50.0);
+        live.record("attrib.core.machine_cycles", 2000.0);
+        let v = check_run(&m, &live);
+        assert!(v.iter().any(|x| x.invariant == "attrib-closure"), "{v:?}");
+    }
+
+    #[test]
+    fn attrib_component_sum_mismatch_detected() {
+        let m = consistent();
+        let mut live = m.counter_registry();
+        live.record("attrib.core.issue", 100.0);
+        live.record("attrib.core.frontend", 20.0);
+        live.record("attrib.core.bad_speculation", 30.0);
+        live.record("attrib.core.busy", 150.0);
+        live.record("attrib.core.idle", 1850.0);
+        live.record("attrib.core.machine_cycles", 2000.0);
+        // An HMC ledger whose parts do not sum to its total.
+        live.record("attrib.hmc.link", 10.0);
+        live.record("attrib.hmc.dram", 10.0);
+        live.record("attrib.hmc.total", 50.0);
+        let v = check_run(&m, &live);
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == "attrib-closure" && x.detail.contains("attrib.hmc")),
+            "{v:?}"
+        );
     }
 
     #[test]

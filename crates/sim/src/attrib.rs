@@ -1,0 +1,250 @@
+//! Cycle attribution: where did the time go?
+//!
+//! The paper's evaluation (Figures 10-13) is an *attribution* argument —
+//! GraphPIM wins because atomic serialization and cache pollution cycles
+//! disappear — so the simulator needs to say not just *how long* a run
+//! took but *why*. Each timing component optionally carries an
+//! attribution ledger:
+//!
+//! * [`CoreAttrib`] — every advance of a core's clock, bucketed by cause
+//!   (issue bandwidth, frontend stalls, dependence waits, ROB/MSHR
+//!   structural stalls, host-atomic serialization, barrier and drain
+//!   waits). The buckets telescope: their sum equals the core's final
+//!   clock exactly, which the validation layer checks against
+//!   [`crate::stats::CycleBreakdown`].
+//! * [`CacheAttrib`] — latency of every hierarchy access split by the
+//!   level that served it, plus coherence invalidation cost.
+//! * [`HmcAttrib`] — each HMC request's latency decomposed into link
+//!   flits, vault overhead, bank-queue wait, DRAM service, atomic-FU
+//!   busy time, and atomic-FU queue wait.
+//!
+//! All three follow the Option-gating pattern of the telemetry histograms:
+//! recording is a pure observation of already-computed deltas, so timing
+//! stays bit-identical whether attribution is on or off.
+
+use crate::telemetry::Telemetry;
+
+/// Where a core's clock advances went, in cycles.
+///
+/// Every mutation of [`crate::cpu::CoreModel`]'s clock lands in exactly
+/// one bucket, so `total()` telescopes to the final core time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreAttrib {
+    /// Issue bandwidth: `instructions / width` cycles of useful retirement.
+    pub issue: f64,
+    /// Frontend fetch/decode stall cycles.
+    pub frontend: f64,
+    /// Misprediction flush penalties.
+    pub bad_speculation: f64,
+    /// Waits for a dependent result (pointer chasing, resolve-at-data).
+    pub dep_wait: f64,
+    /// Stalls with the reorder buffer full.
+    pub rob_stall: f64,
+    /// Stalls with every MSHR occupied.
+    pub mshr_wait: f64,
+    /// Host-atomic in-core serialization (store-buffer drain + locked RMW).
+    pub atomic_serialize: f64,
+    /// Waits at superstep barriers for the slowest participant.
+    pub barrier_wait: f64,
+    /// Final drain of in-flight work at kernel end.
+    pub drain_wait: f64,
+}
+
+impl CoreAttrib {
+    /// Sum of every bucket; equals the core's final clock by construction.
+    pub fn total(&self) -> f64 {
+        self.issue
+            + self.frontend
+            + self.bad_speculation
+            + self.dep_wait
+            + self.rob_stall
+            + self.mshr_wait
+            + self.atomic_serialize
+            + self.barrier_wait
+            + self.drain_wait
+    }
+
+    /// Adds every bucket from `other` (aggregating per-core ledgers into a
+    /// machine-wide one).
+    pub fn accumulate(&mut self, other: &CoreAttrib) {
+        self.issue += other.issue;
+        self.frontend += other.frontend;
+        self.bad_speculation += other.bad_speculation;
+        self.dep_wait += other.dep_wait;
+        self.rob_stall += other.rob_stall;
+        self.mshr_wait += other.mshr_wait;
+        self.atomic_serialize += other.atomic_serialize;
+        self.barrier_wait += other.barrier_wait;
+        self.drain_wait += other.drain_wait;
+    }
+
+    /// Reports every bucket under `prefix` (e.g. `attrib.core` →
+    /// `attrib.core.issue`, ...).
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.issue"), self.issue);
+        sink.record(&format!("{prefix}.frontend"), self.frontend);
+        sink.record(&format!("{prefix}.bad_speculation"), self.bad_speculation);
+        sink.record(&format!("{prefix}.dep_wait"), self.dep_wait);
+        sink.record(&format!("{prefix}.rob_stall"), self.rob_stall);
+        sink.record(&format!("{prefix}.mshr_wait"), self.mshr_wait);
+        sink.record(&format!("{prefix}.atomic_serialize"), self.atomic_serialize);
+        sink.record(&format!("{prefix}.barrier_wait"), self.barrier_wait);
+        sink.record(&format!("{prefix}.drain_wait"), self.drain_wait);
+    }
+}
+
+/// Latency attribution for the cache hierarchy, in cycles.
+///
+/// Each access contributes its base latency to the bucket of the level
+/// that served it; coherence invalidation costs are tracked separately
+/// (they happen on top of any level).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheAttrib {
+    /// Cycles of accesses served by the L1.
+    pub l1: f64,
+    /// Cycles of accesses served by the L2.
+    pub l2: f64,
+    /// Cycles of accesses served by the L3.
+    pub l3: f64,
+    /// Cycles of accesses that missed the whole hierarchy (tag-check path
+    /// only; the memory service itself is attributed by [`HmcAttrib`]).
+    pub memory: f64,
+    /// Cross-core invalidation cost.
+    pub invalidate: f64,
+    /// Total latency handed out, equal to the component sum.
+    pub total: f64,
+}
+
+impl CacheAttrib {
+    /// Records one access served at `level` with `base` latency plus
+    /// `inval` invalidation cost.
+    pub fn note(&mut self, level: crate::mem::ServiceLevel, base: f64, inval: f64) {
+        use crate::mem::ServiceLevel;
+        match level {
+            ServiceLevel::L1 => self.l1 += base,
+            ServiceLevel::L2 => self.l2 += base,
+            ServiceLevel::L3 => self.l3 += base,
+            ServiceLevel::Memory => self.memory += base,
+        }
+        self.invalidate += inval;
+        self.total += base + inval;
+    }
+
+    /// Sum of the per-level and invalidation buckets.
+    pub fn components_sum(&self) -> f64 {
+        self.l1 + self.l2 + self.l3 + self.memory + self.invalidate
+    }
+
+    /// Reports every bucket under `prefix`.
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.l1"), self.l1);
+        sink.record(&format!("{prefix}.l2"), self.l2);
+        sink.record(&format!("{prefix}.l3"), self.l3);
+        sink.record(&format!("{prefix}.memory"), self.memory);
+        sink.record(&format!("{prefix}.invalidate"), self.invalidate);
+        sink.record(&format!("{prefix}.total"), self.total);
+    }
+}
+
+/// Latency attribution for HMC requests, in cycles.
+///
+/// Each serviced request's `response_at - now` decomposes exactly into
+/// these buckets (checked by the validation layer).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HmcAttrib {
+    /// SerDes link time: request + response flits plus both link latencies.
+    pub link: f64,
+    /// Fixed vault-controller overhead.
+    pub vault_overhead: f64,
+    /// Waiting for a busy bank (the per-vault queue).
+    pub queue_wait: f64,
+    /// DRAM array service (activation / column access / write recovery).
+    pub dram: f64,
+    /// Atomic functional unit compute time.
+    pub fu_busy: f64,
+    /// Waiting for a free atomic functional unit.
+    pub fu_wait: f64,
+    /// Total request latency, equal to the component sum.
+    pub total: f64,
+}
+
+impl HmcAttrib {
+    /// Sum of the component buckets.
+    pub fn components_sum(&self) -> f64 {
+        self.link + self.vault_overhead + self.queue_wait + self.dram + self.fu_busy + self.fu_wait
+    }
+
+    /// Reports every bucket under `prefix`.
+    pub fn report_telemetry(&self, prefix: &str, sink: &mut dyn Telemetry) {
+        sink.record(&format!("{prefix}.link"), self.link);
+        sink.record(&format!("{prefix}.vault_overhead"), self.vault_overhead);
+        sink.record(&format!("{prefix}.queue_wait"), self.queue_wait);
+        sink.record(&format!("{prefix}.dram"), self.dram);
+        sink.record(&format!("{prefix}.fu_busy"), self.fu_busy);
+        sink.record(&format!("{prefix}.fu_wait"), self.fu_wait);
+        sink.record(&format!("{prefix}.total"), self.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::ServiceLevel;
+    use crate::telemetry::CounterRegistry;
+
+    #[test]
+    fn core_attrib_total_and_accumulate() {
+        let a = CoreAttrib {
+            issue: 1.0,
+            frontend: 2.0,
+            bad_speculation: 3.0,
+            dep_wait: 4.0,
+            rob_stall: 5.0,
+            mshr_wait: 6.0,
+            atomic_serialize: 7.0,
+            barrier_wait: 8.0,
+            drain_wait: 9.0,
+        };
+        assert!((a.total() - 45.0).abs() < 1e-12);
+        let mut b = a.clone();
+        b.accumulate(&a);
+        assert!((b.total() - 90.0).abs() < 1e-12);
+
+        let mut reg = CounterRegistry::default();
+        a.report_telemetry("attrib.core", &mut reg);
+        assert_eq!(reg.get("attrib.core.issue"), Some(1.0));
+        assert_eq!(reg.get("attrib.core.drain_wait"), Some(9.0));
+        assert_eq!(reg.len(), 9);
+    }
+
+    #[test]
+    fn cache_attrib_note_buckets_by_level() {
+        let mut c = CacheAttrib::default();
+        c.note(ServiceLevel::L1, 4.0, 0.0);
+        c.note(ServiceLevel::L3, 30.0, 8.0);
+        c.note(ServiceLevel::Memory, 42.0, 0.0);
+        assert_eq!(c.l1, 4.0);
+        assert_eq!(c.l3, 30.0);
+        assert_eq!(c.memory, 42.0);
+        assert_eq!(c.invalidate, 8.0);
+        assert!((c.components_sum() - c.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmc_attrib_components_sum() {
+        let h = HmcAttrib {
+            link: 10.0,
+            vault_overhead: 4.0,
+            queue_wait: 2.0,
+            dram: 20.0,
+            fu_busy: 3.0,
+            fu_wait: 1.0,
+            total: 40.0,
+        };
+        assert!((h.components_sum() - h.total).abs() < 1e-12);
+        let mut reg = CounterRegistry::default();
+        h.report_telemetry("attrib.hmc", &mut reg);
+        assert_eq!(reg.get("attrib.hmc.dram"), Some(20.0));
+        assert_eq!(reg.len(), 7);
+    }
+}

@@ -21,6 +21,7 @@
 
 use std::collections::VecDeque;
 
+use crate::attrib::CoreAttrib;
 use crate::config::CoreConfig;
 use crate::telemetry::Telemetry;
 use crate::Cycle;
@@ -109,6 +110,7 @@ pub struct CoreModel {
     outstanding: Vec<Cycle>,
     last_result: Cycle,
     stats: CoreStats,
+    attrib: Option<CoreAttrib>,
 }
 
 impl CoreModel {
@@ -133,6 +135,7 @@ impl CoreModel {
             outstanding: Vec::new(),
             last_result: 0.0,
             stats: CoreStats::default(),
+            attrib: None,
         }
     }
 
@@ -144,6 +147,18 @@ impl CoreModel {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Turns on cycle attribution. Recording only observes clock deltas the
+    /// model already computed, so timing is bit-identical either way.
+    pub fn enable_attribution(&mut self) {
+        self.attrib = Some(CoreAttrib::default());
+    }
+
+    /// The attribution ledger, if [`CoreModel::enable_attribution`] was
+    /// called. Its buckets telescope: their sum equals [`CoreModel::now`].
+    pub fn attrib(&self) -> Option<&CoreAttrib> {
+        self.attrib.as_ref()
     }
 
     /// Executes `n` ALU instructions.
@@ -176,6 +191,9 @@ impl CoreModel {
             }
             self.clock += self.mispredict_penalty;
             self.stats.badspec_cycles += self.mispredict_penalty;
+            if let Some(a) = &mut self.attrib {
+                a.bad_speculation += self.mispredict_penalty;
+            }
         }
     }
 
@@ -262,6 +280,9 @@ impl CoreModel {
         self.stats.memory_ops += 1;
         self.stats.atomic_incore_cycles += self.atomic_incore;
         self.clock += self.atomic_incore;
+        if let Some(a) = &mut self.attrib {
+            a.atomic_serialize += self.atomic_incore;
+        }
         self.mshr_acquire();
         self.clock
     }
@@ -289,7 +310,11 @@ impl CoreModel {
     /// Synchronizes this core to a barrier release time and clears
     /// in-flight state.
     pub fn barrier(&mut self, release: Cycle) {
+        let before = self.clock;
         self.clock = self.clock.max(release);
+        if let Some(a) = &mut self.attrib {
+            a.barrier_wait += self.clock - before;
+        }
         self.rob.clear();
         self.outstanding.clear();
         self.last_result = self.clock;
@@ -304,7 +329,11 @@ impl CoreModel {
     /// Finishes execution: waits for all in-flight work and returns the
     /// final time.
     pub fn finish(&mut self) -> Cycle {
+        let before = self.clock;
         self.clock = self.drain_time();
+        if let Some(a) = &mut self.attrib {
+            a.drain_wait += self.clock - before;
+        }
         self.rob.clear();
         self.outstanding.clear();
         self.clock
@@ -312,14 +341,23 @@ impl CoreModel {
 
     fn advance_issue(&mut self, n: u64) {
         self.stats.instructions += n;
-        self.clock += n as f64 * self.issue_cost;
+        let issue = n as f64 * self.issue_cost;
+        self.clock += issue;
         let fe = n as f64 * self.frontend_stall;
         self.clock += fe;
         self.stats.frontend_cycles += fe;
+        if let Some(a) = &mut self.attrib {
+            a.issue += issue;
+            a.frontend += fe;
+        }
     }
 
     fn wait_for_result(&mut self) {
+        let before = self.clock;
         self.clock = self.clock.max(self.last_result);
+        if let Some(a) = &mut self.attrib {
+            a.dep_wait += self.clock - before;
+        }
     }
 
     fn retire_push(&mut self, completion: Cycle) {
@@ -333,7 +371,11 @@ impl CoreModel {
         }
         if self.rob.len() >= self.rob_size {
             let head = self.rob.pop_front().expect("non-empty at capacity");
+            let before = self.clock;
             self.clock = self.clock.max(head);
+            if let Some(a) = &mut self.attrib {
+                a.rob_stall += self.clock - before;
+            }
         }
         self.rob.push_back(completion);
     }
@@ -346,7 +388,11 @@ impl CoreModel {
                 .iter()
                 .copied()
                 .fold(f64::INFINITY, f64::min);
+            let before = self.clock;
             self.clock = self.clock.max(earliest);
+            if let Some(a) = &mut self.attrib {
+                a.mshr_wait += self.clock - before;
+            }
             self.outstanding.retain(|&c| c > self.clock);
         }
     }
@@ -593,6 +639,66 @@ mod tests {
         let at = c.begin_mem(false, true);
         c.complete_load(at + 777.0, true);
         assert!(c.finish() >= 777.0);
+    }
+
+    #[test]
+    fn attribution_buckets_telescope_to_clock() {
+        let mut c = core();
+        c.enable_attribution();
+        // Exercise every clock-advancing path: issue, dependence waits,
+        // mispredicts, host atomics, MSHR/ROB pressure, barrier, drain.
+        for i in 0..300 {
+            c.compute(3);
+            let dep = i % 3 == 0;
+            let at = c.begin_mem(dep, true);
+            c.complete_load(at + 150.0, true);
+            c.branch(i % 7 == 0, dep);
+            if i % 5 == 0 {
+                c.host_atomic(120.0, 40.0);
+            }
+        }
+        c.barrier(c.drain_time() + 50.0);
+        for _ in 0..20 {
+            let at = c.begin_mem(false, true);
+            c.complete_load(at + 90.0, true);
+        }
+        let done = c.finish();
+        let a = c.attrib().expect("attribution enabled");
+        assert!(
+            (a.total() - done).abs() <= 1e-9 * done.max(1.0),
+            "attribution must telescope: sum {} vs clock {}",
+            a.total(),
+            done
+        );
+        // The big contributors were actually exercised.
+        assert!(a.issue > 0.0 && a.dep_wait > 0.0 && a.atomic_serialize > 0.0);
+        assert!(a.barrier_wait > 0.0 && a.drain_wait > 0.0);
+    }
+
+    #[test]
+    fn attribution_off_by_default_and_identical_timing() {
+        let run = |attribution: bool| {
+            let mut c = core();
+            if attribution {
+                c.enable_attribution();
+            }
+            for i in 0..100 {
+                c.compute(2);
+                let at = c.begin_mem(i % 2 == 0, true);
+                c.complete_load(at + 80.0, true);
+                c.host_atomic(60.0, 20.0);
+            }
+            (c.finish(), c.stats().clone())
+        };
+        let (t_off, s_off) = run(false);
+        let (t_on, s_on) = run(true);
+        assert_eq!(
+            t_off.to_bits(),
+            t_on.to_bits(),
+            "timing must be bit-identical"
+        );
+        assert_eq!(s_off, s_on);
+        assert!(core().attrib().is_none(), "off by default");
     }
 
     #[test]

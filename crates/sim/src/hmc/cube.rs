@@ -14,6 +14,7 @@
 
 use super::atomic::AtomicCategory;
 use super::packet::PacketKind;
+use crate::attrib::HmcAttrib;
 use crate::config::HmcConfig;
 use crate::mem::addr::{vault_bank_of, Addr};
 use crate::telemetry::{Histogram, Telemetry};
@@ -178,7 +179,9 @@ impl VaultTelemetry {
     }
 
     /// Reports summary statistics for every vault
-    /// (`hmc.vault00.queue_wait.p99`, `hmc.vault00.fu_busy.mean`, ...).
+    /// (`hmc.vault00.queue_wait.p99`, `hmc.vault00.fu_busy.mean`, ...),
+    /// plus cube-level aggregates (`hmc.queue_wait.p99`, ...) obtained by
+    /// merging the per-vault distributions.
     pub fn report_telemetry(&self, sink: &mut dyn Telemetry) {
         for (v, h) in self.queue_wait.iter().enumerate() {
             h.report_telemetry(&format!("hmc.vault{v:02}.queue_wait"), sink);
@@ -186,6 +189,28 @@ impl VaultTelemetry {
         for (v, h) in self.fu_busy.iter().enumerate() {
             h.report_telemetry(&format!("hmc.vault{v:02}.fu_busy"), sink);
         }
+        self.merged_queue_wait()
+            .report_telemetry("hmc.queue_wait", sink);
+        self.merged_fu_busy().report_telemetry("hmc.fu_busy", sink);
+    }
+
+    /// All vaults' bank queue-wait samples folded into one distribution
+    /// (cube-level p50/p99 for the attribution report).
+    pub fn merged_queue_wait(&self) -> Histogram {
+        Self::merge_all(&self.queue_wait, 12)
+    }
+
+    /// All vaults' FU-occupancy samples folded into one distribution.
+    pub fn merged_fu_busy(&self) -> Histogram {
+        Self::merge_all(&self.fu_busy, 6)
+    }
+
+    fn merge_all(per_vault: &[Histogram], buckets: usize) -> Histogram {
+        let mut merged = Histogram::new(buckets);
+        for h in per_vault {
+            merged.merge(h);
+        }
+        merged
     }
 }
 
@@ -216,6 +241,7 @@ pub struct HmcCube {
     fu_busy: Vec<Vec<Cycle>>,
     stats: HmcStats,
     vault_telemetry: Option<VaultTelemetry>,
+    attrib: Option<HmcAttrib>,
 }
 
 impl HmcCube {
@@ -253,7 +279,21 @@ impl HmcCube {
                 ..HmcStats::default()
             },
             vault_telemetry: None,
+            attrib: None,
         }
+    }
+
+    /// Turns on request-latency attribution (observation-only: it records
+    /// quantities the timing path already computed).
+    pub fn enable_attribution(&mut self) {
+        if self.attrib.is_none() {
+            self.attrib = Some(HmcAttrib::default());
+        }
+    }
+
+    /// The attribution ledger, if enabled.
+    pub fn attrib(&self) -> Option<&HmcAttrib> {
+        self.attrib.as_ref()
     }
 
     /// Turns on the per-vault queue-wait / FU-occupancy histograms
@@ -421,6 +461,24 @@ impl HmcCube {
         // Response link serialization delay (no FIFO queueing; see above).
         let resp_work = cost.response as f64 * self.flit_cycles;
         let response_at = ready + resp_work + self.link_latency;
+
+        if let Some(a) = &mut self.attrib {
+            // `response_at - now` decomposes exactly into these terms;
+            // for atomics `ready_offset` includes the FU op, which gets
+            // its own bucket.
+            let fu = if kind.is_atomic() {
+                self.fu_op_cycles
+            } else {
+                0.0
+            };
+            a.link += req_work + resp_work + 2.0 * self.link_latency;
+            a.vault_overhead += self.vault_overhead;
+            a.queue_wait += bank_wait;
+            a.dram += ready_offset - fu;
+            a.fu_busy += fu;
+            a.fu_wait += fu_wait;
+            a.total += response_at - now;
+        }
 
         HmcServed {
             response_at,
@@ -677,6 +735,81 @@ mod tests {
         assert_eq!(fu_samples, traced.stats().atomics);
         // The hammered banks actually queued.
         assert!(vt.queue_wait(0).max() > 0.0);
+    }
+
+    #[test]
+    fn attribution_closes_over_request_latency() {
+        let mut c = cube();
+        c.enable_attribution();
+        let mut latency_sum = 0.0;
+        for i in 0..96u64 {
+            let addr = (i % 3) * 8192;
+            let kind = match i % 4 {
+                0 => PacketKind::Atomic(HmcAtomicOp::Add16),
+                1 => PacketKind::Write64,
+                _ => PacketKind::Read64,
+            };
+            let served = c.service(kind, addr, i as f64 * 2.0);
+            latency_sum += served.response_at - i as f64 * 2.0;
+        }
+        let a = c.attrib().expect("enabled");
+        assert!(
+            (a.total - latency_sum).abs() < 1e-6 * latency_sum.max(1.0),
+            "{} vs {latency_sum}",
+            a.total
+        );
+        assert!(
+            (a.components_sum() - a.total).abs() < 1e-6 * a.total.max(1.0),
+            "components {} vs total {}",
+            a.components_sum(),
+            a.total
+        );
+        assert!(a.link > 0.0 && a.dram > 0.0 && a.fu_busy > 0.0);
+        assert!(a.queue_wait > 0.0, "hammered banks must queue");
+    }
+
+    #[test]
+    fn attribution_off_by_default_and_timing_identical() {
+        let run = |on: bool| {
+            let mut c = cube();
+            if on {
+                c.enable_attribution();
+            }
+            (0..64u64)
+                .map(|i| c.service(PacketKind::Read64, (i % 2) * 64, i as f64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+        assert!(cube().attrib().is_none());
+    }
+
+    #[test]
+    fn merged_histograms_aggregate_all_vaults() {
+        let mut c = cube();
+        c.enable_vault_telemetry();
+        for i in 0..64u64 {
+            let kind = if i % 3 == 0 {
+                PacketKind::Atomic(HmcAtomicOp::Add16)
+            } else {
+                PacketKind::Read64
+            };
+            // Spread across several vaults, with repeats to force queueing.
+            c.service(kind, (i % 4) * 256, 0.0);
+        }
+        let vt = c.vault_telemetry().expect("enabled");
+        let merged = vt.merged_queue_wait();
+        assert_eq!(merged.count(), c.stats().dram_accesses);
+        let per_vault_max = (0..c.vault_count())
+            .map(|v| vt.queue_wait(v).max())
+            .fold(0.0, f64::max);
+        assert_eq!(merged.max(), per_vault_max);
+        assert_eq!(vt.merged_fu_busy().count(), c.stats().atomics);
+        // The cube-level summary lands in the registry.
+        let mut reg = crate::telemetry::CounterRegistry::default();
+        c.report_telemetry(&mut reg);
+        assert_eq!(reg.get("hmc.queue_wait.count"), Some(merged.count() as f64));
+        assert!(reg.get("hmc.queue_wait.p99").is_some());
+        assert!(reg.get("hmc.fu_busy.p50").is_some());
     }
 
     #[test]

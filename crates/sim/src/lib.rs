@@ -21,6 +21,10 @@
 //! * [`telemetry`] — a pull-based counter/histogram layer every component
 //!   reports into (off by default, observation-only so it cannot perturb
 //!   timing).
+//! * [`attrib`] — optional cycle-attribution ledgers (core stall causes,
+//!   per-cache-level latency, HMC request decomposition) that explain
+//!   *where* a run's cycles went; Option-gated so timing stays
+//!   bit-identical when off.
 //! * [`validate`] — typed configuration validation ([`validate::ConfigError`])
 //!   run by every constructor, plus the `GRAPHPIM_VALIDATE` gate the
 //!   run-invariant checks upstream consult.
@@ -41,6 +45,7 @@
 //! assert_eq!(cube.vault_count(), 32);
 //! ```
 
+pub mod attrib;
 pub mod config;
 pub mod cpu;
 pub mod hmc;

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use super::addr::{line_of, Addr};
 use super::cache::Cache;
+use crate::attrib::CacheAttrib;
 use crate::config::CacheConfig;
 use crate::telemetry::Telemetry;
 
@@ -85,6 +86,7 @@ pub struct CacheHierarchy {
     /// Bit `c` set means core `c`'s private caches hold the line
     /// (invariant: mirrors `l2[c].contains(line)`).
     sharers: HashMap<Addr, u16>,
+    attrib: Option<CacheAttrib>,
 }
 
 impl CacheHierarchy {
@@ -113,7 +115,19 @@ impl CacheHierarchy {
                 .collect(),
             l3: Cache::new(&config.l3, config.line_bytes),
             sharers: HashMap::new(),
+            attrib: None,
         }
+    }
+
+    /// Turns on latency attribution. Recording only observes the latency
+    /// the hierarchy already computed, so timing is unchanged.
+    pub fn enable_attribution(&mut self) {
+        self.attrib = Some(CacheAttrib::default());
+    }
+
+    /// The attribution ledger, if enabled.
+    pub fn attrib(&self) -> Option<&CacheAttrib> {
+        self.attrib.as_ref()
     }
 
     /// Number of cores this hierarchy serves.
@@ -141,40 +155,23 @@ impl CacheHierarchy {
             if write {
                 self.l1[core].mark_dirty(line);
             }
-            return AccessOutcome {
-                latency: self.l1_latency + self.inval_cost(invalidated),
-                level: ServiceLevel::L1,
-                writebacks,
-                invalidated_sharers: invalidated,
-            };
+            return self.finish_access(ServiceLevel::L1, self.l1_latency, invalidated, writebacks);
         }
         if self.l2[core].lookup(line) {
             self.fill_l1(core, line, write);
-            return AccessOutcome {
-                latency: self.l1_latency + self.l2_latency + self.inval_cost(invalidated),
-                level: ServiceLevel::L2,
-                writebacks,
-                invalidated_sharers: invalidated,
-            };
+            let base = self.l1_latency + self.l2_latency;
+            return self.finish_access(ServiceLevel::L2, base, invalidated, writebacks);
         }
         if self.l3.lookup(line) {
             self.fill_private(core, line, write, &mut writebacks);
-            return AccessOutcome {
-                latency: self.check_path_latency() + self.inval_cost(invalidated),
-                level: ServiceLevel::L3,
-                writebacks,
-                invalidated_sharers: invalidated,
-            };
+            let base = self.check_path_latency();
+            return self.finish_access(ServiceLevel::L3, base, invalidated, writebacks);
         }
         // Full miss: fill L3 then the private levels.
         self.fill_l3(line, &mut writebacks);
         self.fill_private(core, line, write, &mut writebacks);
-        AccessOutcome {
-            latency: self.check_path_latency() + self.inval_cost(invalidated),
-            level: ServiceLevel::Memory,
-            writebacks,
-            invalidated_sharers: invalidated,
-        }
+        let base = self.check_path_latency();
+        self.finish_access(ServiceLevel::Memory, base, invalidated, writebacks)
     }
 
     /// Checks the hierarchy *without filling on miss* — the U-PEI offload
@@ -206,8 +203,25 @@ impl CacheHierarchy {
         } else {
             (ServiceLevel::Memory, self.check_path_latency())
         };
+        self.finish_access(level, latency, invalidated, writebacks)
+    }
+
+    /// Common tail of every access: attributes the latency (when enabled)
+    /// and assembles the outcome. `latency = base + inval_cost` exactly as
+    /// the per-level return sites previously computed it.
+    fn finish_access(
+        &mut self,
+        level: ServiceLevel,
+        base_latency: u32,
+        invalidated: u32,
+        writebacks: Vec<Addr>,
+    ) -> AccessOutcome {
+        let inval = self.inval_cost(invalidated);
+        if let Some(a) = &mut self.attrib {
+            a.note(level, base_latency as f64, inval as f64);
+        }
         AccessOutcome {
-            latency: latency + self.inval_cost(invalidated),
+            latency: base_latency + inval,
             level,
             writebacks,
             invalidated_sharers: invalidated,
@@ -517,6 +531,47 @@ mod tests {
         assert_eq!(l1.misses, 1);
         assert_eq!(l3.misses, 1);
         assert!(l3.miss_rate() > 0.99);
+    }
+
+    #[test]
+    fn attribution_totals_match_handed_out_latency() {
+        let mut h = hierarchy();
+        h.enable_attribution();
+        let mut handed_out = 0.0;
+        for i in 0..256u64 {
+            let core = (i % 2) as usize;
+            let out = if i % 5 == 0 {
+                h.probe_no_fill(core, (i * 64) % 4096, i % 3 == 0)
+            } else {
+                h.access(core, (i * 64) % 4096, i % 3 == 0)
+            };
+            handed_out += out.latency as f64;
+        }
+        // A guaranteed L1 hit: touch the same line back to back.
+        handed_out += h.access(0, 0, false).latency as f64;
+        handed_out += h.access(0, 0, false).latency as f64;
+        let a = h.attrib().expect("enabled").clone();
+        assert!(
+            (a.total - handed_out).abs() < 1e-9,
+            "{} vs {handed_out}",
+            a.total
+        );
+        assert!((a.components_sum() - a.total).abs() < 1e-9);
+        assert!(a.l1 > 0.0 && a.memory > 0.0, "both ends exercised: {a:?}");
+    }
+
+    #[test]
+    fn attribution_does_not_change_outcomes() {
+        let mut plain = hierarchy();
+        let mut attributed = hierarchy();
+        attributed.enable_attribution();
+        for i in 0..256u64 {
+            let core = (i % 2) as usize;
+            let a = plain.access(core, (i * 64) % 4096, i % 3 == 0);
+            let b = attributed.access(core, (i * 64) % 4096, i % 3 == 0);
+            assert_eq!(a, b);
+        }
+        assert!(plain.attrib().is_none(), "off by default");
     }
 
     #[test]

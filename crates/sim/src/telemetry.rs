@@ -44,25 +44,39 @@ impl Telemetry for NullSink {
 /// A collecting sink: an insertion-ordered registry of counter values.
 ///
 /// Insertion order is preserved so snapshots serialize deterministically;
-/// re-recording a key updates it in place.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// re-recording a key updates it in place. A side index maps keys to
+/// their slot so `record`/`get` are O(1) amortized — a full system
+/// snapshot carries hundreds of `hmc.vaultNN.*` keys, and the previous
+/// linear probe made every snapshot O(n²).
+#[derive(Debug, Clone, Default)]
 pub struct CounterRegistry {
     entries: Vec<(String, f64)>,
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl PartialEq for CounterRegistry {
+    /// Equality is over the ordered entries; the index is derived state.
+    fn eq(&self, other: &CounterRegistry) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl CounterRegistry {
     /// Records `value` for `key` (same as the trait method, without
     /// needing the trait in scope).
     pub fn record(&mut self, key: &str, value: f64) {
-        match self.entries.iter_mut().find(|(k, _)| k == key) {
-            Some((_, v)) => *v = value,
-            None => self.entries.push((key.to_string(), value)),
+        match self.index.get(key) {
+            Some(&slot) => self.entries[slot].1 = value,
+            None => {
+                self.index.insert(key.to_string(), self.entries.len());
+                self.entries.push((key.to_string(), value));
+            }
         }
     }
 
     /// The value recorded for `key`, if any.
     pub fn get(&self, key: &str) -> Option<f64> {
-        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+        self.index.get(key).map(|&slot| self.entries[slot].1)
     }
 
     /// All `(key, value)` pairs in insertion order.
@@ -207,6 +221,31 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Folds `other` into `self`, bucket by bucket.
+    ///
+    /// Both histograms must share the same bucket geometry (same
+    /// `new(buckets)` count) — per-vault queue-wait and FU-busy
+    /// histograms all do, so a cube-level summary is a plain fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms with different bucket geometries"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
     }
 
     /// Reports summary statistics under `prefix` (`prefix.count`,
@@ -370,5 +409,77 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn histogram_needs_buckets() {
         Histogram::new(0);
+    }
+
+    #[test]
+    fn registry_equality_ignores_index_internals() {
+        let mut a = CounterRegistry::default();
+        let mut b = CounterRegistry::default();
+        a.record("x", 1.0);
+        a.record("y", 2.0);
+        b.record("x", 0.0);
+        b.record("y", 2.0);
+        b.record("x", 1.0); // overwrite back to a's value
+        assert_eq!(a, b);
+        b.record("z", 3.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn registry_handles_many_keys() {
+        let mut reg = CounterRegistry::default();
+        for i in 0..512 {
+            reg.record(&format!("hmc.vault{i:02}.queue_wait.count"), i as f64);
+        }
+        for i in (0..512).rev() {
+            reg.record(&format!("hmc.vault{i:02}.queue_wait.count"), 2.0 * i as f64);
+        }
+        assert_eq!(reg.len(), 512);
+        assert_eq!(reg.get("hmc.vault07.queue_wait.count"), Some(14.0));
+        // Insertion order survives the reverse-order overwrites.
+        let first = reg.iter().next().unwrap();
+        assert_eq!(first, ("hmc.vault00.queue_wait.count", 0.0));
+    }
+
+    #[test]
+    fn histogram_merge_folds_counts_sum_and_max() {
+        let mut a = Histogram::new(4);
+        let mut b = Histogram::new(4);
+        for v in [0.5, 3.0] {
+            a.record(v);
+        }
+        for v in [1.0, 100.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        // Power-of-two buckets: 0.5→[0,1), 1.0→[1,2), 3.0→[2,4), 100→tail.
+        assert_eq!(a.bucket_counts(), &[1, 1, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 100.0);
+        assert!((a.sum() - 104.5).abs() < 1e-12);
+
+        // Merging matches recording the union directly.
+        let mut direct = Histogram::new(4);
+        for v in [0.5, 3.0, 1.0, 100.0] {
+            direct.record(v);
+        }
+        assert_eq!(a.percentile(0.99), direct.percentile(0.99));
+        assert_eq!(a.mean(), direct.mean());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new(3);
+        a.record(2.0);
+        let before = a.clone();
+        a.merge(&Histogram::new(3));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket geometries")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(3);
+        a.merge(&Histogram::new(4));
     }
 }
