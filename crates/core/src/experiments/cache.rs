@@ -137,9 +137,24 @@ impl DiskCache {
     /// Stores `metrics` for `key` under `fingerprint`. Atomic: written to
     /// a unique temp file, then renamed, so concurrent writers (threads
     /// or processes) never expose a torn entry.
+    ///
+    /// A store failure degrades (the result is simply recomputed next
+    /// run) but warns once per process, so an unwritable cache dir does
+    /// not silently turn every future sweep cold.
     pub fn store(&self, key: &RunKey, fingerprint: u64, metrics: &RunMetrics) {
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        if std::fs::create_dir_all(&self.dir).is_err() {
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        let warn = |what: &str, e: &std::io::Error| {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "[run-cache] cannot {what} under {} ({e}); results will \
+                     not persist (further store errors suppressed)",
+                    self.dir.display()
+                );
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            warn("create the cache directory", &e);
             return;
         }
         let tmp = self.dir.join(format!(
@@ -147,10 +162,14 @@ impl DiskCache {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, metrics_to_json(key, metrics)).is_ok()
-            && std::fs::rename(&tmp, self.path(key, fingerprint)).is_err()
-        {
-            let _ = std::fs::remove_file(&tmp);
+        match std::fs::write(&tmp, metrics_to_json(key, metrics)) {
+            Err(e) => warn("write a cache entry", &e),
+            Ok(()) => {
+                if let Err(e) = std::fs::rename(&tmp, self.path(key, fingerprint)) {
+                    warn("publish a cache entry", &e);
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
         }
     }
 

@@ -36,12 +36,20 @@ pub struct AppResult {
 }
 
 /// RMAT scale (log2 vertices) used for the stand-in graphs; override with
-/// `GRAPHPIM_APP_SCALE`.
+/// `GRAPHPIM_APP_SCALE`. A garbage value warns and keeps the default —
+/// loud enough to catch the typo, without aborting a sweep.
 pub fn app_scale() -> u32 {
-    std::env::var("GRAPHPIM_APP_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(13)
+    const DEFAULT: u32 = 13;
+    match std::env::var("GRAPHPIM_APP_SCALE") {
+        Err(_) => DEFAULT,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!(
+                "[fig17] unrecognized GRAPHPIM_APP_SCALE value {v:?} \
+                 (expected log2 vertex count); using {DEFAULT}"
+            );
+            DEFAULT
+        }),
+    }
 }
 
 /// Runs both applications under both configurations. The four

@@ -77,7 +77,7 @@ use crate::telemetry::TraceExporter;
 use crate::tracestore::{TraceLookup, TraceStore, WorkloadKey};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
-use graphpim_sim::trace::codec::CODEC_VERSION;
+use graphpim_sim::trace::codec::{CodecError, DecodedTrace, CODEC_VERSION};
 use graphpim_workloads::kernels::{by_name, Kernel, KernelParams};
 use profile::{PrewarmRecord, RunSource};
 use std::collections::{HashMap, HashSet};
@@ -185,9 +185,12 @@ pub struct Experiments {
     /// Instruction-trace store (`None` = capture/replay disabled; every
     /// run executes its kernel live).
     trace_store: Option<TraceStore>,
-    /// Workload → captured trace bytes, captured at most once per
-    /// distinct workload no matter how many sweep points replay it.
-    traces: OnceMap<WorkloadKey, Arc<Vec<u8>>>,
+    /// Workload → captured-and-decoded trace (or the decode error, cached
+    /// so every sweep point degrades identically). Captured at most once
+    /// per distinct workload no matter how many sweep points replay it;
+    /// kept decoded so replays run straight off the flat op buffer
+    /// instead of re-decoding varints per run.
+    traces: OnceMap<WorkloadKey, Arc<Result<DecodedTrace, CodecError>>>,
     profile: Mutex<EngineProfile>,
 }
 
@@ -456,23 +459,22 @@ impl Experiments {
             SystemSim::run_kernel_instrumented(k.as_mut(), &graph, &config, make_instrumentation())
         };
         let (metrics, source) = match self.workload_trace(key, &graph) {
-            Some(bytes) => {
-                match SystemSim::run_replayed_instrumented(&bytes, &config, make_instrumentation())
-                {
-                    Ok(m) => {
-                        self.profile.lock().unwrap().note_replay();
-                        (m, RunSource::Replayed)
-                    }
-                    Err(e) => {
-                        // Should be unreachable — entries are checksum-
-                        // validated at load — but a decode failure must
-                        // degrade to a correct live run, never a panic.
-                        eprintln!("[trace-store] replay failed ({e}); running live");
-                        self.profile.lock().unwrap().note_replay_fallback();
-                        (live(), RunSource::Simulated)
-                    }
+            Some(trace) => match trace.as_ref() {
+                Ok(decoded) => {
+                    let m =
+                        SystemSim::run_decoded_instrumented(decoded, &config, make_instrumentation());
+                    self.profile.lock().unwrap().note_replay();
+                    (m, RunSource::Replayed)
                 }
-            }
+                Err(e) => {
+                    // Should be unreachable — entries are checksum-
+                    // validated at load — but a decode failure must
+                    // degrade to a correct live run, never a panic.
+                    eprintln!("[trace-store] replay failed ({e}); running live");
+                    self.profile.lock().unwrap().note_replay_fallback();
+                    (live(), RunSource::Simulated)
+                }
+            },
             None => (live(), RunSource::Simulated),
         };
         self.simulated.fetch_add(1, Ordering::Relaxed);
@@ -502,15 +504,21 @@ impl Experiments {
         by_name(&key.kernel, params).unwrap_or_else(|| panic!("unknown kernel {}", key.kernel))
     }
 
-    /// The captured instruction trace for `key`'s workload, or `None`
-    /// when the trace store is disabled.
+    /// The captured instruction trace for `key`'s workload, decoded and
+    /// ready to replay, or `None` when the trace store is disabled.
     ///
-    /// Capture-once semantics: the first caller for a distinct
-    /// `(kernel, graph, threads)` workload either loads the trace from
-    /// the store or performs the single functional kernel execution and
-    /// persists it; all concurrent and later callers (any mode, FU count,
-    /// or bandwidth) share those bytes.
-    fn workload_trace(&self, key: &RunKey, graph: &Arc<CsrGraph>) -> Option<Arc<Vec<u8>>> {
+    /// Capture-once, decode-once semantics: the first caller for a
+    /// distinct `(kernel, graph, threads)` workload either loads the
+    /// trace from the store or performs the single functional kernel
+    /// execution and persists it, then decodes the bytes into the flat
+    /// replay form; all concurrent and later callers (any mode, FU count,
+    /// or bandwidth) share the decoded trace. A decode error is cached
+    /// too — `compute` turns it into a live-run fallback.
+    fn workload_trace(
+        &self,
+        key: &RunKey,
+        graph: &Arc<CsrGraph>,
+    ) -> Option<Arc<Result<DecodedTrace, CodecError>>> {
         let store = self.trace_store.as_ref()?;
         let threads = self.config_for(key).sim.core.cores;
         let wkey = WorkloadKey {
@@ -524,13 +532,13 @@ impl Experiments {
         };
         Some(Arc::clone(cell.get_or_init(|| {
             let fp = self.trace_fingerprint(key, threads);
-            match store.lookup(&wkey, fp) {
+            let bytes = match store.lookup(&wkey, fp) {
                 TraceLookup::Hit(bytes) => {
                     if self.verbose {
                         eprintln!("[trace-store hit] {}", wkey.file_stem());
                     }
                     self.profile.lock().unwrap().note_trace_disk_hit();
-                    Arc::new(bytes)
+                    bytes
                 }
                 found => {
                     {
@@ -551,9 +559,12 @@ impl Experiments {
                         .lock()
                         .unwrap()
                         .note_trace_capture(start.elapsed().as_secs_f64());
-                    Arc::new(bytes)
+                    bytes
                 }
-            }
+            };
+            // The raw bytes are dropped here; replays only ever touch the
+            // decoded form.
+            Arc::new(DecodedTrace::decode(&bytes))
         })))
     }
 
@@ -685,17 +696,30 @@ pub fn parse_scale(value: &str) -> Result<LdbcSize, String> {
 }
 
 /// Worker-thread count for [`Experiments::prewarm`] and [`parallel_map`]:
-/// `GRAPHPIM_THREADS` if set (panics on garbage), else available
-/// parallelism.
+/// `GRAPHPIM_THREADS` if set, else available parallelism.
+///
+/// A garbage value warns and falls back instead of aborting: the thread
+/// count only affects wall time, never results, so a typo is not worth
+/// killing an `all_figures` sweep over (unlike `GRAPHPIM_SCALE`, where a
+/// silent fallback would produce figures at the wrong scale).
 pub fn worker_threads() -> usize {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
     match std::env::var("GRAPHPIM_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
-            _ => panic!("unrecognized GRAPHPIM_THREADS value {v:?}; expected a positive integer"),
+            _ => {
+                eprintln!(
+                    "[engine] unrecognized GRAPHPIM_THREADS value {v:?} \
+                     (expected a positive integer); using available parallelism"
+                );
+                fallback()
+            }
         },
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        Err(_) => fallback(),
     }
 }
 

@@ -74,11 +74,13 @@ impl Pou {
 
     /// Whether plain loads/stores to `addr` bypass the cache hierarchy
     /// (uncacheable PMR semantics — GraphPIM only).
+    #[inline]
     pub fn bypass_cache(&self, addr: Addr) -> bool {
         self.mode == PimMode::GraphPim && self.in_pmr(addr)
     }
 
     /// Routes an atomic instruction.
+    #[inline]
     pub fn route_atomic(&self, addr: Addr, op: HmcAtomicOp) -> AtomicPath {
         match self.mode {
             PimMode::Baseline => AtomicPath::Host,
@@ -101,6 +103,7 @@ impl Pou {
 
     /// Whether an atomic to `addr` counts as an *offloading candidate*
     /// (atomic on the graph property — the denominator of Figure 10).
+    #[inline]
     pub fn is_candidate(&self, addr: Addr) -> bool {
         self.in_pmr(addr)
     }

@@ -123,9 +123,25 @@ impl TraceStore {
     /// Persists `bytes` for `key` under `fingerprint`. Atomic: written to
     /// a unique temp file, then renamed, so concurrent writers (threads
     /// or processes) never expose a torn entry.
+    ///
+    /// A store failure degrades (the run proceeds, it just re-captures
+    /// next time) but warns once per process — an unwritable store dir
+    /// silently turning every sweep cold is the kind of slowdown nobody
+    /// notices for weeks.
     pub fn store(&self, key: &WorkloadKey, fingerprint: u64, bytes: &[u8]) {
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        if std::fs::create_dir_all(&self.dir).is_err() {
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        let warn = |what: &str, e: &std::io::Error| {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "[trace-store] cannot {what} under {} ({e}); traces will \
+                     not persist (further store errors suppressed)",
+                    self.dir.display()
+                );
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            warn("create the store directory", &e);
             return;
         }
         let tmp = self.dir.join(format!(
@@ -133,10 +149,14 @@ impl TraceStore {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, bytes).is_ok()
-            && std::fs::rename(&tmp, self.path(key, fingerprint)).is_err()
-        {
-            let _ = std::fs::remove_file(&tmp);
+        match std::fs::write(&tmp, bytes) {
+            Err(e) => warn("write a trace entry", &e),
+            Ok(()) => {
+                if let Err(e) = std::fs::rename(&tmp, self.path(key, fingerprint)) {
+                    warn("publish a trace entry", &e);
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
         }
     }
 

@@ -1,0 +1,100 @@
+//! Guards the allocation-free property of the replay hot loop.
+//!
+//! Every scratch structure on the per-op path (scheduler heap and
+//! cursors, writeback scratch, ROB ring, MSHR list, sharers map, vault
+//! state) is either fixed-size or pre-sized at construction and reused
+//! across chunks. This test drives the first half of a decoded trace to
+//! let those buffers reach steady state, then counts allocator calls
+//! over the second half — any regression that puts an allocation back on
+//! the per-op path (a per-chunk `Vec`, a rehash, a `format!`) fails it.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one `#[test]`: a sibling test running concurrently would allocate
+//! while the counter is armed.
+
+use graphpim::config::{PimMode, SystemConfig};
+use graphpim::system::SystemSim;
+use graphpim::tracestore::capture_kernel;
+use graphpim_graph::generate::GraphSpec;
+use graphpim_sim::trace::codec::DecodedTrace;
+use graphpim_workloads::kernels::Bfs;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Passes everything through to the system allocator, counting
+/// allocation-path calls (not frees) while armed.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_replay_does_not_allocate() {
+    let g = GraphSpec::uniform(3_000, 12_000).seed(11).build();
+    let config = SystemConfig::tiny(PimMode::GraphPim);
+    let bytes = {
+        let mut bfs = Bfs::new(0);
+        capture_kernel(&mut bfs, &g, config.sim.core.cores)
+    };
+    let decoded = DecodedTrace::decode(&bytes).expect("valid capture");
+    let events: Vec<_> = decoded.events().collect();
+    assert!(
+        events.len() >= 8,
+        "need enough events for a meaningful warmup/measure split, got {}",
+        events.len()
+    );
+
+    let mut sys = SystemSim::new(config);
+    let (warmup, measured) = events.split_at(events.len() / 2);
+    for &event in warmup {
+        sys.replay_decoded_event(&decoded, event);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for &event in measured {
+        sys.replay_decoded_event(&decoded, event);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    // Disarmed before `into_metrics`: finalization legitimately builds
+    // telemetry strings.
+    let metrics = sys.into_metrics();
+    assert!(metrics.total_cycles > 0.0, "replay must have simulated work");
+    assert_eq!(
+        allocs, 0,
+        "replay hot loop allocated {allocs} time(s) after warmup; \
+         the per-op path must stay allocation-free"
+    );
+}

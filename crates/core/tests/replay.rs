@@ -10,6 +10,8 @@ use graphpim::system::SystemSim;
 use graphpim::tracestore::{capture_kernel, TraceStore};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::CsrGraph;
+use graphpim_sim::trace::codec::DecodedTrace;
+use graphpim_workloads::framework::Framework;
 use graphpim_workloads::kernels::{Bfs, Kernel, PRank};
 use std::path::PathBuf;
 
@@ -65,6 +67,44 @@ fn replay_is_bit_identical_to_live_run() {
         let live = SystemSim::run_kernel(make().as_mut(), &g, &tweaked);
         let replayed = SystemSim::run_replayed(&bytes, &tweaked).expect("valid trace");
         assert_bit_identical(&live, &replayed, &format!("{name} tweaked"));
+    }
+}
+
+/// The captured thread count need not equal the replay config's core
+/// count — the scheduler folds thread `t` onto core `t % cores`. Capture
+/// BFS at 1:1, 2:1, and an odd ratio against the tiny config's two cores
+/// and check both replay paths (streaming bytes, and the decode-once
+/// fast path) against a live run driven at the same thread count.
+#[test]
+fn replay_matches_live_across_thread_core_ratios() {
+    let g = graph();
+    for threads in [2usize, 4, 5] {
+        let bytes = {
+            let mut bfs = Bfs::new(0);
+            capture_kernel(&mut bfs, &g, threads)
+        };
+        let decoded = DecodedTrace::decode(&bytes).expect("valid capture");
+        assert_eq!(decoded.threads(), threads);
+        for mode in [PimMode::Baseline, PimMode::GraphPim, PimMode::UPei] {
+            let config = SystemConfig::tiny(mode);
+            // Live run at the captured thread count. `run_kernel` always
+            // uses the core count as the thread count, so drive the
+            // framework by hand here.
+            let mut sys = SystemSim::new(config.clone());
+            {
+                let mut fw = Framework::new(threads, &mut sys);
+                let mut bfs = Bfs::new(0);
+                bfs.run(&g, &mut fw);
+                fw.finish();
+            }
+            let live = sys.into_metrics();
+
+            let what = format!("BFS threads={threads} under {mode:?}");
+            let replayed = SystemSim::run_replayed(&bytes, &config).expect("valid trace");
+            assert_bit_identical(&live, &replayed, &what);
+            let fast = SystemSim::run_decoded(&decoded, &config);
+            assert_bit_identical(&live, &fast, &format!("{what} (pre-decoded)"));
+        }
     }
 }
 

@@ -19,8 +19,6 @@
 //! * **PIM atomics** — issue like ordinary (posted or returning) memory
 //!   operations: no serialization at all — GraphPIM's speedup mechanism.
 
-use std::collections::VecDeque;
-
 use crate::attrib::CoreAttrib;
 use crate::config::CoreConfig;
 use crate::telemetry::Telemetry;
@@ -106,7 +104,15 @@ pub struct CoreModel {
     atomic_incore: f64,
     mispredict_penalty: f64,
     clock: Cycle,
-    rob: VecDeque<Cycle>,
+    /// In-order retirement window, as a power-of-two ring buffer: `rob_len`
+    /// live completion times starting at `rob_head & rob_mask`. A plain
+    /// masked ring beats `VecDeque` here — `retire_push` runs once per
+    /// instruction group and is one of the hottest leaves in the simulator
+    /// profile, and `VecDeque`'s non-power-of-two wrap logic shows up in it.
+    rob: Box<[Cycle]>,
+    rob_head: usize,
+    rob_len: usize,
+    rob_mask: usize,
     outstanding: Vec<Cycle>,
     last_result: Cycle,
     stats: CoreStats,
@@ -131,8 +137,14 @@ impl CoreModel {
             atomic_incore: config.atomic_incore_cycles,
             mispredict_penalty: config.mispredict_penalty,
             clock: 0.0,
-            rob: VecDeque::new(),
-            outstanding: Vec::new(),
+            // Lengths never exceed rob_size / mshrs (both enforced at the
+            // push sites), so full pre-sizing makes the steady-state hot
+            // loop allocation-free.
+            rob: vec![0.0; config.rob_size.next_power_of_two()].into_boxed_slice(),
+            rob_head: 0,
+            rob_len: 0,
+            rob_mask: config.rob_size.next_power_of_two() - 1,
+            outstanding: Vec::with_capacity(config.mshrs),
             last_result: 0.0,
             stats: CoreStats::default(),
             attrib: None,
@@ -140,6 +152,7 @@ impl CoreModel {
     }
 
     /// Current core-local time in cycles.
+    #[inline]
     pub fn now(&self) -> Cycle {
         self.clock
     }
@@ -162,6 +175,7 @@ impl CoreModel {
     }
 
     /// Executes `n` ALU instructions.
+    #[inline]
     pub fn compute(&mut self, n: u32) {
         if n == 0 {
             return;
@@ -180,6 +194,7 @@ impl CoreModel {
     /// arrives — the flush happens at data arrival plus the recovery
     /// penalty (this is the dependent-instruction-block effect of the
     /// paper's Figure 8).
+    #[inline]
     pub fn branch(&mut self, mispredicted: bool, dep: bool) {
         self.advance_issue(1);
         self.stats.branches += 1;
@@ -201,6 +216,7 @@ impl CoreModel {
     /// dependence, and acquires an MSHR slot if the access will be long
     /// (`long` = known miss / uncached). Returns the absolute issue time to
     /// hand to the memory system.
+    #[inline]
     pub fn begin_mem(&mut self, dep: bool, long: bool) -> Cycle {
         self.advance_issue(1);
         self.stats.memory_ops += 1;
@@ -216,6 +232,7 @@ impl CoreModel {
     /// Completes a load begun with [`CoreModel::begin_mem`]. `long` accesses
     /// occupy an MSHR until done; loads produce a result later `dep` ops
     /// wait on.
+    #[inline]
     pub fn complete_load(&mut self, completion: Cycle, long: bool) {
         self.retire_push(completion);
         if long {
@@ -226,6 +243,7 @@ impl CoreModel {
 
     /// Completes a store begun with [`CoreModel::begin_mem`]. Stores are
     /// posted: they retire at issue + 1 regardless of memory service time.
+    #[inline]
     pub fn complete_store(&mut self) {
         self.retire_push(self.clock + 1.0);
     }
@@ -315,14 +333,17 @@ impl CoreModel {
         if let Some(a) = &mut self.attrib {
             a.barrier_wait += self.clock - before;
         }
-        self.rob.clear();
+        self.rob_len = 0;
         self.outstanding.clear();
         self.last_result = self.clock;
     }
 
     /// Time at which every in-flight op (ROB + MSHRs) has completed.
     pub fn drain_time(&self) -> Cycle {
-        let rob_max = self.rob.iter().copied().fold(self.clock, f64::max);
+        let mut rob_max = self.clock;
+        for k in 0..self.rob_len {
+            rob_max = rob_max.max(self.rob[(self.rob_head + k) & self.rob_mask]);
+        }
         self.outstanding.iter().copied().fold(rob_max, f64::max)
     }
 
@@ -334,11 +355,12 @@ impl CoreModel {
         if let Some(a) = &mut self.attrib {
             a.drain_wait += self.clock - before;
         }
-        self.rob.clear();
+        self.rob_len = 0;
         self.outstanding.clear();
         self.clock
     }
 
+    #[inline]
     fn advance_issue(&mut self, n: u64) {
         self.stats.instructions += n;
         let issue = n as f64 * self.issue_cost;
@@ -352,6 +374,7 @@ impl CoreModel {
         }
     }
 
+    #[inline]
     fn wait_for_result(&mut self) {
         let before = self.clock;
         self.clock = self.clock.max(self.last_result);
@@ -360,26 +383,29 @@ impl CoreModel {
         }
     }
 
+    #[inline]
     fn retire_push(&mut self, completion: Cycle) {
-        // Retire everything already complete.
-        while let Some(&head) = self.rob.front() {
-            if head <= self.clock {
-                self.rob.pop_front();
-            } else {
-                break;
-            }
+        // Retire everything already complete (in order: stop at the first
+        // entry still in flight, even if later ones have completed).
+        while self.rob_len > 0 && self.rob[self.rob_head & self.rob_mask] <= self.clock {
+            self.rob_head = self.rob_head.wrapping_add(1);
+            self.rob_len -= 1;
         }
-        if self.rob.len() >= self.rob_size {
-            let head = self.rob.pop_front().expect("non-empty at capacity");
+        if self.rob_len >= self.rob_size {
+            let head = self.rob[self.rob_head & self.rob_mask];
+            self.rob_head = self.rob_head.wrapping_add(1);
+            self.rob_len -= 1;
             let before = self.clock;
             self.clock = self.clock.max(head);
             if let Some(a) = &mut self.attrib {
                 a.rob_stall += self.clock - before;
             }
         }
-        self.rob.push_back(completion);
+        self.rob[self.rob_head.wrapping_add(self.rob_len) & self.rob_mask] = completion;
+        self.rob_len += 1;
     }
 
+    #[inline]
     fn mshr_acquire(&mut self) {
         self.outstanding.retain(|&c| c > self.clock);
         if self.outstanding.len() >= self.mshrs {

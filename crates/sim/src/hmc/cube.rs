@@ -236,12 +236,55 @@ pub struct HmcCube {
     vaults: usize,
     banks_per_vault: usize,
     interleave: u64,
+    /// Shift/mask address mapping when the vault geometry is all powers
+    /// of two (the paper's is); `None` falls back to the div/mod of
+    /// [`vault_bank_of`]. Three divisions per request add up in the
+    /// simulator hot loop.
+    vb_fast: Option<VaultBankFast>,
     bank_busy: Vec<Cycle>,
     open_row: Vec<Option<u64>>,
     fu_busy: Vec<Vec<Cycle>>,
     stats: HmcStats,
     vault_telemetry: Option<VaultTelemetry>,
     attrib: Option<HmcAttrib>,
+}
+
+/// Precomputed shift/mask form of [`vault_bank_of`] for power-of-two
+/// geometries: `block = addr >> interleave_shift`,
+/// `vault = block & vault_mask`, `bank = (block >> vault_shift) & bank_mask`.
+#[derive(Debug, Clone, Copy)]
+struct VaultBankFast {
+    interleave_shift: u32,
+    vault_mask: u64,
+    vault_shift: u32,
+    bank_mask: u64,
+}
+
+impl VaultBankFast {
+    fn for_geometry(vaults: usize, banks_per_vault: usize, interleave: u64) -> Option<Self> {
+        if vaults.is_power_of_two()
+            && banks_per_vault.is_power_of_two()
+            && interleave.is_power_of_two()
+        {
+            Some(VaultBankFast {
+                interleave_shift: interleave.trailing_zeros(),
+                vault_mask: vaults as u64 - 1,
+                vault_shift: vaults.trailing_zeros(),
+                bank_mask: banks_per_vault as u64 - 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn map(self, addr: u64) -> (usize, usize) {
+        let block = addr >> self.interleave_shift;
+        (
+            (block & self.vault_mask) as usize,
+            ((block >> self.vault_shift) & self.bank_mask) as usize,
+        )
+    }
 }
 
 impl HmcCube {
@@ -270,6 +313,11 @@ impl HmcCube {
             vaults: config.vaults,
             banks_per_vault: config.banks_per_vault,
             interleave: config.vault_interleave_bytes,
+            vb_fast: VaultBankFast::for_geometry(
+                config.vaults,
+                config.banks_per_vault,
+                config.vault_interleave_bytes,
+            ),
             bank_busy: vec![0.0; config.vaults * config.banks_per_vault],
             open_row: vec![None; config.vaults * config.banks_per_vault],
             fu_busy: vec![vec![0.0; config.fus_per_vault]; config.vaults],
@@ -335,6 +383,7 @@ impl HmcCube {
     }
 
     /// Services one transaction arriving at absolute time `now`.
+    #[inline]
     pub fn service(&mut self, kind: PacketKind, addr: Addr, now: Cycle) -> HmcServed {
         let cost = kind.flits();
 
@@ -347,7 +396,10 @@ impl HmcCube {
 
         // Vault controller.
         let at_vault = at_cube + self.vault_overhead;
-        let (vault, bank) = vault_bank_of(addr, self.vaults, self.banks_per_vault, self.interleave);
+        let (vault, bank) = match self.vb_fast {
+            Some(fast) => fast.map(addr),
+            None => vault_bank_of(addr, self.vaults, self.banks_per_vault, self.interleave),
+        };
         let bank_index = vault * self.banks_per_vault + bank;
 
         // Open-page row-buffer check (DRAMSim2-style): a row hit skips the
@@ -518,6 +570,27 @@ mod tests {
     fn cube() -> HmcCube {
         let c = SimConfig::hpca_default();
         HmcCube::new(&c.hmc, c.core.clock_ghz)
+    }
+
+    #[test]
+    fn fast_vault_mapping_matches_div_mod() {
+        let fast = VaultBankFast::for_geometry(32, 16, 256).expect("pow2 geometry");
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let addr = x ^ (i * 97);
+            assert_eq!(
+                fast.map(addr),
+                vault_bank_of(addr, 32, 16, 256),
+                "addr {addr:#x}"
+            );
+        }
+        assert!(
+            VaultBankFast::for_geometry(12, 16, 256).is_none(),
+            "non-pow2 vault count must fall back to div/mod"
+        );
     }
 
     #[test]

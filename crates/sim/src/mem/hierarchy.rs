@@ -45,6 +45,60 @@ pub struct AccessOutcome {
     pub invalidated_sharers: u32,
 }
 
+/// Result of one hierarchy access when the caller supplies the writeback
+/// buffer — the allocation-free counterpart of [`AccessOutcome`], used by
+/// the simulator hot loop (see [`CacheHierarchy::access_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycles spent checking (and filling) the hierarchy.
+    pub latency: u32,
+    /// Where the line was found.
+    pub level: ServiceLevel,
+    /// Number of remote private copies invalidated to gain ownership.
+    pub invalidated_sharers: u32,
+}
+
+/// Hash state for the sharers map: a splitmix64-style finalizer over the
+/// line address. Line addresses are multiples of the line size, so a bare
+/// multiplicative hash would leave the low hash bits — the ones hashbrown
+/// picks buckets with — permanently zero and cluster every key; the
+/// xor-shift finalizer mixes every input bit downward. Deterministic
+/// (unlike the default SipHash's random keys), which is timing-invisible
+/// here: the map is only probed point-wise, never iterated, so hash order
+/// cannot influence metrics.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineHash(u64);
+
+impl std::hash::Hasher for LineHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = self.0 ^ n;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineHashBuilder;
+
+impl std::hash::BuildHasher for LineHashBuilder {
+    type Hasher = LineHash;
+
+    fn build_hasher(&self) -> LineHash {
+        LineHash::default()
+    }
+}
+
 /// Per-level aggregate hit/miss counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelCounts {
@@ -85,7 +139,7 @@ pub struct CacheHierarchy {
     l3: Cache,
     /// Bit `c` set means core `c`'s private caches hold the line
     /// (invariant: mirrors `l2[c].contains(line)`).
-    sharers: HashMap<Addr, u16>,
+    sharers: HashMap<Addr, u16, LineHashBuilder>,
     attrib: Option<CacheAttrib>,
 }
 
@@ -101,6 +155,13 @@ impl CacheHierarchy {
         if let Err(e) = config.validate() {
             panic!("invalid CacheConfig: {e}");
         }
+        let l2: Vec<Cache> = (0..cores)
+            .map(|_| Cache::new(&config.l2, config.line_bytes))
+            .collect();
+        // Sharer entries mirror L2 residency, so the map never holds more
+        // than the combined private-L2 line capacity: pre-sizing to that
+        // bound keeps the steady-state hot loop free of rehashing.
+        let sharer_bound = cores * l2[0].capacity_lines();
         CacheHierarchy {
             line_bytes: config.line_bytes,
             l1_latency: config.l1.latency_cycles,
@@ -110,11 +171,9 @@ impl CacheHierarchy {
             l1: (0..cores)
                 .map(|_| Cache::new(&config.l1, config.line_bytes))
                 .collect(),
-            l2: (0..cores)
-                .map(|_| Cache::new(&config.l2, config.line_bytes))
-                .collect(),
+            l2,
             l3: Cache::new(&config.l3, config.line_bytes),
-            sharers: HashMap::new(),
+            sharers: HashMap::with_capacity_and_hasher(sharer_bound, LineHashBuilder),
             attrib: None,
         }
     }
@@ -142,36 +201,59 @@ impl CacheHierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessOutcome {
-        let line = line_of(addr, self.line_bytes);
         let mut writebacks = Vec::new();
+        let result = self.access_into(core, addr, write, &mut writebacks);
+        AccessOutcome {
+            latency: result.latency,
+            level: result.level,
+            writebacks,
+            invalidated_sharers: result.invalidated_sharers,
+        }
+    }
+
+    /// [`access`](Self::access) writing evicted dirty lines into a
+    /// caller-owned buffer (appended, not cleared) instead of allocating a
+    /// fresh `Vec` per access — the simulator hot path reuses one buffer
+    /// across every access of a run.
+    #[inline]
+    pub fn access_into(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        write: bool,
+        writebacks: &mut Vec<Addr>,
+    ) -> AccessResult {
+        let line = line_of(addr, self.line_bytes);
         let mut invalidated = 0u32;
 
         // Exclusivity: strip remote copies before a write completes.
         if write {
-            invalidated = self.strip_remote_sharers(core, line, &mut writebacks);
+            invalidated = self.strip_remote_sharers(core, line, writebacks);
         }
 
-        if self.l1[core].lookup(line) {
-            if write {
-                self.l1[core].mark_dirty(line);
-            }
-            return self.finish_access(ServiceLevel::L1, self.l1_latency, invalidated, writebacks);
+        let l1_hit = if write {
+            self.l1[core].lookup_dirty(line)
+        } else {
+            self.l1[core].lookup(line)
+        };
+        if l1_hit {
+            return self.finish_access(ServiceLevel::L1, self.l1_latency, invalidated);
         }
         if self.l2[core].lookup(line) {
             self.fill_l1(core, line, write);
             let base = self.l1_latency + self.l2_latency;
-            return self.finish_access(ServiceLevel::L2, base, invalidated, writebacks);
+            return self.finish_access(ServiceLevel::L2, base, invalidated);
         }
         if self.l3.lookup(line) {
-            self.fill_private(core, line, write, &mut writebacks);
+            self.fill_private(core, line, write, writebacks);
             let base = self.check_path_latency();
-            return self.finish_access(ServiceLevel::L3, base, invalidated, writebacks);
+            return self.finish_access(ServiceLevel::L3, base, invalidated);
         }
         // Full miss: fill L3 then the private levels.
-        self.fill_l3(line, &mut writebacks);
-        self.fill_private(core, line, write, &mut writebacks);
+        self.fill_l3(line, writebacks);
+        self.fill_private(core, line, write, writebacks);
         let base = self.check_path_latency();
-        self.finish_access(ServiceLevel::Memory, base, invalidated, writebacks)
+        self.finish_access(ServiceLevel::Memory, base, invalidated)
     }
 
     /// Checks the hierarchy *without filling on miss* — the U-PEI offload
@@ -203,27 +285,32 @@ impl CacheHierarchy {
         } else {
             (ServiceLevel::Memory, self.check_path_latency())
         };
-        self.finish_access(level, latency, invalidated, writebacks)
+        let result = self.finish_access(level, latency, invalidated);
+        AccessOutcome {
+            latency: result.latency,
+            level: result.level,
+            writebacks,
+            invalidated_sharers: result.invalidated_sharers,
+        }
     }
 
     /// Common tail of every access: attributes the latency (when enabled)
-    /// and assembles the outcome. `latency = base + inval_cost` exactly as
+    /// and assembles the result. `latency = base + inval_cost` exactly as
     /// the per-level return sites previously computed it.
+    #[inline]
     fn finish_access(
         &mut self,
         level: ServiceLevel,
         base_latency: u32,
         invalidated: u32,
-        writebacks: Vec<Addr>,
-    ) -> AccessOutcome {
+    ) -> AccessResult {
         let inval = self.inval_cost(invalidated);
         if let Some(a) = &mut self.attrib {
             a.note(level, base_latency as f64, inval as f64);
         }
-        AccessOutcome {
+        AccessResult {
             latency: base_latency + inval,
             level,
-            writebacks,
             invalidated_sharers: invalidated,
         }
     }
@@ -304,6 +391,7 @@ impl CacheHierarchy {
 
     /// Invalidates every remote private copy of `line`; dirty remote data
     /// merges into the L3 copy (or memory if L3 no longer holds it).
+    #[inline]
     fn strip_remote_sharers(&mut self, core: usize, line: Addr, writebacks: &mut Vec<Addr>) -> u32 {
         let Some(mask) = self.sharers.get(&line).copied() else {
             return 0;
@@ -572,6 +660,25 @@ mod tests {
             assert_eq!(a, b);
         }
         assert!(plain.attrib().is_none(), "off by default");
+    }
+
+    #[test]
+    fn access_into_matches_access() {
+        let mut alloc = hierarchy();
+        let mut reuse = hierarchy();
+        let mut wbs = Vec::new();
+        for i in 0..512u64 {
+            let core = (i % 2) as usize;
+            let addr = (i * 64) % 16384;
+            let write = i % 3 == 0;
+            let out = alloc.access(core, addr, write);
+            wbs.clear();
+            let res = reuse.access_into(core, addr, write, &mut wbs);
+            assert_eq!(out.latency, res.latency);
+            assert_eq!(out.level, res.level);
+            assert_eq!(out.invalidated_sharers, res.invalidated_sharers);
+            assert_eq!(out.writebacks, wbs);
+        }
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Phase profiler for the replay hot loop.
+//!
+//! Splits a fig07-style sweep (8 kernels x 3 PIM modes at LDBC 1k) into
+//! capture, decode, and replay wall time so optimisation work can be
+//! aimed at the dominant phase. The system profiler on the reference
+//! box (`gprofng`) undercounts real CPU time badly, so this harness
+//! times phases directly with `Instant`.
+//!
+//! Run with: `cargo run --release --example profile_hotloop`
+use graphpim::config::{PimMode, SystemConfig};
+use graphpim::experiments::pick_root;
+use graphpim::system::SystemSim;
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_sim::trace::codec::DecodedTrace;
+use graphpim_workloads::kernels::{by_name, KernelParams};
+use std::time::Instant;
+
+fn main() {
+    let size = LdbcSize::K1;
+    let spec = GraphSpec::ldbc(size).seed(7);
+    let graph = spec.build();
+    let wspec = GraphSpec::ldbc(size).seed(7).weighted();
+    let wgraph = wspec.build();
+    let kernels = ["BFS", "CComp", "DC", "kCore", "SSSP", "TC", "BC", "PRank"];
+    let mut total_capture = 0.0;
+    let mut total_decode = 0.0;
+    let mut total_replay = 0.0;
+    let mut total_ops = 0u64;
+    for name in kernels {
+        let g = if name == "SSSP" { &wgraph } else { &graph };
+        let mut params = KernelParams::scaled_for(g.vertex_count());
+        params.root = pick_root(g);
+        let mut k = by_name(name, params).unwrap();
+        let t = Instant::now();
+        let bytes = graphpim::tracestore::capture_kernel(k.as_mut(), g, 16);
+        let capture = t.elapsed().as_secs_f64();
+        total_capture += capture;
+        // Decode once (the engine does the same per workload).
+        let t = Instant::now();
+        let decoded = DecodedTrace::decode(&bytes).unwrap();
+        let decode = t.elapsed().as_secs_f64();
+        total_decode += decode;
+        let ops = decoded.op_count() as u64;
+        total_ops += ops * 3;
+        // Replay the decoded trace under all three modes.
+        let t = Instant::now();
+        for mode in PimMode::ALL {
+            let config = SystemConfig::hpca(mode);
+            let m = SystemSim::run_decoded(&decoded, &config);
+            std::hint::black_box(m);
+        }
+        let replay = t.elapsed().as_secs_f64();
+        total_replay += replay;
+        eprintln!(
+            "{name:6} capture {capture:.3}s decode {decode:.3}s replay3 {replay:.3}s ops {ops}"
+        );
+    }
+    eprintln!(
+        "TOTAL capture {total_capture:.3}s decode {total_decode:.3}s replay(3 modes) {total_replay:.3}s total replayed ops {total_ops}"
+    );
+    eprintln!(
+        "per-op replay cost: {:.1} ns",
+        total_replay / total_ops as f64 * 1e9
+    );
+}
