@@ -27,7 +27,9 @@ fn capture(name: &str) -> Vec<u8> {
 
 fn bench_decode(c: &mut Criterion) {
     let bytes = capture("PRank");
-    let ops = DecodedTrace::decode(&bytes).expect("valid trace").op_count() as u64;
+    let ops = DecodedTrace::decode(&bytes)
+        .expect("valid trace")
+        .op_count() as u64;
     let mut group = c.benchmark_group("hotloop_decode");
     group.sample_size(20);
     group.throughput(Throughput::Elements(ops));

@@ -40,6 +40,14 @@
 //!   (default `<tmpdir>/graphpim-trace-store`; see [`crate::tracestore`]).
 //! * `GRAPHPIM_NO_TRACE_STORE=1` — disable trace capture/replay; every
 //!   run executes its kernel live.
+//! * `GRAPHPIM_STREAM_REPLAY=1|0` — memory-lean streaming mode: captures
+//!   stream straight to the store file, cached traces stay in encoded
+//!   form (replayed frame by frame instead of from a flat decoded
+//!   buffer), and live runs pipeline kernel execution against the timing
+//!   models on a second thread. Unset: on at the `1m` scale, off below
+//!   it. Results are bit-identical either way (pinned by tests), so this
+//!   knob is deliberately *not* part of
+//!   [`crate::fingerprint::RESULT_ENV_KNOBS`].
 //! * `GRAPHPIM_VALIDATE=1|0` — per-run conservation invariants (see
 //!   [`crate::validate`]). Unset: on in debug builds (so `cargo test`
 //!   enforces them), off in release sweeps. Never affects results, only
@@ -77,7 +85,7 @@ use crate::telemetry::TraceExporter;
 use crate::tracestore::{TraceLookup, TraceStore, WorkloadKey};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
-use graphpim_sim::trace::codec::{CodecError, DecodedTrace, CODEC_VERSION};
+use graphpim_sim::trace::codec::{CodecError, DecodedTrace, TraceReader, CODEC_VERSION};
 use graphpim_workloads::kernels::{by_name, Kernel, KernelParams};
 use profile::{PrewarmRecord, RunSource};
 use std::collections::{HashMap, HashSet};
@@ -88,6 +96,29 @@ use std::time::Instant;
 
 /// Seed for all generated input graphs (part of the cache fingerprint).
 const GRAPH_SEED: u64 = 7;
+
+/// A captured workload trace, in the form replays will consume it.
+///
+/// The engine keeps each distinct workload's trace resident for the whole
+/// sweep; the representation trades replay speed against memory:
+///
+/// * [`Decoded`](LoadedTrace::Decoded) — the flat op buffer. Fastest to
+///   replay (no varint work per run) but several times the encoded size.
+///   Default at the 1k–100k scales.
+/// * [`Bytes`](LoadedTrace::Bytes) — the raw encoded stream, decoded
+///   frame by frame on a producer thread during each replay (see
+///   [`SystemSim::run_replayed_streaming`]). Default at the 1M scale,
+///   where the decoded form of eight kernels' traces would dominate the
+///   process footprint.
+///
+/// Both replay paths are bit-identical on the same bytes.
+#[derive(Debug)]
+enum LoadedTrace {
+    /// Flat decoded op buffer (fast replay, larger resident set).
+    Decoded(DecodedTrace),
+    /// Encoded bytes for streaming replay (memory-lean).
+    Bytes(Vec<u8>),
+}
 
 /// A memoization key for one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -185,12 +216,14 @@ pub struct Experiments {
     /// Instruction-trace store (`None` = capture/replay disabled; every
     /// run executes its kernel live).
     trace_store: Option<TraceStore>,
-    /// Workload → captured-and-decoded trace (or the decode error, cached
+    /// Workload → captured-and-loaded trace (or the codec error, cached
     /// so every sweep point degrades identically). Captured at most once
     /// per distinct workload no matter how many sweep points replay it;
-    /// kept decoded so replays run straight off the flat op buffer
-    /// instead of re-decoding varints per run.
-    traces: OnceMap<WorkloadKey, Arc<Result<DecodedTrace, CodecError>>>,
+    /// the loaded form ([`LoadedTrace`]) depends on the streaming mode.
+    traces: OnceMap<WorkloadKey, Arc<Result<LoadedTrace, CodecError>>>,
+    /// Forced streaming mode (`Some`), or per-size default (`None`): see
+    /// [`Experiments::stream_replay_for`].
+    stream_replay: Option<bool>,
     profile: Mutex<EngineProfile>,
 }
 
@@ -234,8 +267,27 @@ impl Experiments {
             attribution: std::env::var_os("GRAPHPIM_ATTRIB").is_some(),
             trace_store: TraceStore::from_env(),
             traces: Mutex::new(HashMap::new()),
+            stream_replay: stream_replay_from_env(),
             profile: Mutex::new(EngineProfile::default()),
         }
+    }
+
+    /// Same context with the memory-lean streaming mode forced on or off
+    /// (overrides `GRAPHPIM_STREAM_REPLAY` and the per-size default).
+    /// Results are bit-identical either way; only peak memory and the
+    /// live/replay execution shape change.
+    pub fn with_stream_replay(mut self, enabled: bool) -> Self {
+        self.stream_replay = Some(enabled);
+        self
+    }
+
+    /// Whether runs at `size` use the memory-lean streaming mode:
+    /// streaming capture, encoded-bytes trace residency with frame-by-
+    /// frame replay, and pipelined live runs. Forced value if set, else
+    /// on exactly at the 1M scale — the scale where the decoded trace
+    /// buffers stop fitting comfortably.
+    pub fn stream_replay_for(&self, size: LdbcSize) -> bool {
+        self.stream_replay.unwrap_or(size == LdbcSize::M1)
     }
 
     /// Same context with an explicit instruction-trace store (`None`
@@ -456,22 +508,61 @@ impl Experiments {
         };
         let live = || {
             let mut k = self.build_kernel(key, &graph);
-            SystemSim::run_kernel_instrumented(k.as_mut(), &graph, &config, make_instrumentation())
+            if self.stream_replay_for(key.size) {
+                // Pipelined: the kernel runs on a producer thread while
+                // this thread clocks the timing models. Bit-identical to
+                // the sequential path (pinned by tests).
+                SystemSim::run_kernel_pipelined_instrumented(
+                    k.as_mut(),
+                    &graph,
+                    &config,
+                    make_instrumentation(),
+                )
+            } else {
+                SystemSim::run_kernel_instrumented(
+                    k.as_mut(),
+                    &graph,
+                    &config,
+                    make_instrumentation(),
+                )
+            }
+        };
+        let replay_fallback = |e: &dyn std::fmt::Display| {
+            // Should be unreachable — entries are checksum-validated at
+            // load — but a decode failure must degrade to a correct live
+            // run, never a panic.
+            eprintln!("[trace-store] replay failed ({e}); running live");
+            self.profile.lock().unwrap().note_replay_fallback();
         };
         let (metrics, source) = match self.workload_trace(key, &graph) {
             Some(trace) => match trace.as_ref() {
-                Ok(decoded) => {
-                    let m =
-                        SystemSim::run_decoded_instrumented(decoded, &config, make_instrumentation());
+                Ok(LoadedTrace::Decoded(decoded)) => {
+                    let m = SystemSim::run_decoded_instrumented(
+                        decoded,
+                        &config,
+                        make_instrumentation(),
+                    );
                     self.profile.lock().unwrap().note_replay();
                     (m, RunSource::Replayed)
                 }
+                Ok(LoadedTrace::Bytes(bytes)) => {
+                    match SystemSim::run_replayed_streaming_instrumented(
+                        bytes,
+                        &config,
+                        make_instrumentation(),
+                    ) {
+                        Ok(m) => {
+                            self.profile.lock().unwrap().note_replay();
+                            (m, RunSource::Replayed)
+                        }
+                        Err(e) => {
+                            replay_fallback(&e);
+                            (live(), RunSource::Simulated)
+                        }
+                    }
+                }
                 Err(e) => {
-                    // Should be unreachable — entries are checksum-
-                    // validated at load — but a decode failure must
-                    // degrade to a correct live run, never a panic.
-                    eprintln!("[trace-store] replay failed ({e}); running live");
-                    self.profile.lock().unwrap().note_replay_fallback();
+                    replay_fallback(e);
                     (live(), RunSource::Simulated)
                 }
             },
@@ -504,23 +595,26 @@ impl Experiments {
         by_name(&key.kernel, params).unwrap_or_else(|| panic!("unknown kernel {}", key.kernel))
     }
 
-    /// The captured instruction trace for `key`'s workload, decoded and
+    /// The captured instruction trace for `key`'s workload, loaded and
     /// ready to replay, or `None` when the trace store is disabled.
     ///
-    /// Capture-once, decode-once semantics: the first caller for a
+    /// Capture-once, load-once semantics: the first caller for a
     /// distinct `(kernel, graph, threads)` workload either loads the
     /// trace from the store or performs the single functional kernel
-    /// execution and persists it, then decodes the bytes into the flat
-    /// replay form; all concurrent and later callers (any mode, FU count,
-    /// or bandwidth) share the decoded trace. A decode error is cached
-    /// too — `compute` turns it into a live-run fallback.
+    /// execution and persists it (streaming straight to the store file
+    /// in streaming mode), then loads the bytes into the replay form for
+    /// the context's streaming mode; all concurrent and later callers
+    /// (any mode, FU count, or bandwidth) share the loaded trace. A
+    /// codec error is cached too — `compute` turns it into a live-run
+    /// fallback.
     fn workload_trace(
         &self,
         key: &RunKey,
         graph: &Arc<CsrGraph>,
-    ) -> Option<Arc<Result<DecodedTrace, CodecError>>> {
+    ) -> Option<Arc<Result<LoadedTrace, CodecError>>> {
         let store = self.trace_store.as_ref()?;
         let threads = self.config_for(key).sim.core.cores;
+        let streaming = self.stream_replay_for(key.size);
         let wkey = WorkloadKey {
             kernel: key.kernel.clone(),
             graph: format!("ldbc-{}", key.size.name()),
@@ -552,9 +646,16 @@ impl Experiments {
                         eprintln!("[capture] {}", wkey.file_stem());
                     }
                     let start = Instant::now();
-                    let mut k = self.build_kernel(key, graph);
-                    let bytes = crate::tracestore::capture_kernel(k.as_mut(), graph, threads);
-                    store.store(&wkey, fp, &bytes);
+                    let bytes = if streaming {
+                        store.capture_streaming(&wkey, fp, graph, threads, &mut || {
+                            self.build_kernel(key, graph)
+                        })
+                    } else {
+                        let mut k = self.build_kernel(key, graph);
+                        let bytes = crate::tracestore::capture_kernel(k.as_mut(), graph, threads);
+                        store.store(&wkey, fp, &bytes);
+                        bytes
+                    };
                     self.profile
                         .lock()
                         .unwrap()
@@ -562,9 +663,19 @@ impl Experiments {
                     bytes
                 }
             };
-            // The raw bytes are dropped here; replays only ever touch the
-            // decoded form.
-            Arc::new(DecodedTrace::decode(&bytes))
+            Arc::new(if streaming {
+                // Keep the encoded bytes resident; validate the framing
+                // up front so a bad entry degrades exactly like a decode
+                // error on the buffered path.
+                match TraceReader::new(&bytes) {
+                    Ok(_) => Ok(LoadedTrace::Bytes(bytes)),
+                    Err(e) => Err(e),
+                }
+            } else {
+                // The raw bytes are dropped here; replays only ever
+                // touch the decoded form.
+                DecodedTrace::decode(&bytes).map(LoadedTrace::Decoded)
+            })
         })))
     }
 
@@ -678,6 +789,28 @@ impl std::fmt::Debug for Experiments {
             .field("simulated", &self.simulations_executed())
             .field("disk_hits", &self.disk_cache_hits())
             .finish()
+    }
+}
+
+/// Parses `GRAPHPIM_STREAM_REPLAY` (`1`/`0`; unset → per-size default).
+///
+/// A garbage value warns and falls back to the default instead of
+/// aborting: the knob never affects results, only the memory and
+/// execution shape, so a typo is not worth killing a sweep over.
+fn stream_replay_from_env() -> Option<bool> {
+    match std::env::var("GRAPHPIM_STREAM_REPLAY") {
+        Ok(v) => match v.trim() {
+            "1" => Some(true),
+            "0" => Some(false),
+            other => {
+                eprintln!(
+                    "[engine] unrecognized GRAPHPIM_STREAM_REPLAY value {other:?} \
+                     (expected 1 or 0); using the per-size default"
+                );
+                None
+            }
+        },
+        Err(_) => None,
     }
 }
 
@@ -874,6 +1007,59 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let w = ctx.weighted_graph(LdbcSize::K1);
         assert!(!Arc::ptr_eq(&a, &w));
+    }
+
+    #[test]
+    fn stream_replay_mode_is_bit_identical() {
+        use crate::tracestore::TraceStore;
+        // Streaming mode changes the capture path (straight to disk), the
+        // resident trace form (encoded bytes), the replay path (frame-by-
+        // frame on a producer thread), and the live path (pipelined) —
+        // none of which may move a single counter. Exact RunMetrics
+        // equality across both modes, with and without a trace store.
+        let store_dir =
+            std::env::temp_dir().join(format!("graphpim-streamreplay-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        for with_store in [true, false] {
+            let make_store = || {
+                if with_store {
+                    Some(TraceStore::at(&store_dir))
+                } else {
+                    None
+                }
+            };
+            let buffered = Experiments::with_cache(LdbcSize::K1, None)
+                .with_trace_store(make_store())
+                .with_stream_replay(false);
+            let streaming = Experiments::with_cache(LdbcSize::K1, None)
+                .with_trace_store(make_store())
+                .with_stream_replay(true);
+            for mode in [PimMode::Baseline, PimMode::UPei, PimMode::GraphPim] {
+                assert_eq!(
+                    buffered.metrics("DC", mode),
+                    streaming.metrics("DC", mode),
+                    "with_store={with_store} mode={mode:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    #[test]
+    fn stream_replay_defaults_on_at_1m_only() {
+        let ctx = Experiments::with_cache(LdbcSize::K1, None);
+        // Only check the built-in default when the env knob is not
+        // overriding it in this test process.
+        if std::env::var_os("GRAPHPIM_STREAM_REPLAY").is_none() {
+            assert!(!ctx.stream_replay_for(LdbcSize::K1));
+            assert!(!ctx.stream_replay_for(LdbcSize::K100));
+            assert!(ctx.stream_replay_for(LdbcSize::M1));
+        }
+        let forced = ctx.with_stream_replay(true);
+        assert!(forced.stream_replay_for(LdbcSize::K1));
+        assert!(!forced
+            .with_stream_replay(false)
+            .stream_replay_for(LdbcSize::M1));
     }
 
     #[test]

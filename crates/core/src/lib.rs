@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod pou;
 pub mod report;
+pub mod stream;
 pub mod system;
 pub mod telemetry;
 pub mod tracestore;

@@ -1,0 +1,239 @@
+//! Pipelined live runs and streaming trace replay.
+//!
+//! Both paths here split one simulated run across two OS threads joined by
+//! a bounded channel:
+//!
+//! * **producer** — executes the kernel (emitting trace chunks through the
+//!   framework) or decodes a captured trace frame by frame;
+//! * **consumer** — the calling thread, which drives the timing models
+//!   ([`SystemSim`]'s [`TraceConsumer`] methods) exactly as a sequential
+//!   run would.
+//!
+//! The op interleaving the scheduler sees is a *timing contract* (see
+//! `SystemSim::run_chunk`): reordering ops across threads changes when
+//! cores issue and therefore every figure metric. So the parallelism here
+//! is deliberately pipeline-shaped — trace production overlaps trace
+//! consumption, but the consumer observes the identical event sequence a
+//! sequential run produces, making the result bit-identical by
+//! construction ([`RunMetrics`]'s exact `PartialEq` pins this in tests).
+//!
+//! The channel is a [`std::sync::mpsc::sync_channel`] holding at most
+//! [`PIPELINE_DEPTH`] supersteps; with the framework's per-thread chunk
+//! flush limit this bounds the pipeline's memory footprint regardless of
+//! trace length — the property that makes LDBC-1M runs viable.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+
+use graphpim_graph::CsrGraph;
+use graphpim_sim::trace::codec::{CodecError, TraceReader};
+use graphpim_sim::trace::{Superstep, TraceEvent};
+use graphpim_workloads::framework::{Framework, TraceConsumer};
+use graphpim_workloads::kernels::Kernel;
+
+use crate::config::SystemConfig;
+use crate::metrics::RunMetrics;
+use crate::system::{Instrumentation, SystemSim};
+
+/// In-flight supersteps buffered between producer and consumer. Each slot
+/// holds at most one chunk (bounded by the framework's per-thread flush
+/// limit), so this is the whole pipeline's trace-memory budget.
+const PIPELINE_DEPTH: usize = 2;
+
+/// A [`TraceConsumer`] that forwards every event into a bounded channel.
+///
+/// Send errors are ignored: the receiver only disappears when the
+/// consuming side bailed out early (e.g. a decode error on the replay
+/// path), and the producer then stops at its next emission naturally.
+struct ChannelConsumer {
+    tx: SyncSender<TraceEvent>,
+}
+
+impl TraceConsumer for ChannelConsumer {
+    fn chunk(&mut self, step: Superstep) {
+        let _ = self.tx.send(TraceEvent::Chunk(step));
+    }
+
+    fn barrier(&mut self) {
+        let _ = self.tx.send(TraceEvent::Barrier);
+    }
+}
+
+impl SystemSim {
+    /// Runs a kernel with trace production pipelined against trace
+    /// consumption: the kernel executes on a producer thread while this
+    /// thread clocks the timing models. Bit-identical to
+    /// [`run_kernel`](Self::run_kernel) on the same inputs.
+    pub fn run_kernel_pipelined(
+        kernel: &mut dyn Kernel,
+        graph: &CsrGraph,
+        config: &SystemConfig,
+    ) -> RunMetrics {
+        Self::run_kernel_pipelined_instrumented(kernel, graph, config, Instrumentation::default())
+    }
+
+    /// [`run_kernel_pipelined`](Self::run_kernel_pipelined) with the full
+    /// observer set.
+    pub fn run_kernel_pipelined_instrumented(
+        kernel: &mut dyn Kernel,
+        graph: &CsrGraph,
+        config: &SystemConfig,
+        instrumentation: Instrumentation,
+    ) -> RunMetrics {
+        let threads = config.sim.core.cores;
+        let mut sys = SystemSim::new(config.clone());
+        sys.instrument(instrumentation);
+        std::thread::scope(|s| {
+            let (tx, rx) = sync_channel(PIPELINE_DEPTH);
+            let producer = s.spawn(move || {
+                let mut consumer = ChannelConsumer { tx };
+                let mut fw = Framework::new(threads, &mut consumer);
+                kernel.run(graph, &mut fw);
+                fw.finish();
+            });
+            for event in rx {
+                match event {
+                    TraceEvent::Chunk(step) => sys.chunk(step),
+                    TraceEvent::Barrier => sys.barrier(),
+                }
+            }
+            producer.join().expect("kernel producer thread panicked");
+        });
+        sys.into_metrics()
+    }
+
+    /// Replays a captured binary trace with frame decoding pipelined
+    /// against the timing models, never materializing the decoded trace:
+    /// peak trace memory is [`PIPELINE_DEPTH`] supersteps plus the mapped
+    /// bytes, instead of [`DecodedTrace`]'s flat op buffer. Bit-identical
+    /// to [`run_replayed`](Self::run_replayed) on the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Header and checksum problems surface before any simulation happens
+    /// (the whole file is validated up front); a mid-stream decode error —
+    /// which the checksum makes an encoder-bug indicator rather than a
+    /// corruption one — aborts the run and is returned.
+    ///
+    /// [`DecodedTrace`]: graphpim_sim::trace::codec::DecodedTrace
+    pub fn run_replayed_streaming(
+        bytes: &[u8],
+        config: &SystemConfig,
+    ) -> Result<RunMetrics, CodecError> {
+        Self::run_replayed_streaming_instrumented(bytes, config, Instrumentation::default())
+    }
+
+    /// [`run_replayed_streaming`](Self::run_replayed_streaming) with the
+    /// full observer set.
+    pub fn run_replayed_streaming_instrumented(
+        bytes: &[u8],
+        config: &SystemConfig,
+        instrumentation: Instrumentation,
+    ) -> Result<RunMetrics, CodecError> {
+        let mut reader = TraceReader::new(bytes)?;
+        let mut sys = SystemSim::new(config.clone());
+        sys.instrument(instrumentation);
+        let failure = std::thread::scope(|s| {
+            let (tx, rx) = sync_channel::<Result<TraceEvent, CodecError>>(PIPELINE_DEPTH);
+            let producer = s.spawn(move || loop {
+                match reader.next_event() {
+                    Ok(Some(event)) => {
+                        if tx.send(Ok(event)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            });
+            let mut failure = None;
+            for item in rx {
+                match item {
+                    Ok(TraceEvent::Chunk(step)) => sys.chunk(step),
+                    Ok(TraceEvent::Barrier) => sys.barrier(),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            producer.join().expect("trace decode thread panicked");
+            failure
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(sys.into_metrics()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimMode;
+    use graphpim_graph::generate::GraphSpec;
+    use graphpim_workloads::framework::EncodeTrace;
+    use graphpim_workloads::kernels::{Bfs, PRank};
+
+    fn graph() -> CsrGraph {
+        GraphSpec::uniform(300, 1_500).seed(9).build()
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_all_modes() {
+        let g = graph();
+        for mode in [PimMode::Baseline, PimMode::UPei, PimMode::GraphPim] {
+            let config = SystemConfig::hpca(mode);
+            let sequential = SystemSim::run_kernel(&mut Bfs::new(0), &g, &config);
+            let pipelined = SystemSim::run_kernel_pipelined(&mut Bfs::new(0), &g, &config);
+            assert_eq!(sequential, pipelined, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_replay_matches_decoded_all_modes() {
+        let g = graph();
+        let threads = SystemConfig::hpca(PimMode::Baseline).sim.core.cores;
+        let mut enc = EncodeTrace::new(threads);
+        {
+            let mut fw = Framework::new(threads, &mut enc);
+            PRank::new(2).run(&g, &mut fw);
+            fw.finish();
+        }
+        let bytes = enc.finish();
+        for mode in [PimMode::Baseline, PimMode::UPei, PimMode::GraphPim] {
+            let config = SystemConfig::hpca(mode);
+            let decoded = SystemSim::run_replayed(&bytes, &config).expect("valid trace");
+            let streamed = SystemSim::run_replayed_streaming(&bytes, &config).expect("valid trace");
+            assert_eq!(decoded, streamed, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_replay_rejects_garbage_before_simulating() {
+        let config = SystemConfig::hpca(PimMode::Baseline);
+        assert!(SystemSim::run_replayed_streaming(b"not a trace", &config).is_err());
+        assert!(SystemSim::run_replayed_streaming(&[], &config).is_err());
+    }
+
+    #[test]
+    fn pipelined_run_matches_replay_of_its_own_capture() {
+        // Capture once, then check live-pipelined == streamed replay: the
+        // full loop the engine uses at the 1M scale.
+        let g = graph();
+        let config = SystemConfig::hpca(PimMode::GraphPim);
+        let threads = config.sim.core.cores;
+        let mut enc = EncodeTrace::new(threads);
+        {
+            let mut fw = Framework::new(threads, &mut enc);
+            Bfs::new(0).run(&g, &mut fw);
+            fw.finish();
+        }
+        let bytes = enc.finish();
+        let live = SystemSim::run_kernel_pipelined(&mut Bfs::new(0), &g, &config);
+        let replay = SystemSim::run_replayed_streaming(&bytes, &config).expect("valid trace");
+        assert_eq!(live, replay);
+    }
+}

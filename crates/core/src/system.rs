@@ -373,7 +373,11 @@ impl SystemSim {
         instrumentation: Instrumentation,
     ) -> Result<RunMetrics, CodecError> {
         let decoded = DecodedTrace::decode(bytes)?;
-        Ok(Self::run_decoded_instrumented(&decoded, config, instrumentation))
+        Ok(Self::run_decoded_instrumented(
+            &decoded,
+            config,
+            instrumentation,
+        ))
     }
 
     /// Replays a pre-decoded trace. Decoding once and replaying the flat

@@ -28,10 +28,26 @@
 
 use graphpim_graph::CsrGraph;
 use graphpim_sim::trace::codec::TraceReader;
-use graphpim_workloads::framework::{EncodeTrace, Framework};
+use graphpim_workloads::framework::{EncodeTrace, Framework, StreamTrace};
 use graphpim_workloads::kernels::Kernel;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Warns once per process about a store I/O failure, then goes quiet: an
+/// unwritable store dir silently turning every sweep cold is the kind of
+/// slowdown nobody notices for weeks, but repeating the warning per entry
+/// would bury real output.
+fn warn_once(dir: &Path, what: &str, e: &std::io::Error) {
+    static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "[trace-store] cannot {what} under {} ({e}); traces will \
+             not persist (further store errors suppressed)",
+            dir.display()
+        );
+    }
+}
 
 /// Identity of one functional workload: everything that determines the
 /// instruction trace (timing configuration explicitly excluded).
@@ -129,35 +145,97 @@ impl TraceStore {
     /// silently turning every sweep cold is the kind of slowdown nobody
     /// notices for weeks.
     pub fn store(&self, key: &WorkloadKey, fingerprint: u64, bytes: &[u8]) {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
-        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-        let warn = |what: &str, e: &std::io::Error| {
-            if !WARNED.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "[trace-store] cannot {what} under {} ({e}); traces will \
-                     not persist (further store errors suppressed)",
-                    self.dir.display()
-                );
-            }
-        };
         if let Err(e) = std::fs::create_dir_all(&self.dir) {
-            warn("create the store directory", &e);
+            warn_once(&self.dir, "create the store directory", &e);
             return;
         }
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = self.tmp_path();
         match std::fs::write(&tmp, bytes) {
-            Err(e) => warn("write a trace entry", &e),
+            Err(e) => warn_once(&self.dir, "write a trace entry", &e),
             Ok(()) => {
                 if let Err(e) = std::fs::rename(&tmp, self.path(key, fingerprint)) {
-                    warn("publish a trace entry", &e);
+                    warn_once(&self.dir, "publish a trace entry", &e);
                     let _ = std::fs::remove_file(&tmp);
                 }
             }
         }
+    }
+
+    /// Captures `key`'s workload **streaming straight into the store
+    /// entry** and returns the published bytes (read back from disk).
+    ///
+    /// This is the memory-lean capture path for large inputs: trace bytes
+    /// leave the process through a `BufWriter<File>` as the framework
+    /// produces them, so the capture's trace footprint is one chunk
+    /// instead of the whole encoded stream. Same temp-file + rename
+    /// discipline as [`store`](Self::store) — a torn entry is never
+    /// published.
+    ///
+    /// `make_kernel` must return a *fresh* kernel instance each call: on
+    /// an I/O failure mid-capture, the partially run kernel is discarded
+    /// and the capture restarts in memory (with a best-effort buffered
+    /// store), so the caller always gets valid trace bytes back.
+    pub fn capture_streaming(
+        &self,
+        key: &WorkloadKey,
+        fingerprint: u64,
+        graph: &CsrGraph,
+        threads: usize,
+        make_kernel: &mut dyn FnMut() -> Box<dyn Kernel>,
+    ) -> Vec<u8> {
+        match self.capture_streaming_inner(key, fingerprint, graph, threads, make_kernel) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                warn_once(&self.dir, "stream a capture to disk", &e);
+                let mut kernel = make_kernel();
+                let bytes = capture_kernel(kernel.as_mut(), graph, threads);
+                self.store(key, fingerprint, &bytes);
+                bytes
+            }
+        }
+    }
+
+    fn capture_streaming_inner(
+        &self,
+        key: &WorkloadKey,
+        fingerprint: u64,
+        graph: &CsrGraph,
+        threads: usize,
+        make_kernel: &mut dyn FnMut() -> Box<dyn Kernel>,
+    ) -> std::io::Result<Vec<u8>> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.tmp_path();
+        let write = (|| -> std::io::Result<()> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut stream = StreamTrace::new(threads, std::io::BufWriter::new(file))?;
+            {
+                let mut fw = Framework::new(threads, &mut stream);
+                make_kernel().run(graph, &mut fw);
+                fw.finish();
+            }
+            let writer = stream.finish()?;
+            let mut file = writer.into_inner().map_err(|e| e.into_error())?;
+            file.flush()
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let path = self.path(key, fingerprint);
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::read(&path)
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
     }
 
     fn path(&self, key: &WorkloadKey, fingerprint: u64) -> PathBuf {
@@ -225,6 +303,21 @@ mod tests {
         store.store(&key(), 0xFEED, &bytes);
         match store.lookup(&key(), 0xFEED) {
             TraceLookup::Hit(loaded) => assert_eq!(loaded, bytes),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn streaming_capture_matches_buffered_and_publishes() {
+        let store = tmp_store("streamcap");
+        let graph = GraphSpec::uniform(200, 800).seed(3).build();
+        let buffered = capture_kernel(&mut Bfs::new(0), &graph, 2);
+        let streamed =
+            store.capture_streaming(&key(), 0xBEEF, &graph, 2, &mut || Box::new(Bfs::new(0)));
+        assert_eq!(streamed, buffered, "stream and buffer paths must agree");
+        match store.lookup(&key(), 0xBEEF) {
+            TraceLookup::Hit(loaded) => assert_eq!(loaded, buffered),
             other => panic!("expected hit, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(store.dir());

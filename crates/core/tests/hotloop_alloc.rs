@@ -91,7 +91,10 @@ fn steady_state_replay_does_not_allocate() {
     // Disarmed before `into_metrics`: finalization legitimately builds
     // telemetry strings.
     let metrics = sys.into_metrics();
-    assert!(metrics.total_cycles > 0.0, "replay must have simulated work");
+    assert!(
+        metrics.total_cycles > 0.0,
+        "replay must have simulated work"
+    );
     assert_eq!(
         allocs, 0,
         "replay hot loop allocated {allocs} time(s) after warmup; \

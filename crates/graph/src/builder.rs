@@ -1,8 +1,131 @@
 //! Incremental construction of [`CsrGraph`]s from edge lists.
+//!
+//! Two construction paths exist:
+//!
+//! * [`GraphBuilder`] — convenient incremental API holding
+//!   `(src, dst, weight)` triples (12 B/edge). Right for tests and small
+//!   graphs.
+//! * The streaming constructors [`CsrGraph::from_pairs`],
+//!   [`CsrGraph::from_sorted_unique_pairs`] and
+//!   [`CsrGraph::from_weighted_triples`] — consume the caller's edge
+//!   vector in place and build CSR arrays directly, so peak memory is the
+//!   caller's pair list plus the final graph, with no intermediate triple
+//!   buffer. The generators and the edge-list loader use these; at
+//!   LDBC-1M (28.8 M edges) the skipped triple buffer alone is ~350 MB.
+//!
+//! Both paths produce bit-identical graphs for the same logical edge set.
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
 use crate::VertexId;
+
+impl CsrGraph {
+    /// Builds an unweighted graph directly from directed `(src, dst)`
+    /// pairs, consuming `pairs` in place (sorted, exact duplicates
+    /// removed). Self-loops are kept; callers that do not want them must
+    /// filter before building.
+    ///
+    /// Produces the same graph as
+    /// `GraphBuilder::new(n).edges(pairs).try_build()`, without
+    /// materializing the builder's intermediate `(src, dst, weight)`
+    /// triple buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if any endpoint is
+    /// `>= vertex_count`.
+    pub fn from_pairs(
+        vertex_count: usize,
+        mut pairs: Vec<(VertexId, VertexId)>,
+    ) -> Result<CsrGraph, GraphError> {
+        pairs.sort_unstable();
+        pairs.dedup();
+        CsrGraph::from_sorted_unique_pairs(vertex_count, pairs)
+    }
+
+    /// Builds an unweighted graph from pairs that are already sorted by
+    /// `(src, dst)` with no duplicates — the cheapest construction path:
+    /// one counting pass, one copy of the target column, no sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] on an out-of-range
+    /// endpoint, and [`GraphError::InvalidSpec`] if `pairs` is not
+    /// strictly sorted (a violated precondition would otherwise break the
+    /// sorted-adjacency invariant every accessor relies on).
+    pub fn from_sorted_unique_pairs(
+        vertex_count: usize,
+        pairs: Vec<(VertexId, VertexId)>,
+    ) -> Result<CsrGraph, GraphError> {
+        let n = vertex_count;
+        let mut offsets = vec![0u64; n + 1];
+        let mut prev: Option<(VertexId, VertexId)> = None;
+        for &(u, v) in &pairs {
+            for endpoint in [u, v] {
+                if endpoint as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: endpoint as u64,
+                        vertex_count: n as u64,
+                    });
+                }
+            }
+            if prev.is_some_and(|p| p >= (u, v)) {
+                return Err(GraphError::InvalidSpec(
+                    "from_sorted_unique_pairs requires strictly sorted input".into(),
+                ));
+            }
+            prev = Some((u, v));
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = pairs.iter().map(|&(_, v)| v).collect();
+        drop(pairs);
+        Ok(CsrGraph::from_parts(offsets, neighbors, None))
+    }
+
+    /// Builds a weighted graph directly from `(src, dst, weight)`
+    /// triples, consuming `triples` in place. Duplicate `(src, dst)`
+    /// edges collapse to one; the smallest weight wins (deterministic
+    /// regardless of input order). Self-loops are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if any endpoint is
+    /// `>= vertex_count`.
+    pub fn from_weighted_triples(
+        vertex_count: usize,
+        mut triples: Vec<(VertexId, VertexId, u32)>,
+    ) -> Result<CsrGraph, GraphError> {
+        let n = vertex_count;
+        for &(u, v, _) in &triples {
+            for endpoint in [u, v] {
+                if endpoint as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: endpoint as u64,
+                        vertex_count: n as u64,
+                    });
+                }
+            }
+        }
+        // Full-triple sort puts the smallest weight of each (src, dst)
+        // run first; dedup keeps the first of each run.
+        triples.sort_unstable();
+        triples.dedup_by_key(|&mut (u, v, _)| (u, v));
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &triples {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = triples.iter().map(|&(_, v, _)| v).collect();
+        let weights: Vec<u32> = triples.iter().map(|&(_, _, w)| w).collect();
+        drop(triples);
+        Ok(CsrGraph::from_parts(offsets, neighbors, Some(weights)))
+    }
+}
 
 /// Accumulates edges and produces a [`CsrGraph`].
 ///
@@ -210,5 +333,58 @@ mod tests {
     fn pending_edges_counts_raw_inserts() {
         let b = GraphBuilder::new(2).edge(0, 1).edge(0, 1);
         assert_eq!(b.pending_edges(), 2);
+    }
+
+    #[test]
+    fn from_pairs_matches_builder() {
+        let pairs = vec![(2, 0), (0, 1), (1, 2), (0, 1), (2, 2)];
+        let streaming = CsrGraph::from_pairs(3, pairs.clone()).unwrap();
+        let buffered = GraphBuilder::new(3).edges(pairs).build();
+        assert_eq!(streaming, buffered);
+    }
+
+    #[test]
+    fn from_pairs_empty_graph() {
+        let g = CsrGraph::from_pairs(0, Vec::new()).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_pairs_rejects_out_of_range() {
+        let err = CsrGraph::from_pairs(2, vec![(0, 5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn from_sorted_unique_pairs_rejects_unsorted() {
+        let err = CsrGraph::from_sorted_unique_pairs(3, vec![(1, 0), (0, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidSpec(_)));
+        let err = CsrGraph::from_sorted_unique_pairs(3, vec![(0, 1), (0, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn from_weighted_triples_matches_builder() {
+        let triples = vec![(1, 2, 30), (0, 1, 10), (2, 0, 20)];
+        let streaming = CsrGraph::from_weighted_triples(3, triples.clone()).unwrap();
+        let mut b = GraphBuilder::new(3);
+        for (u, v, w) in triples {
+            b = b.weighted_edge(u, v, w);
+        }
+        assert_eq!(streaming, b.build());
+    }
+
+    #[test]
+    fn from_weighted_triples_duplicate_keeps_smallest_weight() {
+        // Deterministic regardless of input order: (0,1) appears with
+        // weights 9 and 3; the smaller must win both ways round.
+        let a = CsrGraph::from_weighted_triples(2, vec![(0, 1, 9), (0, 1, 3)]).unwrap();
+        let b = CsrGraph::from_weighted_triples(2, vec![(0, 1, 3), (0, 1, 9)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.weight_at(0), 3);
     }
 }

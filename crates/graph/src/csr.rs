@@ -178,6 +178,14 @@ impl CsrGraph {
         CsrGraph::from_parts(offsets, neighbors, weights)
     }
 
+    /// Decomposes the graph into `(offsets, neighbors, weights)`, the
+    /// inverse of [`CsrGraph::from_parts`]. Lets callers re-emit a graph
+    /// with different weights (or none) without copying the structure
+    /// arrays — at LDBC-1M the adjacency alone is ~115 MB.
+    pub fn into_parts(self) -> (Vec<EdgeId>, Vec<VertexId>, Option<Vec<u32>>) {
+        (self.offsets, self.neighbors, self.weights)
+    }
+
     /// Approximate memory footprint of structure + one 8-byte property per
     /// vertex, in bytes. Matches the "footprint" column of Table VI in
     /// spirit: it scales linearly with vertices and edges.

@@ -19,7 +19,6 @@
 use super::zipf::Zipf;
 use super::SplitMix64;
 use crate::csr::CsrGraph;
-use crate::GraphBuilder;
 use crate::VertexId;
 
 /// Size classes of the LDBC-like family (Table VI).
@@ -155,7 +154,11 @@ pub fn generate_custom(vertices: usize, target_edges: usize, seed: u64) -> CsrGr
         edges.dedup();
         unique = edges.len();
     }
-    GraphBuilder::new(vertices).edges(edges).build()
+    // The sampling loop leaves `edges` sorted and deduplicated (every round
+    // ends with sort + dedup), so the zero-copy streaming constructor
+    // applies: no GraphBuilder triple buffer, no re-sort. Bit-identical to
+    // the old `GraphBuilder::new(vertices).edges(edges).build()` path.
+    CsrGraph::from_sorted_unique_pairs(vertices, edges).expect("generator emits in-range vertices")
 }
 
 #[cfg(test)]

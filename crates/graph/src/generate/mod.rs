@@ -125,21 +125,17 @@ impl GraphSpec {
 const WEIGHT_SEED_SALT: u64 = 0x77e1_6b2d_91c3_a55f;
 
 /// Re-emits `g` with deterministic per-edge weights in `1..=100`.
+///
+/// Structure arrays are moved, not copied; only the weight column is
+/// allocated. One RNG draw per edge in CSR order keeps the weight stream
+/// bit-identical to what the old copy-everything implementation produced.
 fn attach_weights(g: CsrGraph, seed: u64) -> CsrGraph {
     let mut rng = SplitMix64::new(seed ^ WEIGHT_SEED_SALT);
-    let n = g.vertex_count();
-    let mut offsets = vec![0u64; n + 1];
-    for v in 0..n {
-        offsets[v + 1] = offsets[v] + g.out_degree(v as u32) as u64;
-    }
-    let mut neighbors = Vec::with_capacity(g.edge_count());
-    let mut weights = Vec::with_capacity(g.edge_count());
-    for v in 0..n as u32 {
-        for &t in g.neighbors(v) {
-            neighbors.push(t);
-            weights.push((rng.next_u64() % 100 + 1) as u32);
-        }
-    }
+    let (offsets, neighbors, _) = g.into_parts();
+    let weights: Vec<u32> = neighbors
+        .iter()
+        .map(|_| (rng.next_u64() % 100 + 1) as u32)
+        .collect();
     CsrGraph::from_parts(offsets, neighbors, Some(weights))
 }
 

@@ -8,7 +8,6 @@
 
 use super::SplitMix64;
 use crate::csr::CsrGraph;
-use crate::GraphBuilder;
 use crate::VertexId;
 
 /// Default RMAT quadrant probabilities (the classic Graph500 parameters).
@@ -68,7 +67,7 @@ pub fn generate_with_probs(
             edges.push((u as VertexId, v as VertexId));
         }
     }
-    GraphBuilder::new(n).edges(edges).build()
+    CsrGraph::from_pairs(n, edges).expect("generator emits in-range vertices")
 }
 
 #[cfg(test)]

@@ -6,7 +6,6 @@
 
 use super::SplitMix64;
 use crate::csr::CsrGraph;
-use crate::GraphBuilder;
 use crate::VertexId;
 
 /// Generates a uniform random directed graph with `vertices` vertices and at
@@ -18,7 +17,7 @@ use crate::VertexId;
 pub fn generate(vertices: usize, edges: usize, seed: u64) -> CsrGraph {
     if vertices == 0 {
         assert_eq!(edges, 0, "cannot place edges in an empty graph");
-        return GraphBuilder::new(0).build();
+        return CsrGraph::from_pairs(0, Vec::new()).expect("empty graph");
     }
     let mut rng = SplitMix64::new(seed ^ 0x554e_4946_4f52_4d21);
     let mut list = Vec::with_capacity(edges);
@@ -29,7 +28,7 @@ pub fn generate(vertices: usize, edges: usize, seed: u64) -> CsrGraph {
             list.push((u, v));
         }
     }
-    GraphBuilder::new(vertices).edges(list).build()
+    CsrGraph::from_pairs(vertices, list).expect("generator emits in-range vertices")
 }
 
 #[cfg(test)]

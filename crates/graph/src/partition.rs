@@ -17,25 +17,45 @@ pub enum Partition {
 }
 
 impl Partition {
-    /// The vertices owned by `thread` out of `threads` for a graph of
-    /// `vertex_count` vertices.
+    /// Iterates the vertices owned by `thread` out of `threads` for a
+    /// graph of `vertex_count` vertices, in ascending id order.
+    ///
+    /// This is the allocation-free form: at LDBC-1M a materialized
+    /// per-thread vertex list is ~4 MB × 16 threads, all of it derivable
+    /// from three integers. Use [`Partition::owned`] only where a `Vec`
+    /// is genuinely needed (tests, mostly).
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0` or `thread >= threads`.
-    pub fn owned(self, vertex_count: usize, thread: usize, threads: usize) -> Vec<VertexId> {
+    pub fn owned_iter(self, vertex_count: usize, thread: usize, threads: usize) -> OwnedIter {
         assert!(threads > 0, "need at least one thread");
         assert!(thread < threads, "thread index out of range");
         match self {
             Partition::Contiguous => {
                 let (start, end) = self.block_bounds(vertex_count, thread, threads);
-                (start as VertexId..end as VertexId).collect()
+                OwnedIter {
+                    next: start,
+                    end,
+                    step: 1,
+                }
             }
-            Partition::Interleaved => (thread..vertex_count)
-                .step_by(threads)
-                .map(|v| v as VertexId)
-                .collect(),
+            Partition::Interleaved => OwnedIter {
+                next: thread.min(vertex_count),
+                end: vertex_count,
+                step: threads,
+            },
         }
+    }
+
+    /// The vertices owned by `thread`, materialized. A thin collect over
+    /// [`Partition::owned_iter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `thread >= threads`.
+    pub fn owned(self, vertex_count: usize, thread: usize, threads: usize) -> Vec<VertexId> {
+        self.owned_iter(vertex_count, thread, threads).collect()
     }
 
     /// Owner thread of vertex `v`.
@@ -56,6 +76,49 @@ impl Partition {
         (start, end)
     }
 }
+
+/// Iterator over the vertices owned by one thread; see
+/// [`Partition::owned_iter`]. Both policies reduce to a strided range, so
+/// the iterator is three words and exact-sized.
+#[derive(Debug, Clone)]
+pub struct OwnedIter {
+    next: usize,
+    end: usize,
+    step: usize,
+}
+
+impl Iterator for OwnedIter {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.next as VertexId;
+        self.next += self.step;
+        Some(v)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.len();
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for OwnedIter {
+    #[inline]
+    fn len(&self) -> usize {
+        if self.next >= self.end {
+            0
+        } else {
+            (self.end - self.next).div_ceil(self.step)
+        }
+    }
+}
+
+impl std::iter::FusedIterator for OwnedIter {}
 
 /// Splits an arbitrary item count into `threads` contiguous ranges; used for
 /// frontier and edge-list chunking.
@@ -80,7 +143,7 @@ mod tests {
     fn contiguous_covers_all_exactly_once() {
         let mut seen = HashSet::new();
         for t in 0..4 {
-            for v in Partition::Contiguous.owned(103, t, 4) {
+            for v in Partition::Contiguous.owned_iter(103, t, 4) {
                 assert!(seen.insert(v), "vertex {v} seen twice");
             }
         }
@@ -91,7 +154,7 @@ mod tests {
     fn interleaved_covers_all_exactly_once() {
         let mut seen = HashSet::new();
         for t in 0..7 {
-            for v in Partition::Interleaved.owned(100, t, 7) {
+            for v in Partition::Interleaved.owned_iter(100, t, 7) {
                 assert!(seen.insert(v), "vertex {v} seen twice");
             }
         }
@@ -102,7 +165,7 @@ mod tests {
     fn owner_agrees_with_owned() {
         for policy in [Partition::Contiguous, Partition::Interleaved] {
             for t in 0..3 {
-                for v in policy.owned(50, t, 3) {
+                for v in policy.owned_iter(50, t, 3) {
                     assert_eq!(policy.owner(v, 50, 3), t, "policy {policy:?}, v {v}");
                 }
             }
@@ -112,9 +175,37 @@ mod tests {
     #[test]
     fn more_threads_than_vertices() {
         let total: usize = (0..8)
-            .map(|t| Partition::Contiguous.owned(3, t, 8).len())
+            .map(|t| Partition::Contiguous.owned_iter(3, t, 8).len())
             .sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn owned_is_a_thin_collect_of_owned_iter() {
+        for policy in [Partition::Contiguous, Partition::Interleaved] {
+            for (n, threads) in [(0, 1), (1, 4), (103, 4), (100, 7), (16, 16)] {
+                for t in 0..threads {
+                    let collected = policy.owned(n, t, threads);
+                    let iter = policy.owned_iter(n, t, threads);
+                    assert_eq!(iter.len(), collected.len(), "{policy:?} n={n} t={t}");
+                    assert!(iter.eq(collected.into_iter()), "{policy:?} n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_iter_is_exact_sized_mid_iteration() {
+        let mut it = Partition::Interleaved.owned_iter(10, 1, 3);
+        // Owns 1, 4, 7: length shrinks by one per step.
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.size_hint(), (2, Some(2)));
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.next(), None);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property tests for edge-list I/O: `write_edge_list` → `read_edge_list`
+//! must be the identity on every CSR graph, including graphs with
+//! trailing isolated vertices and sparse ids (the PR-7 regression), and
+//! the two-pass path loader must agree with the streaming reader.
+
+use graphpim_graph::io::{read_edge_list, read_edge_list_path, write_edge_list};
+use graphpim_graph::{CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Strategy: a graph over `n` vertices with up to `max_edges` random
+/// edges. Ids are sparse by construction — `n` is usually much larger
+/// than the number of distinct endpoints, so isolated vertices (leading,
+/// interior, and trailing) occur in most cases.
+fn unweighted_graph() -> impl Strategy<Value = CsrGraph> {
+    (
+        1usize..60,
+        prop::collection::vec((0u32..60, 0u32..60), 0..80),
+    )
+        .prop_map(|(extra, edges)| {
+            let max_id = edges.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0);
+            let n = max_id as usize + extra;
+            GraphBuilder::new(n.max(1)).edges(edges).build()
+        })
+}
+
+fn weighted_graph() -> impl Strategy<Value = CsrGraph> {
+    (
+        1usize..60,
+        prop::collection::vec((0u32..60, 0u32..60, 1u32..100), 1..80),
+    )
+        .prop_map(|(extra, edges)| {
+            let max_id = edges.iter().map(|&(u, v, _)| u.max(v)).max().unwrap_or(0);
+            let n = max_id as usize + extra;
+            let mut b = GraphBuilder::new(n.max(1));
+            for (u, v, w) in edges {
+                b = b.weighted_edge(u, v, w);
+            }
+            b.build()
+        })
+}
+
+fn round_trip(g: &CsrGraph) -> CsrGraph {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("write to Vec cannot fail");
+    read_edge_list(Cursor::new(buf)).expect("own output must parse")
+}
+
+fn round_trip_via_path(g: &CsrGraph) -> CsrGraph {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("write to Vec cannot fail");
+    let path = std::env::temp_dir().join(format!(
+        "graphpim-io-proptest-{}-{}.txt",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, &buf).expect("write temp file");
+    let back = read_edge_list_path(&path).expect("own output must parse");
+    let _ = std::fs::remove_file(&path);
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unweighted_round_trip_is_identity(g in unweighted_graph()) {
+        prop_assert_eq!(round_trip(&g), g);
+    }
+
+    #[test]
+    fn weighted_round_trip_is_identity(g in weighted_graph()) {
+        prop_assert_eq!(round_trip(&g), g);
+    }
+
+    #[test]
+    fn path_loader_agrees_with_reader_unweighted(g in unweighted_graph()) {
+        prop_assert_eq!(round_trip_via_path(&g), g);
+    }
+
+    #[test]
+    fn path_loader_agrees_with_reader_weighted(g in weighted_graph()) {
+        prop_assert_eq!(round_trip_via_path(&g), g);
+    }
+}

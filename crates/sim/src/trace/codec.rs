@@ -97,14 +97,30 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Incremental FNV-1a (the footer checksum). Feeding bytes in any
+/// chunking produces the same hash as one pass over the concatenation,
+/// which is what lets [`TraceWriter`] checksum a stream it never holds.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
 /// FNV-1a over a byte slice (the footer checksum).
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    let mut hash = Fnv::new();
+    hash.update(bytes);
+    hash.0
 }
 
 fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
@@ -127,100 +143,65 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Streaming encoder: feed it the consumer event stream as it happens,
-/// then [`finish`](Self::finish) for the final buffer. Implements no
-/// consumer trait itself (that lives in `graphpim-workloads`, which wraps
-/// one of these); it only knows the wire format.
+/// The stateful half of frame encoding (per-thread address deltas),
+/// shared by [`TraceEncoder`] and [`TraceWriter`] so the two cannot
+/// drift: both serialize a frame through exactly this code.
 #[derive(Debug)]
-pub struct TraceEncoder {
-    buf: Vec<u8>,
+struct FrameEnc {
     last_addr: Vec<Addr>,
-    events: u64,
 }
 
-impl TraceEncoder {
-    /// Starts a trace for `threads` simulated threads.
-    pub fn new(threads: usize) -> TraceEncoder {
-        let mut buf = Vec::with_capacity(4096);
-        buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&CODEC_VERSION.to_le_bytes());
-        put_varint(&mut buf, threads as u64);
-        TraceEncoder {
-            buf,
+impl FrameEnc {
+    fn new(threads: usize) -> FrameEnc {
+        FrameEnc {
             last_addr: vec![0; threads],
-            events: 0,
         }
     }
 
-    /// Number of events (chunks + barriers) encoded so far.
-    pub fn events(&self) -> u64 {
-        self.events
-    }
-
-    /// Encoded size so far, in bytes (before footer).
-    pub fn bytes(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// Appends one chunk frame.
-    pub fn chunk(&mut self, step: &Superstep) {
-        self.events += 1;
-        self.buf.push(FRAME_CHUNK);
+    /// Serializes one chunk frame into `buf`.
+    fn chunk(&mut self, step: &Superstep, buf: &mut Vec<u8>) {
+        buf.push(FRAME_CHUNK);
         if step.threads.len() > self.last_addr.len() {
             self.last_addr.resize(step.threads.len(), 0);
         }
         let populated = step.threads.iter().filter(|ops| !ops.is_empty()).count();
-        put_varint(&mut self.buf, populated as u64);
+        put_varint(buf, populated as u64);
         for (t, ops) in step.threads.iter().enumerate() {
             if ops.is_empty() {
                 continue;
             }
-            put_varint(&mut self.buf, t as u64);
-            put_varint(&mut self.buf, ops.len() as u64);
+            put_varint(buf, t as u64);
+            put_varint(buf, ops.len() as u64);
             for &op in ops {
-                self.op(t, op);
+                self.op(t, op, buf);
             }
         }
     }
 
-    /// Appends one barrier frame.
-    pub fn barrier(&mut self) {
-        self.events += 1;
-        self.buf.push(FRAME_BARRIER);
-    }
-
-    /// Appends one already-ordered event.
-    pub fn event(&mut self, event: &TraceEvent) {
-        match event {
-            TraceEvent::Chunk(step) => self.chunk(step),
-            TraceEvent::Barrier => self.barrier(),
-        }
-    }
-
-    fn addr_delta(&mut self, t: usize, addr: Addr) {
+    fn addr_delta(&mut self, t: usize, addr: Addr, buf: &mut Vec<u8>) {
         let delta = addr.wrapping_sub(self.last_addr[t]) as i64;
         self.last_addr[t] = addr;
-        put_varint(&mut self.buf, zigzag(delta));
+        put_varint(buf, zigzag(delta));
     }
 
-    fn op(&mut self, t: usize, op: TraceOp) {
+    fn op(&mut self, t: usize, op: TraceOp, buf: &mut Vec<u8>) {
         match op {
             TraceOp::Compute(n) => {
-                self.buf.push(KIND_COMPUTE);
-                put_varint(&mut self.buf, n as u64);
+                buf.push(KIND_COMPUTE);
+                put_varint(buf, n as u64);
             }
             TraceOp::Load { addr, dep } => {
-                self.buf.push(KIND_LOAD | if dep { FLAG_DEP } else { 0 });
-                self.addr_delta(t, addr);
+                buf.push(KIND_LOAD | if dep { FLAG_DEP } else { 0 });
+                self.addr_delta(t, addr, buf);
             }
             TraceOp::Store { addr } => {
-                self.buf.push(KIND_STORE);
-                self.addr_delta(t, addr);
+                buf.push(KIND_STORE);
+                self.addr_delta(t, addr, buf);
             }
             TraceOp::Atomic { addr, op, dep } => {
-                self.buf.push(KIND_ATOMIC | if dep { FLAG_DEP } else { 0 });
-                self.buf.push(op.code());
-                self.addr_delta(t, addr);
+                buf.push(KIND_ATOMIC | if dep { FLAG_DEP } else { 0 });
+                buf.push(op.code());
+                self.addr_delta(t, addr, buf);
             }
             TraceOp::Branch { predictable, dep } => {
                 let mut tag = KIND_BRANCH;
@@ -230,17 +211,172 @@ impl TraceEncoder {
                 if predictable {
                     tag |= FLAG_PREDICTABLE;
                 }
-                self.buf.push(tag);
+                buf.push(tag);
             }
         }
     }
+}
+
+/// Streaming encoder into any [`std::io::Write`] sink. Each frame is
+/// serialized into a small reusable scratch buffer (bounded by the
+/// framework's chunk size), checksummed incrementally, and flushed to the
+/// sink — so a multi-gigabyte capture is never resident. Wire bytes are
+/// identical to [`TraceEncoder`] for the same event stream.
+#[derive(Debug)]
+pub struct TraceWriter<W: std::io::Write> {
+    sink: W,
+    frame: Vec<u8>,
+    enc: FrameEnc,
+    hash: Fnv,
+    events: u64,
+    bytes: u64,
+}
+
+impl<W: std::io::Write> TraceWriter<W> {
+    /// Starts a trace for `threads` simulated threads, writing the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(threads: usize, sink: W) -> std::io::Result<TraceWriter<W>> {
+        let mut writer = TraceWriter {
+            sink,
+            frame: Vec::with_capacity(4096),
+            enc: FrameEnc::new(threads),
+            hash: Fnv::new(),
+            events: 0,
+            bytes: 0,
+        };
+        writer.frame.extend_from_slice(&MAGIC);
+        writer.frame.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        put_varint(&mut writer.frame, threads as u64);
+        writer.emit()?;
+        Ok(writer)
+    }
+
+    /// Number of events (chunks + barriers) written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Bytes emitted to the sink so far (header included, footer not).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Writes one chunk frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn chunk(&mut self, step: &Superstep) -> std::io::Result<()> {
+        self.events += 1;
+        self.enc.chunk(step, &mut self.frame);
+        self.emit()
+    }
+
+    /// Writes one barrier frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn barrier(&mut self) -> std::io::Result<()> {
+        self.events += 1;
+        self.frame.push(FRAME_BARRIER);
+        self.emit()
+    }
+
+    /// Writes one already-ordered event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn event(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        match event {
+            TraceEvent::Chunk(step) => self.chunk(step),
+            TraceEvent::Barrier => self.barrier(),
+        }
+    }
+
+    /// Seals the trace (end frame plus footer checksum) and returns the
+    /// sink. The sink is not flushed; buffered sinks are the caller's to
+    /// flush or sync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.frame.push(FRAME_END);
+        self.emit()?;
+        let checksum = self.hash.0.to_le_bytes();
+        self.sink.write_all(&checksum)?;
+        Ok(self.sink)
+    }
+
+    /// Flushes the scratch frame to the sink, folding it into the
+    /// checksum first.
+    fn emit(&mut self) -> std::io::Result<()> {
+        self.hash.update(&self.frame);
+        self.sink.write_all(&self.frame)?;
+        self.bytes += self.frame.len() as u64;
+        self.frame.clear();
+        Ok(())
+    }
+}
+
+/// In-memory encoder: feed it the consumer event stream as it happens,
+/// then [`finish`](Self::finish) for the final buffer. Implements no
+/// consumer trait itself (that lives in `graphpim-workloads`, which wraps
+/// one of these); it only knows the wire format.
+///
+/// A thin infallible wrapper over [`TraceWriter`] with a `Vec<u8>` sink,
+/// so both encoders share one serialization path.
+#[derive(Debug)]
+pub struct TraceEncoder {
+    inner: TraceWriter<Vec<u8>>,
+}
+
+impl TraceEncoder {
+    /// Starts a trace for `threads` simulated threads.
+    pub fn new(threads: usize) -> TraceEncoder {
+        TraceEncoder {
+            inner: TraceWriter::new(threads, Vec::with_capacity(4096))
+                .expect("writing to a Vec cannot fail"),
+        }
+    }
+
+    /// Number of events (chunks + barriers) encoded so far.
+    pub fn events(&self) -> u64 {
+        self.inner.events()
+    }
+
+    /// Encoded size so far, in bytes (before footer).
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes() as usize
+    }
+
+    /// Appends one chunk frame.
+    pub fn chunk(&mut self, step: &Superstep) {
+        self.inner
+            .chunk(step)
+            .expect("writing to a Vec cannot fail");
+    }
+
+    /// Appends one barrier frame.
+    pub fn barrier(&mut self) {
+        self.inner.barrier().expect("writing to a Vec cannot fail");
+    }
+
+    /// Appends one already-ordered event.
+    pub fn event(&mut self, event: &TraceEvent) {
+        self.inner
+            .event(event)
+            .expect("writing to a Vec cannot fail");
+    }
 
     /// Seals the trace: end frame plus footer checksum.
-    pub fn finish(mut self) -> Vec<u8> {
-        self.buf.push(FRAME_END);
-        let checksum = fnv1a(&self.buf);
-        self.buf.extend_from_slice(&checksum.to_le_bytes());
-        self.buf
+    pub fn finish(self) -> Vec<u8> {
+        self.inner.finish().expect("writing to a Vec cannot fail")
     }
 }
 
@@ -442,7 +578,10 @@ pub struct ThreadSpan {
 #[derive(Debug, Clone, Copy)]
 enum DecodedFrame {
     /// A chunk frame: its span range in `DecodedTrace::spans`.
-    Chunk { spans_start: usize, spans_end: usize },
+    Chunk {
+        spans_start: usize,
+        spans_end: usize,
+    },
     /// A global barrier.
     Barrier,
 }
@@ -703,6 +842,72 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn trace_writer_matches_encoder_bytes() {
+        let events = sample_events(3);
+        let via_encoder = encode(3, &events);
+        let mut writer = TraceWriter::new(3, Vec::new()).unwrap();
+        for event in &events {
+            writer.event(event).unwrap();
+        }
+        let via_writer = writer.finish().unwrap();
+        assert_eq!(via_writer, via_encoder);
+    }
+
+    #[test]
+    fn trace_writer_streams_through_chunked_sink() {
+        // A sink that only accepts a few bytes per write exercises the
+        // incremental checksum across arbitrary split points.
+        struct Dribble(Vec<u8>);
+        impl std::io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let events = sample_events(3);
+        let mut writer = TraceWriter::new(3, Dribble(Vec::new())).unwrap();
+        for event in &events {
+            writer.event(event).unwrap();
+        }
+        let bytes = writer.finish().unwrap().0;
+        assert_eq!(bytes, encode(3, &events));
+        let (threads, decoded) = decode(&bytes).expect("decodes");
+        assert_eq!(threads, 3);
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn trace_writer_propagates_sink_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(TraceWriter::new(2, Failing).is_err());
+    }
+
+    #[test]
+    fn trace_writer_reports_progress() {
+        let mut writer = TraceWriter::new(3, Vec::new()).unwrap();
+        assert_eq!(writer.events(), 0);
+        let header_bytes = writer.bytes();
+        assert!(header_bytes > 0);
+        for event in &sample_events(3) {
+            writer.event(event).unwrap();
+        }
+        assert_eq!(writer.events(), 4);
+        assert!(writer.bytes() > header_bytes);
     }
 
     mod properties {

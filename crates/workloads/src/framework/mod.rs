@@ -16,7 +16,7 @@ pub use property::{MetaArray, MetaQueue, PropertyArray};
 
 use graphpim_sim::hmc::HmcAtomicOp;
 use graphpim_sim::mem::addr::{Addr, Region};
-use graphpim_sim::trace::codec::TraceEncoder;
+use graphpim_sim::trace::codec::{TraceEncoder, TraceWriter};
 use graphpim_sim::trace::{Superstep, TraceEvent, TraceOp};
 
 /// Receives trace batches as the framework produces them.
@@ -123,6 +123,77 @@ impl TraceConsumer for EncodeTrace {
 
     fn barrier(&mut self) {
         self.encoder.barrier();
+    }
+}
+
+/// A [`TraceConsumer`] that streams each frame straight to an
+/// [`std::io::Write`] sink through the codec's [`TraceWriter`] — the
+/// capture side of the memory-lean path: trace bytes leave the process as
+/// they are produced (typically into a `BufWriter<File>`), so a capture's
+/// footprint is one chunk regardless of trace length.
+///
+/// [`TraceConsumer`] methods cannot fail, so the first sink error is
+/// latched, subsequent frames are discarded, and [`StreamTrace::finish`]
+/// surfaces the error — degraded to a recapture by the trace store, never
+/// to a torn entry.
+#[derive(Debug)]
+pub struct StreamTrace<W: std::io::Write> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> StreamTrace<W> {
+    /// Starts a streaming capture for `threads` simulated threads. Must
+    /// match the thread count of the [`Framework`] feeding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error from writing the trace header.
+    pub fn new(threads: usize, sink: W) -> std::io::Result<Self> {
+        Ok(StreamTrace {
+            writer: Some(TraceWriter::new(threads, sink)?),
+            error: None,
+        })
+    }
+
+    /// Events (chunks + barriers) accepted so far.
+    pub fn events(&self) -> u64 {
+        self.writer.as_ref().map_or(0, |w| w.events())
+    }
+
+    /// Seals the trace and returns the sink (unflushed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error the sink reported — whether latched during
+    /// capture or hit while writing the footer.
+    pub fn finish(self) -> std::io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.writer
+            .expect("writer present unless an error was latched")
+            .finish()
+    }
+}
+
+impl<W: std::io::Write> TraceConsumer for StreamTrace<W> {
+    fn chunk(&mut self, step: Superstep) {
+        if let Some(writer) = &mut self.writer {
+            if let Err(e) = writer.chunk(&step) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn barrier(&mut self) {
+        if let Some(writer) = &mut self.writer {
+            if let Err(e) = writer.barrier() {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
     }
 }
 
@@ -442,5 +513,57 @@ mod tests {
         let mut sink = CollectTrace::default();
         let mut fw = Framework::new(1, &mut sink);
         fw.on_thread(3);
+    }
+
+    #[test]
+    fn stream_trace_matches_encode_trace_bytes() {
+        fn drive(fw: &mut Framework<'_>) {
+            let prop = fw.pmr_malloc(256);
+            for i in 0..200usize {
+                fw.spread(i);
+                fw.load(prop + i as u64 * 8, false);
+                fw.atomic(prop + i as u64 * 8, HmcAtomicOp::Add16, true);
+            }
+            fw.barrier();
+        }
+        let mut encoded = EncodeTrace::new(2);
+        {
+            let mut fw = Framework::new(2, &mut encoded);
+            drive(&mut fw);
+        }
+        let mut streamed = StreamTrace::new(2, Vec::new()).unwrap();
+        {
+            let mut fw = Framework::new(2, &mut streamed);
+            drive(&mut fw);
+        }
+        assert_eq!(streamed.finish().unwrap(), encoded.finish());
+    }
+
+    #[test]
+    fn stream_trace_latches_sink_errors() {
+        // Header fits, first chunk does not: the error must be latched by
+        // the infallible consumer methods and surfaced by finish().
+        struct Tiny(usize);
+        impl std::io::Write for Tiny {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 + buf.len() > 16 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.0 += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut streamed = StreamTrace::new(1, Tiny(0)).unwrap();
+        {
+            let mut fw = Framework::new(1, &mut streamed);
+            for i in 0..64 {
+                fw.load(i * 8, false);
+            }
+            fw.barrier();
+        }
+        assert!(streamed.finish().is_err());
     }
 }
