@@ -1,12 +1,18 @@
 //! Regenerates Figure 1 (workload IPC) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig01` on `graphpim-serve`).
 
 use graphpim::experiments::{fig01, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig01] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig01", &ctx) {
+        return;
+    }
     let rows = fig01::run(&ctx);
     println!("{}", fig01::table(&rows));
 }

@@ -1,12 +1,18 @@
 //! Regenerates Figure 2 (cycle breakdown and MPKI) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig02` on `graphpim-serve`).
 
 use graphpim::experiments::{fig02, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig02] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig02", &ctx) {
+        return;
+    }
     let rows = fig02::run(&ctx);
     println!("{}", fig02::table(&rows));
 }

@@ -1,12 +1,18 @@
 //! Regenerates Figure 4 (atomic instruction overhead) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig04` on `graphpim-serve`).
 
 use graphpim::experiments::{fig04, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig04] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig04", &ctx) {
+        return;
+    }
     let rows = fig04::run(&ctx);
     println!("{}", fig04::table(&rows));
 }

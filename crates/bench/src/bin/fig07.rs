@@ -3,6 +3,9 @@
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
 //! `GRAPHPIM_STORE_STATS_JSON=<file>` dumps the trace-store counters
 //! (captures/replays/hits) after the run.
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig07` on `graphpim-serve`).
 
 use graphpim::experiments::{fig07, Experiments};
 use graphpim_bench::report_store_stats;
@@ -10,6 +13,10 @@ use graphpim_bench::report_store_stats;
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig07] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig07", &ctx) {
+        report_store_stats(&ctx);
+        return;
+    }
     let rows = fig07::run(&ctx);
     println!("{}", fig07::table(&rows));
     report_store_stats(&ctx);

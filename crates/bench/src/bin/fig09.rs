@@ -1,12 +1,18 @@
 //! Regenerates Figure 9 (execution-time breakdown) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig09` on `graphpim-serve`).
 
 use graphpim::experiments::{fig09, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig09] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig09", &ctx) {
+        return;
+    }
     let rows = fig09::run(&ctx);
     println!("{}", fig09::table(&rows));
 }

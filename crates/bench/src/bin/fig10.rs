@@ -1,12 +1,18 @@
 //! Regenerates Figure 10 (offload-candidate miss rate) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig10` on `graphpim-serve`).
 
 use graphpim::experiments::{fig10, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig10] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig10", &ctx) {
+        return;
+    }
     let rows = fig10::run(&ctx);
     println!("{}", fig10::table(&rows));
 }

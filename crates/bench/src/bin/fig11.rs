@@ -1,12 +1,18 @@
 //! Regenerates Figure 11 (FU-count sensitivity) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig11` on `graphpim-serve`).
 
 use graphpim::experiments::{fig11, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig11] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig11", &ctx) {
+        return;
+    }
     let rows = fig11::run(&ctx);
     println!("{}", fig11::table(&rows));
 }

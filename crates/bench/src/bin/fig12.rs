@@ -1,12 +1,18 @@
 //! Regenerates Figure 12 (bandwidth consumption) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig12` on `graphpim-serve`).
 
 use graphpim::experiments::{fig12, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig12] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig12", &ctx) {
+        return;
+    }
     let rows = fig12::run(&ctx);
     println!("{}", fig12::table(&rows));
 }

@@ -1,12 +1,18 @@
 //! Regenerates Figure 13 (link-bandwidth sensitivity) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE=1k|10k|100k|1m` (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig13` on `graphpim-serve`).
 
 use graphpim::experiments::{fig13, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig13] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig13", &ctx) {
+        return;
+    }
     let rows = fig13::run(&ctx);
     println!("{}", fig13::table(&rows));
 }

@@ -1,12 +1,18 @@
 //! Regenerates Figure 14 (graph-size sensitivity) of the paper.
 //!
 //! Scale: `GRAPHPIM_SCALE` bounds the largest size swept (default 10k).
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig14` on `graphpim-serve`).
 
 use graphpim::experiments::{fig14, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig14] sweeping sizes up to {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig14", &ctx) {
+        return;
+    }
     let cells = fig14::run(&ctx);
     println!("{}", fig14::table_a(&cells));
     println!("{}", fig14::table_b(&cells));

@@ -1,10 +1,16 @@
 //! Regenerates Figure 15 (uncore energy breakdown) of the paper.
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig15` on `graphpim-serve`).
 
 use graphpim::experiments::{fig15, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig15] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig15", &ctx) {
+        return;
+    }
     let bars = fig15::run(&ctx);
     println!("{}", fig15::table(&bars));
     println!(

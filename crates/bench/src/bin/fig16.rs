@@ -1,10 +1,16 @@
 //! Regenerates Figure 16 (analytical model validation) of the paper.
+//!
+//! Pass `--json` to print the machine-readable figure document
+//! instead (identical to `GET /figures/fig16` on `graphpim-serve`).
 
 use graphpim::experiments::{fig16, Experiments};
 
 fn main() {
     let ctx = Experiments::from_env();
     eprintln!("[fig16] running at scale {} ...", ctx.size());
+    if graphpim_bench::emit_figure_json("fig16", &ctx) {
+        return;
+    }
     let rows = fig16::run(&ctx);
     println!("{}", fig16::table(&rows));
     println!(

@@ -254,7 +254,7 @@ fn to_json(points: &[Point]) -> String {
 fn check(points: &[Point]) -> Vec<String> {
     let mut violations = Vec::new();
     for p in points {
-        if !(p.graphpim_geomean > 0.9) {
+        if p.graphpim_geomean.partial_cmp(&0.9) != Some(std::cmp::Ordering::Greater) {
             violations.push(format!(
                 "{}: GraphPIM geomean speedup {:.3} is not > 0.9 — the sweep \
                  did not produce sane figure metrics",

@@ -1,0 +1,203 @@
+//! Latency/throughput benchmark for `graphpim-serve`.
+//!
+//! Boots the service in-process on an ephemeral port, prewarms the
+//! Figure 7 sweep so every benchmarked request is a pure cache hit,
+//! then hammers `GET /figures/fig07` from `--clients` concurrent
+//! connections for `--seconds` and reports exact (sorted-sample)
+//! latency percentiles.
+//!
+//! ```text
+//! serve_bench [--clients N] [--seconds S] [--out PATH]
+//!
+//! --clients N    concurrent client threads      (default: 16)
+//! --seconds S    measurement window in seconds  (default: 5)
+//! --out PATH     write the JSON report here too (default: stdout only)
+//! ```
+//!
+//! The report (`schema: graphpim-serve-bench-v1`) carries request and
+//! error counts, aggregate throughput, and latency in milliseconds
+//! (mean/p50/p90/p99/max). Latencies are measured per request around
+//! connect + request + full response read — the client's view, not the
+//! handler's — so they include connection setup, which is the honest
+//! number for a `Connection: close` protocol.
+//!
+//! Wall-clock numbers are machine-dependent and never gated; CI uploads
+//! the report as an artifact for trending. The committed snapshot lives
+//! at `crates/bench/BENCH_SERVE.json`.
+
+use graphpim::experiments::{figjson, Experiments};
+use graphpim_serve::http::client;
+use graphpim_serve::{ServeConfig, ServerHandle};
+use std::io::Write;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nUsage: serve_bench [--clients N] [--seconds S] [--out PATH]");
+    exit(2)
+}
+
+struct Options {
+    clients: usize,
+    seconds: f64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        clients: 16,
+        seconds: 5.0,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                opts.clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--clients must be a positive integer"));
+            }
+            "--seconds" => {
+                opts.seconds = value("--seconds")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seconds must be a number"));
+            }
+            "--out" => opts.out = Some(value("--out")),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if opts.clients == 0 {
+        usage("--clients must be at least 1");
+    }
+    opts
+}
+
+/// Per-client tally: latencies of successful requests plus error count.
+struct ClientResult {
+    latencies_us: Vec<u64>,
+    errors: u64,
+}
+
+fn client_loop(addr: &str, stop: &AtomicBool) -> ClientResult {
+    let mut result = ClientResult {
+        latencies_us: Vec::with_capacity(4096),
+        errors: 0,
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let begin = Instant::now();
+        match client::get(addr, "/figures/fig07") {
+            Ok((200, body)) if !body.is_empty() => {
+                result.latencies_us.push(begin.elapsed().as_micros() as u64);
+            }
+            _ => result.errors += 1,
+        }
+    }
+    result
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+fn boot(clients: usize) -> (ServerHandle, Arc<Experiments>) {
+    let ctx = Arc::new(Experiments::from_env());
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Enough HTTP threads that the measured ceiling is the handler,
+        // not the benchmark harness queueing on its own service.
+        http_threads: clients.max(4),
+        ..ServeConfig::default()
+    };
+    let handle = graphpim_serve::start(cfg, Arc::clone(&ctx))
+        .unwrap_or_else(|e| panic!("cannot boot service: {e}"));
+    (handle, ctx)
+}
+
+fn main() {
+    let opts = parse_args();
+    let (handle, ctx) = boot(opts.clients);
+    let addr = handle.addr().to_string();
+    let scale = ctx.size();
+
+    eprintln!("[serve_bench] booted on {addr} at scale {scale}; prewarming fig07 ...");
+    let prewarm_begin = Instant::now();
+    let keys = figjson::figure_keys("fig07", &ctx).expect("fig07 is a served figure");
+    ctx.prewarm(keys);
+    let prewarm_seconds = prewarm_begin.elapsed().as_secs_f64();
+    // The benchmarked request must be a pure cache hit.
+    let (status, reference) = client::get(&addr, "/figures/fig07").expect("warm-up request");
+    assert_eq!(status, 200, "fig07 must serve from cache after prewarm");
+    assert!(!reference.is_empty());
+
+    eprintln!(
+        "[serve_bench] prewarmed in {prewarm_seconds:.1}s; measuring {} clients x {:.0}s ...",
+        opts.clients, opts.seconds
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let bench_begin = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client_loop(&addr, &stop))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs_f64(opts.seconds));
+    stop.store(true, Ordering::Relaxed);
+    let results: Vec<ClientResult> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread panicked"))
+        .collect();
+    let elapsed = bench_begin.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let requests = latencies.len() as u64;
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1000.0
+    };
+    let max_ms = latencies.last().map_or(0.0, |&us| us as f64 / 1000.0);
+
+    let report = format!(
+        "{{\n  \"schema\": \"graphpim-serve-bench-v1\",\n  \"scale\": \"{scale}\",\n  \
+         \"clients\": {clients},\n  \"seconds\": {elapsed:?},\n  \
+         \"requests\": {requests},\n  \"errors\": {errors},\n  \
+         \"throughput_rps\": {rps:?},\n  \"latency_ms\": {{\"mean\": {mean:?}, \
+         \"p50\": {p50:?}, \"p90\": {p90:?}, \"p99\": {p99:?}, \"max\": {max:?}}}\n}}",
+        clients = opts.clients,
+        rps = requests as f64 / elapsed.max(1e-9),
+        mean = mean_ms,
+        p50 = percentile(&latencies, 0.50),
+        p90 = percentile(&latencies, 0.90),
+        p99 = percentile(&latencies, 0.99),
+        max = max_ms,
+    );
+    println!("{report}");
+    if let Some(path) = &opts.out {
+        let mut file =
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        writeln!(file, "{report}").expect("write report");
+        eprintln!("[serve_bench] report written to {path}");
+    }
+    if errors > 0 {
+        eprintln!("[serve_bench] WARNING: {errors} failed requests");
+        exit(1);
+    }
+}

@@ -32,6 +32,13 @@ impl PimMode {
             PimMode::GraphPim => "GraphPIM",
         }
     }
+
+    /// Parses a figure label back into a mode (exact inverse of
+    /// [`label`](Self::label); used when run keys arrive as strings, e.g.
+    /// over the experiment service's API).
+    pub fn from_label(label: &str) -> Option<PimMode> {
+        PimMode::ALL.into_iter().find(|m| m.label() == label)
+    }
 }
 
 impl std::fmt::Display for PimMode {

@@ -179,6 +179,14 @@ impl DiskCache {
     }
 }
 
+/// Renders `metrics` exactly as the cache stores them for `key` — byte
+/// for byte the document a cache entry holds on disk. Exposed so the
+/// experiment service's `/counters/{run-key}` endpoint serves run
+/// counters through the one serialization code path.
+pub fn metrics_json(key: &RunKey, metrics: &RunMetrics) -> String {
+    metrics_to_json(key, metrics)
+}
+
 fn metrics_to_json(key: &RunKey, m: &RunMetrics) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");

@@ -69,6 +69,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod figjson;
 pub mod hybrid;
 pub mod profile;
 pub mod tables;
@@ -86,9 +87,12 @@ use crate::tracestore::{TraceLookup, TraceStore, WorkloadKey};
 use graphpim_graph::generate::{GraphSpec, LdbcSize};
 use graphpim_graph::{CsrGraph, VertexId};
 use graphpim_sim::trace::codec::{CodecError, DecodedTrace, TraceReader, CODEC_VERSION};
+use graphpim_sim::trace::{TraceEvent, TraceOp};
+use graphpim_sim::validate::ConfigError;
 use graphpim_workloads::kernels::{by_name, Kernel, KernelParams};
 use profile::{PrewarmRecord, RunSource};
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -181,7 +185,106 @@ impl RunKey {
             if self.plain_atomics { "-plain" } else { "" }
         )
     }
+
+    /// Parses a [`file_stem`](Self::file_stem) back into a key — the
+    /// exact inverse mapping, used when runs are addressed by string
+    /// (e.g. `GET /counters/{run-key}` on the experiment service).
+    ///
+    /// Returns `None` on any malformed stem. The kernel name is only
+    /// checked for non-emptiness here; use
+    /// [`Experiments::validate_key`] to reject unknown kernels and
+    /// invalid configurations with a typed error.
+    pub fn parse_stem(stem: &str) -> Option<RunKey> {
+        let (rest, plain_atomics) = match stem.strip_suffix("-plain") {
+            Some(rest) => (rest, true),
+            None => (stem, false),
+        };
+        let (rest, bw) = rest.rsplit_once("-bw")?;
+        let bw_tenths: u32 = bw.parse().ok()?;
+        let (rest, fus) = rest.rsplit_once("-fus")?;
+        let fus: usize = fus.parse().ok()?;
+        let (rest, size) = LdbcSize::ALL.into_iter().find_map(|s| {
+            rest.strip_suffix(s.name())?
+                .strip_suffix('-')
+                .map(|r| (r, s))
+        })?;
+        let (kernel, mode) = PimMode::ALL.into_iter().find_map(|m| {
+            let label = m.label().replace('/', "_");
+            rest.strip_suffix(label.as_str())?
+                .strip_suffix('-')
+                .map(|k| (k, m))
+        })?;
+        if kernel.is_empty() {
+            return None;
+        }
+        Some(RunKey {
+            kernel: kernel.to_string(),
+            mode,
+            size,
+            fus,
+            bw_tenths,
+            plain_atomics,
+        })
+    }
 }
+
+/// Why a [`RunKey`] cannot be executed (see [`Experiments::validate_key`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyError {
+    /// No kernel is registered under this name.
+    UnknownKernel(String),
+    /// The key resolves to an invalid system configuration.
+    Config(ConfigError),
+}
+
+impl KeyError {
+    /// Stable snake-case id for structured error reporting (mirrors
+    /// [`ConfigError::id`] for the configuration variants).
+    pub fn id(&self) -> &'static str {
+        match self {
+            KeyError::UnknownKernel(_) => "unknown_kernel",
+            KeyError::Config(e) => e.id(),
+        }
+    }
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyError::UnknownKernel(name) => write!(f, "unknown kernel {name:?}"),
+            KeyError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// Why a trace-slice read failed (see [`Experiments::trace_slice_json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSliceError {
+    /// The instruction-trace store is disabled in this context.
+    StoreDisabled,
+    /// No trace has been captured for this workload yet.
+    NotCaptured,
+    /// The stored entry failed codec validation.
+    Corrupt,
+    /// The requested superstep range is empty.
+    EmptyRange,
+}
+
+impl std::fmt::Display for TraceSliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceSliceError::StoreDisabled => "the instruction-trace store is disabled",
+            TraceSliceError::NotCaptured => "no trace captured for this workload",
+            TraceSliceError::Corrupt => "the stored trace entry failed codec validation",
+            TraceSliceError::EmptyRange => "the requested superstep range is empty",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for TraceSliceError {}
 
 /// A memoization table whose per-entry [`OnceLock`] cells let same-key
 /// callers block on one computation while distinct keys proceed in
@@ -722,16 +825,195 @@ impl Experiments {
     /// key with zero FUs): figure drivers must fail loudly before
     /// simulating, caching, or fingerprinting a broken config.
     fn config_for(&self, key: &RunKey) -> SystemConfig {
+        let config = self.raw_config_for(key);
+        if let Err(e) = config.validate() {
+            panic!("run key {key:?} resolves to an invalid configuration: {e}");
+        }
+        config
+    }
+
+    /// Builds the configuration `key` resolves to without validating it.
+    fn raw_config_for(&self, key: &RunKey) -> SystemConfig {
         let mut config = SystemConfig::hpca(key.mode)
             .with_fus_per_vault(key.fus)
             .with_link_bandwidth_factor(key.bw_tenths as f64 / 10.0);
         if key.plain_atomics {
             config = config.with_atomics_as_plain();
         }
-        if let Err(e) = config.validate() {
-            panic!("run key {key:?} resolves to an invalid configuration: {e}");
-        }
         config
+    }
+
+    /// Non-panicking counterpart of the engine's key resolution: checks
+    /// that the kernel exists and that the resolved configuration
+    /// validates, for callers that surface errors instead of aborting
+    /// (the experiment service turns these into structured 400
+    /// responses).
+    pub fn validate_key(&self, key: &RunKey) -> Result<(), KeyError> {
+        if by_name(&key.kernel, KernelParams::default()).is_none() {
+            return Err(KeyError::UnknownKernel(key.kernel.clone()));
+        }
+        self.raw_config_for(key)
+            .validate()
+            .map_err(KeyError::Config)
+    }
+
+    /// The metrics for `key` if they are already available without
+    /// simulating — memoized in this context or present in the disk
+    /// cache — else `None`.
+    ///
+    /// Side-effect-free: no simulation starts, the memo table is not
+    /// populated, and nothing is recorded in the engine profile (a later
+    /// [`metrics_for`](Self::metrics_for) accounts the run normally).
+    /// The experiment service uses this to decide whether a figure can
+    /// be served inline and to cost only the uncached part of a sweep.
+    pub fn cached_metrics(&self, key: &RunKey) -> Option<RunMetrics> {
+        {
+            let runs = self.runs.lock().unwrap();
+            if let Some(m) = runs.get(key).and_then(|cell| cell.get()) {
+                return Some(m.clone());
+            }
+        }
+        // Fingerprinting resolves the full configuration, which panics on
+        // an invalid key — an invalid key can never have been cached.
+        if self.raw_config_for(key).validate().is_err() {
+            return None;
+        }
+        let disk = self.disk.as_ref()?;
+        match disk.lookup(key, self.fingerprint(key)) {
+            cache::Lookup::Hit(hit) => Some(*hit),
+            cache::Lookup::Stale | cache::Lookup::Miss => None,
+        }
+    }
+
+    /// Summarizes supersteps `range.0 .. range.1` (half-open; `None` end
+    /// = to the end of the trace) of the stored GPTR instruction trace
+    /// for `kernel` at `size`, as one JSON document. Serves
+    /// `GET /traces/{workload}` on the experiment service.
+    ///
+    /// Decoding stops at the end of the requested range, so early slices
+    /// of a long trace stay cheap. The slice is read straight from the
+    /// store entry — no simulation, no capture; ask for a run first (or
+    /// POST a sweep) if the workload has never been captured.
+    pub fn trace_slice_json(
+        &self,
+        kernel: &str,
+        size: LdbcSize,
+        range: (usize, Option<usize>),
+    ) -> Result<String, TraceSliceError> {
+        let (lo, hi) = range;
+        if hi.is_some_and(|h| h <= lo) {
+            return Err(TraceSliceError::EmptyRange);
+        }
+        let store = self
+            .trace_store
+            .as_ref()
+            .ok_or(TraceSliceError::StoreDisabled)?;
+        let key = RunKey::new(kernel, PimMode::Baseline, size);
+        let threads = self.raw_config_for(&key).sim.core.cores;
+        let wkey = WorkloadKey {
+            kernel: kernel.to_string(),
+            graph: format!("ldbc-{}", size.name()),
+            threads,
+        };
+        let bytes = match store.lookup(&wkey, self.trace_fingerprint(&key, threads)) {
+            TraceLookup::Hit(bytes) => bytes,
+            TraceLookup::Corrupt => return Err(TraceSliceError::Corrupt),
+            TraceLookup::Miss => return Err(TraceSliceError::NotCaptured),
+        };
+        let mut reader = TraceReader::new(&bytes).map_err(|_| TraceSliceError::Corrupt)?;
+
+        #[derive(Default)]
+        struct Acc {
+            instructions: u64,
+            loads: u64,
+            stores: u64,
+            atomics: u64,
+            branches: u64,
+            ops_per_thread: Vec<u64>,
+        }
+        let fresh = || Acc {
+            ops_per_thread: vec![0u64; threads],
+            ..Acc::default()
+        };
+        // Superstep `i` is the chunk span before the i-th barrier; ops
+        // after the final barrier (if any) form one trailing superstep.
+        let mut slices: Vec<(usize, Acc)> = Vec::new();
+        let mut current = fresh();
+        let mut dirty = false;
+        let mut index = 0usize;
+        let mut exhausted = true;
+        loop {
+            if hi.is_some_and(|h| index >= h) {
+                exhausted = false;
+                break;
+            }
+            match reader.next_event().map_err(|_| TraceSliceError::Corrupt)? {
+                None => break,
+                Some(TraceEvent::Barrier) => {
+                    if index >= lo {
+                        slices.push((index, std::mem::replace(&mut current, fresh())));
+                    }
+                    dirty = false;
+                    index += 1;
+                }
+                Some(TraceEvent::Chunk(step)) => {
+                    dirty = true;
+                    if index >= lo {
+                        for (t, ops) in step.threads.iter().enumerate() {
+                            for op in ops {
+                                current.instructions += op.instruction_count();
+                                current.ops_per_thread[t] += 1;
+                                match op {
+                                    TraceOp::Load { .. } => current.loads += 1,
+                                    TraceOp::Store { .. } => current.stores += 1,
+                                    TraceOp::Atomic { .. } => current.atomics += 1,
+                                    TraceOp::Branch { .. } => current.branches += 1,
+                                    TraceOp::Compute(_) => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if exhausted && dirty && index >= lo {
+            slices.push((index, current));
+        }
+
+        let mut s = String::with_capacity(256 + slices.len() * 128);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"workload\": \"{}\",", wkey.file_stem());
+        let _ = writeln!(s, "  \"kernel\": \"{kernel}\",");
+        let _ = writeln!(s, "  \"graph\": \"{}\",", wkey.graph);
+        let _ = writeln!(s, "  \"threads\": {threads},");
+        let _ = writeln!(s, "  \"start\": {lo},");
+        let _ = writeln!(s, "  \"exhausted\": {exhausted},");
+        s.push_str("  \"supersteps\": [");
+        for (i, (index, acc)) in slices.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            let per_thread: Vec<String> = acc.ops_per_thread.iter().map(u64::to_string).collect();
+            let _ = write!(
+                s,
+                "{{\"superstep\": {index}, \"instructions\": {}, \"memory_ops\": {}, \
+                 \"loads\": {}, \"stores\": {}, \"atomics\": {}, \"branches\": {}, \
+                 \"ops_per_thread\": [{}]}}",
+                acc.instructions,
+                acc.loads + acc.stores + acc.atomics,
+                acc.loads,
+                acc.stores,
+                acc.atomics,
+                acc.branches,
+                per_thread.join(", "),
+            );
+        }
+        if !slices.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}");
+        Ok(s)
     }
 
     /// Cache fingerprint: covers everything that can change the result of
@@ -989,6 +1271,122 @@ mod tests {
             "stem must be filesystem-safe: {stem}"
         );
         assert_ne!(stem, key.clone().with_plain_atomics().file_stem());
+    }
+
+    #[test]
+    fn parse_stem_round_trips_every_key_shape() {
+        for kernel in ["DC", "BFS", "kCore", "PRank"] {
+            for mode in PimMode::ALL {
+                for size in LdbcSize::ALL {
+                    for fus in [1usize, 16] {
+                        for bw in [5u32, 10, 20] {
+                            for plain in [false, true] {
+                                let mut key = RunKey::new(kernel, mode, size)
+                                    .with_fus(fus)
+                                    .with_bw_tenths(bw);
+                                if plain {
+                                    key = key.with_plain_atomics();
+                                }
+                                assert_eq!(
+                                    RunKey::parse_stem(&key.file_stem()),
+                                    Some(key.clone()),
+                                    "stem {}",
+                                    key.file_stem()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_stem_rejects_malformed_stems() {
+        for bad in [
+            "",
+            "DC",
+            "DC-GraphPIM-LDBC-1k",
+            "DC-GraphPIM-LDBC-1k-fus16",
+            "DC-GraphPIM-LDBC-1k-fusX-bw10",
+            "DC-GraphPIM-LDBC-1k-fus16-bwX",
+            "DC-GraphPIM-LDBC-2k-fus16-bw10",
+            "DC-SomeMode-LDBC-1k-fus16-bw10",
+            "-GraphPIM-LDBC-1k-fus16-bw10",
+            "DC-GraphPIM-LDBC-1k-fus16-bw10-shiny",
+        ] {
+            assert_eq!(RunKey::parse_stem(bad), None, "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_key_reports_typed_errors() {
+        let ctx = Experiments::with_cache(LdbcSize::K1, None);
+        let good = RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1);
+        assert_eq!(ctx.validate_key(&good), Ok(()));
+        let unknown = RunKey::new("NotAKernel", PimMode::Baseline, LdbcSize::K1);
+        let err = ctx.validate_key(&unknown).unwrap_err();
+        assert_eq!(err.id(), "unknown_kernel");
+        let zero_fus = good.clone().with_fus(0);
+        let err = ctx.validate_key(&zero_fus).unwrap_err();
+        assert_eq!(err.id(), "zero_fus");
+        assert!(ctx.cached_metrics(&zero_fus).is_none(), "must not panic");
+    }
+
+    #[test]
+    fn cached_metrics_probe_is_side_effect_free() {
+        let ctx = Experiments::with_cache(LdbcSize::K1, None);
+        let key = RunKey::new("DC", PimMode::Baseline, LdbcSize::K1);
+        assert!(ctx.cached_metrics(&key).is_none());
+        assert_eq!(ctx.cached_runs(), 0, "probe must not populate the memo");
+        assert_eq!(ctx.simulations_executed(), 0);
+        let m = ctx.metrics_for(&key);
+        assert_eq!(ctx.cached_metrics(&key), Some(m));
+    }
+
+    #[test]
+    fn trace_slice_reports_store_and_range_errors() {
+        let ctx = Experiments::with_cache(LdbcSize::K1, None).with_trace_store(None);
+        assert_eq!(
+            ctx.trace_slice_json("DC", LdbcSize::K1, (0, None)),
+            Err(TraceSliceError::StoreDisabled)
+        );
+        let dir = std::env::temp_dir().join(format!("graphpim-slice-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = Experiments::with_cache(LdbcSize::K1, None)
+            .with_trace_store(Some(TraceStore::at(&dir)));
+        assert_eq!(
+            ctx.trace_slice_json("DC", LdbcSize::K1, (3, Some(3))),
+            Err(TraceSliceError::EmptyRange)
+        );
+        assert_eq!(
+            ctx.trace_slice_json("DC", LdbcSize::K1, (0, None)),
+            Err(TraceSliceError::NotCaptured)
+        );
+        // A run captures the workload; the slice then decodes.
+        ctx.metrics("DC", PimMode::Baseline);
+        let json = ctx
+            .trace_slice_json("DC", LdbcSize::K1, (0, Some(2)))
+            .expect("captured trace must slice");
+        let doc = cache::json::parse(&json).expect("slice output must parse");
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj.get("kernel").unwrap().as_str(), Some("DC"));
+        let steps = obj.get("supersteps").unwrap().as_array().unwrap();
+        assert!(!steps.is_empty(), "DC at 1k has supersteps");
+        assert!(steps.len() <= 2, "range must cap the slice");
+        // Full (unbounded) slice agrees with itself when re-read and is
+        // marked exhausted.
+        let full = ctx.trace_slice_json("DC", LdbcSize::K1, (0, None)).unwrap();
+        let fobj = cache::json::parse(&full).unwrap();
+        assert_eq!(
+            fobj.as_object()
+                .unwrap()
+                .get("exhausted")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1170,7 +1170,7 @@ mod tests {
                         0 => TraceOp::Compute((rng.next_u64() % 8) as u32 + 1),
                         1 => TraceOp::Load {
                             addr,
-                            dep: rng.next_u64() % 2 == 0,
+                            dep: rng.next_u64().is_multiple_of(2),
                         },
                         2 => TraceOp::Store { addr },
                         3 => TraceOp::Atomic {
@@ -1179,7 +1179,7 @@ mod tests {
                             dep: false,
                         },
                         _ => TraceOp::Branch {
-                            predictable: rng.next_u64() % 2 == 0,
+                            predictable: rng.next_u64().is_multiple_of(2),
                             dep: false,
                         },
                     };

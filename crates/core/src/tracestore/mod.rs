@@ -82,7 +82,9 @@ pub enum TraceLookup {
     Hit(Vec<u8>),
     /// The entry exists but fails codec validation (torn write, bit rot,
     /// or written by an incompatible codec without a fingerprint bump).
-    /// The caller should recapture; the bad file has been removed.
+    /// The caller should recapture; the bad file has been evicted
+    /// (best-effort, and without clobbering any concurrent
+    /// re-publication — see [`TraceStore::lookup`]).
     Corrupt,
     /// Never captured.
     Miss,
@@ -120,19 +122,65 @@ impl TraceStore {
     }
 
     /// Loads and validates the trace captured for `key` under
-    /// `fingerprint`. A corrupt entry is deleted (best-effort) so the
+    /// `fingerprint`. A corrupt entry is evicted (best-effort) so the
     /// recapture that follows can land cleanly.
+    ///
+    /// # Concurrency
+    ///
+    /// Writers publish via temp file + atomic rename, so a read never
+    /// observes a torn entry mid-write; the only destructive act a
+    /// reader performs is evicting a corrupt file, and a plain
+    /// `remove_file` there would race a concurrent re-publication: the
+    /// writer can rename a fresh, valid entry over the corrupt one
+    /// between this reader's failed validation and its delete, and the
+    /// delete would then destroy the *good* entry. Eviction therefore
+    /// goes through [`evict_corrupt`](Self::evict_corrupt): atomically
+    /// rename the suspect file aside, re-validate what was actually
+    /// grabbed, and restore it if it turned out to be a fresh valid
+    /// publication.
     pub fn lookup(&self, key: &WorkloadKey, fingerprint: u64) -> TraceLookup {
         let path = self.path(key, fingerprint);
         match std::fs::read(&path) {
             Ok(bytes) => match TraceReader::new(&bytes) {
                 Ok(_) => TraceLookup::Hit(bytes),
-                Err(_) => {
-                    let _ = std::fs::remove_file(&path);
-                    TraceLookup::Corrupt
-                }
+                Err(_) => self.evict_corrupt(&path),
             },
             Err(_) => TraceLookup::Miss,
+        }
+    }
+
+    /// Evicts the entry at `path` after a failed validation, without
+    /// destroying a concurrently re-published good entry.
+    ///
+    /// The suspect file is renamed (atomically) to a unique quarantine
+    /// name and re-validated *after* the rename — the rename, not the
+    /// earlier read, decides which bytes we actually took off the
+    /// shelf. Three outcomes:
+    ///
+    /// * Quarantined bytes are invalid: the corrupt file is gone from
+    ///   the store; delete the quarantine file and report `Corrupt`.
+    /// * Quarantined bytes are **valid**: a writer re-published between
+    ///   our read and our rename, and we grabbed the good entry. Rename
+    ///   it back and serve it as a `Hit`. (Captures are deterministic
+    ///   per fingerprint, so if yet another publication landed
+    ///   meanwhile, clobbering it restores identical bytes.)
+    /// * The rename itself fails: another reader evicted first, or the
+    ///   entry vanished; nothing to clean up, report `Corrupt` and let
+    ///   the caller recapture.
+    fn evict_corrupt(&self, path: &Path) -> TraceLookup {
+        let quarantine = self.tmp_path();
+        if std::fs::rename(path, &quarantine).is_err() {
+            return TraceLookup::Corrupt;
+        }
+        match std::fs::read(&quarantine) {
+            Ok(bytes) if TraceReader::new(&bytes).is_ok() => {
+                let _ = std::fs::rename(&quarantine, path);
+                TraceLookup::Hit(bytes)
+            }
+            _ => {
+                let _ = std::fs::remove_file(&quarantine);
+                TraceLookup::Corrupt
+            }
         }
     }
 
@@ -345,6 +393,35 @@ mod tests {
         assert!(matches!(store.lookup(&key(), 7), TraceLookup::Corrupt));
         // The bad file is gone, so the next lookup is a clean miss.
         assert!(matches!(store.lookup(&key(), 7), TraceLookup::Miss));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn eviction_rescues_a_concurrently_republished_entry() {
+        // Simulates the writer-vs-evicting-reader race: by the time the
+        // reader gets around to evicting, the path holds a *valid*
+        // entry again. Eviction must serve it, not destroy it.
+        let store = tmp_store("rescue");
+        let bytes = sample_trace();
+        store.store(&key(), 11, &bytes);
+        let path = store.path(&key(), 11);
+        match store.evict_corrupt(&path) {
+            TraceLookup::Hit(rescued) => assert_eq!(rescued, bytes),
+            other => panic!("valid entry must be rescued, got {other:?}"),
+        }
+        // ... and restored: the store still serves it.
+        assert!(matches!(store.lookup(&key(), 11), TraceLookup::Hit(_)));
+        // A genuinely corrupt file is evicted for good.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(store.evict_corrupt(&path), TraceLookup::Corrupt));
+        assert!(matches!(store.lookup(&key(), 11), TraceLookup::Miss));
+        // No quarantine debris left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "quarantine files must be cleaned up");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -1,0 +1,128 @@
+//! The experiment-service daemon.
+//!
+//! ```text
+//! graphpim-serve [--addr 127.0.0.1:7480] [--workers N] [--http-threads N]
+//!                [--queue-budget SECONDS] [--client-cap N]
+//! ```
+//!
+//! Scale and cache/store directories come from the usual environment
+//! knobs (`GRAPHPIM_SCALE`, `GRAPHPIM_CACHE_DIR`, `GRAPHPIM_TRACE_STORE`,
+//! ...). On `SIGINT`/`SIGTERM` (or `POST /shutdown`) the service drains
+//! gracefully: it stops accepting, finishes every admitted run and
+//! in-flight response, and exits 0. Cache entries are published
+//! atomically as each run completes, so a drain never leaves torn state
+//! behind.
+
+use graphpim::experiments::Experiments;
+use graphpim_serve::{AdmissionPolicy, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: everything else happens on the main
+        // loop, outside signal context.
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs `SIGINT`/`SIGTERM` handlers that request a drain.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphpim-serve [--addr HOST:PORT] [--workers N] [--http-threads N]\n\
+         \x20                     [--queue-budget SECONDS] [--client-cap N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7480".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut policy = AdmissionPolicy::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--http-threads" => {
+                cfg.http_threads = value("--http-threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-budget" => {
+                policy.queue_budget_seconds =
+                    value("--queue-budget").parse().unwrap_or_else(|_| usage())
+            }
+            "--client-cap" => {
+                policy.client_inflight_cap =
+                    value("--client-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    cfg.policy = policy;
+
+    #[cfg(unix)]
+    sig::install();
+
+    let ctx = Arc::new(Experiments::from_env());
+    let scale = ctx.size();
+    let handle = match graphpim_serve::start(cfg.clone(), ctx) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("graphpim-serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    // Stdout, flushed: boot scripts wait for this exact line.
+    println!("graphpim-serve listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "[serve] scale {scale}, {} workers, {} http threads, \
+         budget {:.0}s, client cap {}",
+        cfg.workers,
+        cfg.http_threads,
+        cfg.policy.queue_budget_seconds,
+        cfg.policy.client_inflight_cap
+    );
+
+    while !SIGNALLED.load(Ordering::Relaxed) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("[serve] draining: no new work; finishing admitted runs ...");
+    handle.shutdown();
+    eprintln!("[serve] drained; exiting");
+}

@@ -1,0 +1,490 @@
+//! Minimal HTTP/1.1 over `std::net` — just enough protocol for the
+//! experiment service and its clients, with no external dependencies
+//! (the build environment is offline; see `vendor/README.md`).
+//!
+//! Supported on the server side: `GET`/`POST`, `Content-Length` request
+//! bodies, fixed-length responses, and `chunked` transfer encoding for
+//! streamed NDJSON. Every connection serves exactly one request
+//! (`Connection: close`): the service's requests are either sub-
+//! millisecond lookups or long-lived event streams, so keep-alive would
+//! buy nothing and cost connection-state bookkeeping.
+//!
+//! Paths and query strings are matched literally — no percent-decoding.
+//! Every identifier the API embeds in a URL (figure ids, run-key stems,
+//! kernel names) is URL-safe ASCII by construction, so decoding would
+//! only widen the accepted-input space.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line and any single header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of request headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body (sweep submissions are tiny).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Path without the query string, e.g. `/figures/fig07`.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads and parses one request from `stream`.
+    ///
+    /// Fails with `InvalidData` on malformed requests and oversized
+    /// lines/headers/bodies; the caller answers with `400` or drops the
+    /// connection.
+    pub fn read_from(stream: &mut impl BufRead) -> io::Result<Request> {
+        let line = read_line(stream)?;
+        let mut parts = line.split(' ');
+        let method = parts.next().unwrap_or("").to_string();
+        let target = parts.next().unwrap_or("").to_string();
+        let version = parts.next().unwrap_or("");
+        if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+            return Err(bad("malformed request line"));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(stream)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(bad("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > MAX_BODY {
+            return Err(bad("body too large"));
+        }
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body)?;
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), parse_query(q)),
+            None => (target, Vec::new()),
+        };
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+fn read_line(stream: &mut impl BufRead) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        stream.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            break;
+        }
+        if line.len() >= MAX_LINE {
+            return Err(bad("line too long"));
+        }
+        line.push(byte[0]);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad("non-UTF-8 header data"))
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Standard reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A fixed-length response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Writes the full response (headers + body) to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Writer for a `Transfer-Encoding: chunked` response body: each
+/// [`chunk`](ChunkedWriter::chunk) is flushed to the wire immediately,
+/// so the client sees NDJSON events as they happen, not when the job
+/// ends.
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(mut w: W, status: u16, content_type: &str) -> io::Result<ChunkedWriter<W>> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+            content_type
+        )?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Sends one chunk (skipping empty ones — an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", bytes.len())?;
+        self.w.write_all(bytes)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Blocking HTTP client for the same dialect the server speaks — used
+/// by `servectl`, the load generator, and the integration tests.
+pub mod client {
+    use std::io::{self, BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    /// Issues `method path` against `addr` and returns
+    /// `(status, body)`, decoding both fixed-length and chunked bodies.
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(addr)?;
+        send_request(&mut stream, addr, method, path, body, headers)?;
+        let mut reader = BufReader::new(stream);
+        let (status, response_headers) = read_head(&mut reader)?;
+        let body = read_body(&mut reader, &response_headers)?;
+        Ok((status, body))
+    }
+
+    /// `GET path`.
+    pub fn get(addr: &str, path: &str) -> io::Result<(u16, Vec<u8>)> {
+        request(addr, "GET", path, None, &[])
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(addr: &str, path: &str, body: &str) -> io::Result<(u16, Vec<u8>)> {
+        request(addr, "POST", path, Some(body.as_bytes()), &[])
+    }
+
+    /// `GET path` streaming a chunked NDJSON body: `on_line` fires per
+    /// complete line, as it arrives. Returns the status code.
+    pub fn get_streaming(
+        addr: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        on_line: &mut dyn FnMut(&str),
+    ) -> io::Result<u16> {
+        let mut stream = TcpStream::connect(addr)?;
+        send_request(&mut stream, addr, "GET", path, None, headers)?;
+        let mut reader = BufReader::new(stream);
+        let (status, response_headers) = read_head(&mut reader)?;
+        let chunked = header(&response_headers, "transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        let mut pending = String::new();
+        let mut emit = |bytes: &[u8], pending: &mut String| {
+            pending.push_str(&String::from_utf8_lossy(bytes));
+            while let Some(pos) = pending.find('\n') {
+                let line: String = pending.drain(..=pos).collect();
+                on_line(line.trim_end_matches(['\n', '\r']));
+            }
+        };
+        if chunked {
+            while let Some(chunk) = read_chunk(&mut reader)? {
+                emit(&chunk, &mut pending);
+            }
+        } else {
+            let body = read_body(&mut reader, &response_headers)?;
+            emit(&body, &mut pending);
+        }
+        if !pending.is_empty() {
+            on_line(&pending);
+        }
+        Ok(status)
+    }
+
+    fn send_request(
+        stream: &mut TcpStream,
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()
+    }
+
+    fn read_head(reader: &mut impl BufRead) -> io::Result<(u16, Vec<(String, String)>)> {
+        let status_line = read_line(reader)?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        Ok((status, headers))
+    }
+
+    fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+        if header(headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+            let mut body = Vec::new();
+            while let Some(chunk) = read_chunk(reader)? {
+                body.extend_from_slice(&chunk);
+            }
+            return Ok(body);
+        }
+        match header(headers, "content-length").and_then(|v| v.parse::<usize>().ok()) {
+            Some(len) => {
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body)?;
+                Ok(body)
+            }
+            None => {
+                let mut body = Vec::new();
+                reader.read_to_end(&mut body)?;
+                Ok(body)
+            }
+        }
+    }
+
+    /// Reads one chunk; `None` on the terminating zero-length chunk.
+    fn read_chunk(reader: &mut impl BufRead) -> io::Result<Option<Vec<u8>>> {
+        let size_line = read_line(reader)?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("malformed chunk size"))?;
+        if size == 0 {
+            let _ = read_line(reader); // trailing CRLF
+            return Ok(None);
+        }
+        let mut chunk = vec![0u8; size];
+        reader.read_exact(&mut chunk)?;
+        let _ = read_line(reader)?; // chunk-terminating CRLF
+        Ok(Some(chunk))
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn bad(what: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    fn parse(raw: &str) -> io::Result<Request> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse("GET /traces/BFS?size=1k&supersteps=0..4 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/traces/BFS");
+        assert_eq!(req.query_param("size"), Some("1k"));
+        assert_eq!(req.query_param("supersteps"), Some("0..4"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_lowercases_headers() {
+        let req = parse(
+            "POST /sweeps HTTP/1.1\r\nX-Client-Id: alice\r\nContent-Length: 15\r\n\r\n{\"fig\":\"fig07\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("x-client-id"), Some("alice"));
+        assert_eq!(req.body, b"{\"fig\":\"fig07\"}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(parse("NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse("GET /x FTP/1.0\r\n\r\n").is_err());
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert!(parse(&huge).is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_wire_format_is_parseable_by_the_client() {
+        let mut wire = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::start(&mut wire, 200, "application/x-ndjson").unwrap();
+            w.chunk(b"{\"event\":\"queued\"}\n").unwrap();
+            w.chunk(b"").unwrap(); // must not terminate the stream
+            w.chunk(b"{\"event\":\"done\"}\n").unwrap();
+            w.finish().unwrap();
+        }
+        // Decode with the client-side chunk reader.
+        let text = String::from_utf8(wire.clone()).unwrap();
+        let body_start = text.find("\r\n\r\n").unwrap() + 4;
+        let mut reader = BufReader::new(&wire[body_start..]);
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).unwrap();
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk).unwrap();
+            body.extend_from_slice(&chunk);
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).unwrap();
+        }
+        assert_eq!(body, b"{\"event\":\"queued\"}\n{\"event\":\"done\"}\n");
+    }
+}

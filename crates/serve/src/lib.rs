@@ -1,0 +1,41 @@
+//! `graphpim-serve`: a long-running experiment service over the
+//! GraphPIM experiment engine.
+//!
+//! The engine ([`graphpim::experiments::Experiments`]) already
+//! deduplicates runs three ways — per-key in-memory memoization, a
+//! fingerprinted disk cache, and capture-once/replay-many instruction
+//! traces. This crate puts a concurrent HTTP front end on that engine
+//! so figures, counters, and trace slices are served from cache in
+//! microseconds, while uncached sweeps flow through a cost-model
+//! scheduler with admission control and stream their progress as
+//! NDJSON.
+//!
+//! Layers, one module each:
+//!
+//! * [`http`] — hand-rolled HTTP/1.1 over `std::net` (the build is
+//!   offline; no external dependencies).
+//! * [`cost`] — run-cost estimation, calibrated online from observed
+//!   wall times and the input graphs' degree statistics.
+//! * [`admission`] — draining / queue-budget / per-client caps, decided
+//!   at submission time on estimates.
+//! * [`scheduler`] — shortest-job-first priority queue and the worker
+//!   pool; per-job NDJSON event logs.
+//! * [`service`] — routing, per-endpoint latency histograms, and the
+//!   accept → drain lifecycle.
+//!
+//! Binaries: `graphpim-serve` (the daemon) and `servectl` (client).
+//! See `EXPERIMENTS.md` § "Serving experiments" for the API walkthrough
+//! and `DESIGN.md` § 6 for the architecture rationale.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cost;
+pub mod http;
+pub mod scheduler;
+pub mod service;
+
+pub use admission::{AdmissionPolicy, Shed};
+pub use cost::CostModel;
+pub use scheduler::{Job, Scheduler};
+pub use service::{start, ServeConfig, ServerHandle};

@@ -81,6 +81,34 @@ pub enum ConfigError {
     },
 }
 
+impl ConfigError {
+    /// Stable snake-case identifier of this error variant, for structured
+    /// (machine-readable) error reporting — e.g. the experiment service
+    /// maps a rejected run configuration to a JSON error body carrying
+    /// this id. One id per variant; ids never change once published.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ConfigError::CoreCount(_) => "core_count",
+            ConfigError::ZeroIssueWidth => "zero_issue_width",
+            ConfigError::EmptyRob => "empty_rob",
+            ConfigError::ZeroMshrs => "zero_mshrs",
+            ConfigError::LineSize(_) => "line_size",
+            ConfigError::ZeroWays(_) => "zero_ways",
+            ConfigError::ZeroSets(_) => "zero_sets",
+            ConfigError::Geometry { .. } => "cache_geometry",
+            ConfigError::ZeroVaults => "zero_vaults",
+            ConfigError::ZeroBanks => "zero_banks",
+            ConfigError::ZeroFus => "zero_fus",
+            ConfigError::ZeroLinks => "zero_links",
+            ConfigError::Interleave(_) => "vault_interleave",
+            ConfigError::VaultSplit { .. } => "vault_split",
+            ConfigError::NonPositive { .. } => "non_positive",
+            ConfigError::Negative { .. } => "negative",
+            ConfigError::Fraction { .. } => "fraction",
+        }
+    }
+}
+
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -436,6 +464,54 @@ mod tests {
         ];
         for m in msgs {
             assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_ids_are_distinct_snake_case() {
+        let errs = [
+            ConfigError::CoreCount(0),
+            ConfigError::ZeroIssueWidth,
+            ConfigError::EmptyRob,
+            ConfigError::ZeroMshrs,
+            ConfigError::LineSize(48),
+            ConfigError::ZeroWays("L1"),
+            ConfigError::ZeroSets("L1"),
+            ConfigError::Geometry {
+                level: "L1",
+                lines: 3,
+                ways: 2,
+            },
+            ConfigError::ZeroVaults,
+            ConfigError::ZeroBanks,
+            ConfigError::ZeroFus,
+            ConfigError::ZeroLinks,
+            ConfigError::Interleave(3),
+            ConfigError::VaultSplit {
+                vaults: 7,
+                blocks: 99,
+            },
+            ConfigError::NonPositive {
+                field: "x",
+                value: 0.0,
+            },
+            ConfigError::Negative {
+                field: "x",
+                value: -1.0,
+            },
+            ConfigError::Fraction {
+                field: "x",
+                value: 2.0,
+            },
+        ];
+        let ids: Vec<&str> = errs.iter().map(|e| e.id()).collect();
+        let unique: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "ids must be distinct: {ids:?}");
+        for id in ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "id must be snake_case: {id}"
+            );
         }
     }
 
