@@ -1,0 +1,62 @@
+//! Cross-backend comparison driver: the fig17-style "which workloads win
+//! where" report across memory backends (single-cube HMC, multi-cube
+//! chain, UPMEM-style DPU).
+//!
+//! ```text
+//! backend_compare [--out PATH]
+//!
+//! --out PATH   also write the machine-readable JSON report to PATH
+//! ```
+//!
+//! Scale comes from `GRAPHPIM_SCALE` (default 1k — the matrix is
+//! backends × kernels × 2 modes, so it is several fig07s of work). CI
+//! runs this at 1k and uploads the JSON artifact.
+
+use graphpim::experiments::{backends, parse_scale};
+use graphpim_graph::generate::LdbcSize;
+use std::process::exit;
+use std::time::Instant;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nUsage: backend_compare [--out PATH]");
+    exit(2)
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage("--out needs a value"))),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    let size = match std::env::var("GRAPHPIM_SCALE") {
+        Err(_) => LdbcSize::K1,
+        Ok(v) => parse_scale(&v).unwrap_or_else(|e| usage(&e)),
+    };
+
+    eprintln!(
+        "[backend_compare] sweeping 3 backends at {} ...",
+        size.name()
+    );
+    let start = Instant::now();
+    let reports = backends::run(size);
+    eprintln!(
+        "[backend_compare] {} runs in {:.1} s",
+        reports.iter().map(|r| r.rows.len() * 2).sum::<usize>(),
+        start.elapsed().as_secs_f64()
+    );
+
+    print!("{}", backends::render_text(size, &reports));
+
+    if let Some(path) = out {
+        let json = backends::report_json(size, &reports);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("[backend_compare] cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("[backend_compare] wrote {path}");
+    }
+}

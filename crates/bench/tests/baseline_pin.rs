@@ -1,0 +1,43 @@
+//! Pins the default (single-cube) memory backend to the committed
+//! bench baseline: `bench_report --check` against
+//! `crates/bench/baseline.json` must pass with zero metric drift.
+//!
+//! This is the backend seam's bit-identity gate in test form: routing
+//! the paper's system through the `MemoryBackend` trait object (or any
+//! future refactor of that seam) must not move a single model metric.
+//! The check tolerance (1e-6 relative) only absorbs decimal
+//! round-trips through the JSON report; any real timing change trips
+//! it.
+
+use std::process::Command;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full fig07+fig01 sweep at 1k; run with --release"
+)]
+fn single_cube_reproduces_the_committed_baseline() {
+    // Hermetic: a throwaway cache directory forces every run to be
+    // simulated fresh, and nothing leaks into the repo's cache.
+    let tmp = std::env::temp_dir().join(format!("graphpim-baseline-pin-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let out = tmp.join("BENCH.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_bench_report"))
+        .arg("--check")
+        .arg("--out")
+        .arg(&out)
+        .env("GRAPHPIM_SCALE", "1k")
+        .env("GRAPHPIM_CACHE_DIR", &tmp)
+        .env("GRAPHPIM_NO_TRACE_STORE", "1")
+        .output()
+        .expect("spawn bench_report");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "bench_report --check must pass against the committed baseline\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(out.exists(), "report must be written");
+    std::fs::remove_dir_all(&tmp).ok();
+}

@@ -74,6 +74,33 @@ impl AnalyticalModel {
         round_trip / config.core.mshrs.max(1) as f64
     }
 
+    /// [`default_lat_pim`](Self::default_lat_pim), made aware of the
+    /// configured memory backend: a multi-cube chain adds the average
+    /// round-trip hop cost (a uniform interleave lands on the mean cube
+    /// position), and a DPU backend swaps in the DPU op latency plus the
+    /// explicit host↔PIM transfer each way. For the single-cube default
+    /// this is exactly `default_lat_pim`.
+    pub fn backend_lat_pim(config: &SimConfig) -> f64 {
+        use graphpim_sim::backend::BackendConfig;
+        let ns = config.core.clock_ghz;
+        let mlp = config.core.mshrs.max(1) as f64;
+        match &config.backend {
+            BackendConfig::SingleCube => Self::default_lat_pim(config),
+            BackendConfig::MultiCube(mc) => {
+                let mean_hops = (mc.cubes.saturating_sub(1)) as f64 / 2.0;
+                Self::default_lat_pim(config) + 2.0 * mean_hops * mc.hop_latency_ns * ns / mlp
+            }
+            BackendConfig::Dpu(dc) => {
+                let derived = SimConfig {
+                    hmc: dc.derived_hmc(&config.hmc),
+                    backend: BackendConfig::SingleCube,
+                    ..config.clone()
+                };
+                Self::default_lat_pim(&derived) + 2.0 * dc.transfer_ns * ns / mlp
+            }
+        }
+    }
+
     /// Derives the model inputs from a *baseline* simulation run, the way
     /// the paper derives them from hardware performance counters.
     ///
@@ -158,6 +185,27 @@ mod tests {
         let mut m = model();
         m.atomic_rate = 0.0;
         assert!((m.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_lat_pim_orders_design_points() {
+        use graphpim_sim::backend::{BackendConfig, DpuConfig, MultiCubeConfig};
+        let single = SimConfig::hpca_default();
+        assert_eq!(
+            AnalyticalModel::backend_lat_pim(&single),
+            AnalyticalModel::default_lat_pim(&single)
+        );
+        let mut chained = single.clone();
+        chained.backend = BackendConfig::MultiCube(MultiCubeConfig::default());
+        assert!(
+            AnalyticalModel::backend_lat_pim(&chained) > AnalyticalModel::backend_lat_pim(&single)
+        );
+        let mut dpu = single.clone();
+        dpu.backend = BackendConfig::Dpu(DpuConfig::default());
+        // The transfer-bound DPU regime dominates both HMC design points.
+        assert!(
+            AnalyticalModel::backend_lat_pim(&dpu) > AnalyticalModel::backend_lat_pim(&chained)
+        );
     }
 
     #[test]

@@ -87,6 +87,13 @@ impl SystemConfig {
         }
     }
 
+    /// Runs against a different memory backend (multi-cube chain,
+    /// UPMEM-style DPU; see [`graphpim_sim::backend`]).
+    pub fn with_backend(mut self, backend: graphpim_sim::backend::BackendConfig) -> Self {
+        self.sim.backend = backend;
+        self
+    }
+
     /// Hybrid-memory variant: only `fraction` of the property lives in the
     /// HMC-backed PMR (Section III-B discussion).
     ///
@@ -137,6 +144,26 @@ impl SystemConfig {
         fraction("mispredict_rate", self.mispredict_rate)?;
         fraction("hmc_property_fraction", self.hmc_property_fraction)?;
         Ok(())
+    }
+
+    /// Non-fatal configuration concerns: legal values the simulation will
+    /// not honor exactly. Currently one check — the POU quantizes
+    /// `hmc_property_fraction` (see [`crate::pou::quantize_hybrid_fraction`]),
+    /// and a shift of the effective HMC share beyond `5e-4` is worth
+    /// telling the user about. [`crate::system::SystemSim::new`] prints
+    /// these to stderr.
+    pub fn validation_warnings(&self) -> Vec<String> {
+        const WARN_SHIFT: f64 = 5e-4;
+        let mut warnings = Vec::new();
+        let err = crate::pou::hybrid_quantization_error(self.hmc_property_fraction);
+        if err > WARN_SHIFT {
+            warnings.push(format!(
+                "hmc_property_fraction {} quantizes to a share {:.6} away \
+                 from the configured value (threshold {WARN_SHIFT})",
+                self.hmc_property_fraction, err
+            ));
+        }
+        warnings
     }
 
     /// A smaller configuration for fast tests (2 cores, tiny caches).
@@ -195,6 +222,32 @@ mod tests {
             .without_fp_extension()
             .validate()
             .expect("fp-off is legal");
+    }
+
+    #[test]
+    fn quantization_warnings_are_quiet_at_per_100k() {
+        // The per-100k quantum bounds the quantization error at 1e-5,
+        // well under the 5e-4 warning threshold, for any legal fraction.
+        for f in [0.0, 0.0004, 0.123456, 0.5, 0.9996, 1.0] {
+            let c = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(f);
+            assert!(c.validation_warnings().is_empty(), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn backend_knob_applies_and_validates() {
+        use graphpim_sim::backend::{BackendConfig, MultiCubeConfig};
+        let c = SystemConfig::hpca(PimMode::GraphPim)
+            .with_backend(BackendConfig::MultiCube(MultiCubeConfig::default()));
+        assert_eq!(c.sim.backend.label(), "multi-cube");
+        c.validate().expect("default chain validates");
+        let bad = SystemConfig::hpca(PimMode::GraphPim).with_backend(BackendConfig::MultiCube(
+            MultiCubeConfig {
+                cubes: 0,
+                ..MultiCubeConfig::default()
+            },
+        ));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

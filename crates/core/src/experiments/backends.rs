@@ -1,0 +1,273 @@
+//! Cross-backend comparison: the paper's Figure 17 methodology ("which
+//! workloads win where") applied to new PIM design points.
+//!
+//! For each memory backend (single-cube HMC, multi-cube chain,
+//! UPMEM-style DPU — see [`graphpim_sim::backend`]) the harness runs
+//! every evaluation kernel under Baseline and GraphPIM, reports the
+//! simulated offloading speedup next to the analytical-model projection
+//! ([`AnalyticalModel::backend_lat_pim`] supplies the backend-specific
+//! `Lat_PIM`), and summarizes which backend wins each workload.
+//!
+//! Like fig17, this is a standalone design-space sweep with its own
+//! driver (`backend_compare` in `graphpim-bench`), deliberately outside
+//! the served figure list and the [`super::RunKey`] cache: keys identify
+//! paper configurations, and these runs are not paper configurations.
+
+use super::{geomean, parallel_map, EVAL_KERNELS, GRAPH_SEED};
+use crate::analytic::AnalyticalModel;
+use crate::config::{PimMode, SystemConfig};
+use crate::system::SystemSim;
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_graph::CsrGraph;
+use graphpim_sim::backend::{BackendConfig, DpuConfig, MultiCubeConfig};
+use graphpim_workloads::kernels::{by_name, KernelParams};
+use std::fmt::Write as _;
+
+/// The design points the comparison sweeps: the paper's single cube, the
+/// default four-cube chain, and the default UPMEM-style DPU module.
+pub fn compare_backends() -> Vec<BackendConfig> {
+    vec![
+        BackendConfig::SingleCube,
+        BackendConfig::MultiCube(MultiCubeConfig::default()),
+        BackendConfig::Dpu(DpuConfig::default()),
+    ]
+}
+
+/// One kernel's outcome on one backend.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// Kernel name.
+    pub workload: String,
+    /// Baseline (no offloading) machine cycles on this backend.
+    pub baseline_cycles: f64,
+    /// GraphPIM machine cycles on this backend.
+    pub graphpim_cycles: f64,
+    /// Simulated GraphPIM speedup over this backend's own baseline.
+    pub speedup: f64,
+    /// Analytical-model speedup with the backend-specific `Lat_PIM`.
+    pub analytic_speedup: f64,
+    /// Atomics the GraphPIM run offloaded to the backend.
+    pub offloaded_atomics: u64,
+}
+
+/// One backend's full report.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Stable backend label (`single-cube` / `multi-cube` / `dpu`).
+    pub backend: &'static str,
+    /// Per-kernel rows in [`EVAL_KERNELS`] order.
+    pub rows: Vec<BackendRow>,
+    /// Geometric-mean simulated speedup across the kernels.
+    pub mean_speedup: f64,
+}
+
+/// Runs the full backends × kernels × {Baseline, GraphPIM} matrix at
+/// `size` across the worker pool and assembles one report per backend.
+pub fn run(size: LdbcSize) -> Vec<BackendReport> {
+    let backends = compare_backends();
+    let graph = GraphSpec::ldbc(size).seed(GRAPH_SEED).build();
+    let weighted = GraphSpec::ldbc(size).seed(GRAPH_SEED).weighted().build();
+
+    let jobs: Vec<(usize, &'static str, PimMode)> = (0..backends.len())
+        .flat_map(|b| {
+            EVAL_KERNELS
+                .iter()
+                .flat_map(move |&k| [(b, k, PimMode::Baseline), (b, k, PimMode::GraphPim)])
+        })
+        .collect();
+    let metrics = parallel_map(&jobs, |&(b, kernel, mode)| {
+        let config = SystemConfig::hpca(mode).with_backend(backends[b].clone());
+        let graph: &CsrGraph = if kernel == "SSSP" { &weighted } else { &graph };
+        let mut k = by_name(kernel, KernelParams::default())
+            .unwrap_or_else(|| panic!("unknown kernel {kernel}"));
+        SystemSim::run_kernel(k.as_mut(), graph, &config)
+    });
+
+    let mut reports = Vec::with_capacity(backends.len());
+    let mut it = jobs.iter().zip(metrics);
+    for backend in &backends {
+        let lat_pim = AnalyticalModel::backend_lat_pim(
+            &SystemConfig::hpca(PimMode::GraphPim)
+                .with_backend(backend.clone())
+                .sim,
+        );
+        let mut rows = Vec::with_capacity(EVAL_KERNELS.len());
+        for &kernel in &EVAL_KERNELS {
+            let (job_b, base) = it.next().expect("baseline run");
+            let (job_p, pim) = it.next().expect("graphpim run");
+            debug_assert_eq!((job_b.1, job_b.2), (kernel, PimMode::Baseline));
+            debug_assert_eq!((job_p.1, job_p.2), (kernel, PimMode::GraphPim));
+            let model = AnalyticalModel::from_baseline(&base, lat_pim);
+            rows.push(BackendRow {
+                workload: kernel.to_string(),
+                baseline_cycles: base.total_cycles,
+                graphpim_cycles: pim.total_cycles,
+                speedup: base.total_cycles / pim.total_cycles.max(1e-9),
+                analytic_speedup: model.speedup(),
+                offloaded_atomics: pim.offloaded_atomics,
+            });
+        }
+        reports.push(BackendReport {
+            backend: backend.label(),
+            mean_speedup: geomean(rows.iter().map(|r| r.speedup)),
+            rows,
+        });
+    }
+    reports
+}
+
+/// For each workload, the backend with the largest simulated offloading
+/// speedup — the "which workloads win where" summary.
+pub fn winners(reports: &[BackendReport]) -> Vec<(String, &'static str, f64)> {
+    let mut out = Vec::new();
+    if reports.is_empty() {
+        return out;
+    }
+    for (i, row) in reports[0].rows.iter().enumerate() {
+        let (mut best, mut best_speedup) = (reports[0].backend, row.speedup);
+        for report in &reports[1..] {
+            if report.rows[i].speedup > best_speedup {
+                best = report.backend;
+                best_speedup = report.rows[i].speedup;
+            }
+        }
+        out.push((row.workload.clone(), best, best_speedup));
+    }
+    out
+}
+
+/// Renders the reports as one JSON document (the `backend_compare` CI
+/// artifact). Hand-rolled like the figure JSON: floats as shortest
+/// round-trip `{:?}`, no external dependencies.
+pub fn report_json(size: LdbcSize, reports: &[BackendReport]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"backend-compare-v1\",");
+    let _ = writeln!(s, "  \"graph\": \"{}\",", size.name());
+    s.push_str("  \"backends\": [\n");
+    for (bi, report) in reports.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"backend\": \"{}\",", report.backend);
+        let _ = writeln!(s, "      \"mean_speedup\": {:?},", report.mean_speedup);
+        s.push_str("      \"workloads\": [\n");
+        for (ri, row) in report.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"workload\": \"{}\", \"baseline_cycles\": {:?}, \
+                 \"graphpim_cycles\": {:?}, \"speedup\": {:?}, \
+                 \"analytic_speedup\": {:?}, \"offloaded_atomics\": {}}}",
+                row.workload,
+                row.baseline_cycles,
+                row.graphpim_cycles,
+                row.speedup,
+                row.analytic_speedup,
+                row.offloaded_atomics
+            );
+            s.push_str(if ri + 1 < report.rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("      ]\n");
+        s.push_str(if bi + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n  \"winners\": [\n");
+    let w = winners(reports);
+    for (i, (workload, backend, speedup)) in w.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{workload}\", \"backend\": \"{backend}\", \
+             \"speedup\": {speedup:?}}}"
+        );
+        s.push_str(if i + 1 < w.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the reports as human-readable tables plus the winner summary.
+pub fn render_text(size: LdbcSize, reports: &[BackendReport]) -> String {
+    use crate::report::{fmt_speedup, Table};
+    let mut out = String::new();
+    for report in reports {
+        let mut t = Table::new(format!(
+            "Backend {} at {} (GraphPIM vs its own baseline)",
+            report.backend,
+            size.name()
+        ))
+        .header(["Workload", "Speedup", "Analytic", "Offloaded"]);
+        for row in &report.rows {
+            t.row([
+                row.workload.clone(),
+                fmt_speedup(row.speedup),
+                fmt_speedup(row.analytic_speedup),
+                row.offloaded_atomics.to_string(),
+            ]);
+        }
+        t.row([
+            "Geomean".to_string(),
+            fmt_speedup(report.mean_speedup),
+            String::new(),
+            String::new(),
+        ]);
+        let _ = writeln!(out, "{t}");
+    }
+    let mut t =
+        Table::new("Which workloads win where").header(["Workload", "Best backend", "Speedup"]);
+    for (workload, backend, speedup) in winners(reports) {
+        t.row([workload, backend.to_string(), fmt_speedup(speedup)]);
+    }
+    let _ = writeln!(out, "{t}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_three_backends() {
+        let b = compare_backends();
+        assert_eq!(b.len(), 3);
+        let labels: Vec<_> = b.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["single-cube", "multi-cube", "dpu"]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn reports_cover_the_matrix() {
+        let reports = run(LdbcSize::K1);
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert_eq!(report.rows.len(), EVAL_KERNELS.len());
+            for row in &report.rows {
+                assert!(
+                    row.speedup > 0.1 && row.speedup < 20.0,
+                    "{}/{}: {:.2}",
+                    report.backend,
+                    row.workload,
+                    row.speedup
+                );
+            }
+        }
+        // The DPU's transfer-bound regime must not beat the in-package
+        // HMC atomic units on the geomean.
+        let by_label = |l: &str| reports.iter().find(|r| r.backend == l).expect("backend");
+        assert!(
+            by_label("single-cube").mean_speedup >= by_label("dpu").mean_speedup,
+            "single-cube {:.3} vs dpu {:.3}",
+            by_label("single-cube").mean_speedup,
+            by_label("dpu").mean_speedup
+        );
+        let json = report_json(LdbcSize::K1, &reports);
+        assert!(json.contains("\"backend-compare-v1\""));
+        assert!(json.contains("\"dpu\""));
+        assert_eq!(winners(&reports).len(), EVAL_KERNELS.len());
+        let text = render_text(LdbcSize::K1, &reports);
+        assert!(text.contains("Which workloads win where"));
+    }
+}

@@ -36,7 +36,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v3: `RunMetrics` gained `trace_export_failed`.
 /// v4: `HmcStats` gained `requests_per_vault`; `RunMetrics` gained
 ///     `uncached_atomics` (validation-layer conservation counters).
-pub const SCHEMA_VERSION: u32 = 4;
+/// v5: pluggable memory backends (`SimConfig` gained `backend`); the POU
+///     hybrid split quantizes per-100k with `floor` instead of per-mille
+///     with `round`, changing which property lines land in the PMR for
+///     interior fractions.
+pub const SCHEMA_VERSION: u32 = 5;
 
 pub use crate::fingerprint::fingerprint;
 

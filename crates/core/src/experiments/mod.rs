@@ -55,6 +55,7 @@
 //!   part of [`crate::fingerprint::RESULT_ENV_KNOBS`].
 
 pub mod ablation;
+pub mod backends;
 pub mod cache;
 pub mod fig01;
 pub mod fig02;

@@ -28,13 +28,40 @@ pub enum AtomicPath {
     LocalityDependent,
 }
 
+/// Quantization denominator for the hybrid HMC/DRAM property split: the
+/// placement hash is compared per-100k, so configured fractions resolve
+/// at 0.00001 granularity.
+pub const HYBRID_SPLIT_QUANTUM: u64 = 100_000;
+
+/// The per-100k threshold a configured hybrid fraction quantizes to.
+///
+/// Quantization uses `floor`, so the HMC share never silently rounds
+/// *up* — in particular no fraction below 1.0 becomes a full-HMC
+/// deployment (`0.999996` stays at 99999/100000, where the old per-mille
+/// `round` turned `0.9996` into 100%), and no positive fraction above
+/// the quantum is truncated to zero.
+pub fn quantize_hybrid_fraction(fraction: f64) -> u64 {
+    (fraction * HYBRID_SPLIT_QUANTUM as f64).floor() as u64
+}
+
+/// How far quantization moved a configured hybrid fraction, as an
+/// absolute fraction difference. [`SystemConfig::validate`] warns when
+/// this exceeds `5e-4` (with the per-100k quantum the error is bounded
+/// by `1e-5`, so the warning is a safety net for future quantum
+/// changes).
+pub fn hybrid_quantization_error(fraction: f64) -> f64 {
+    let quantized = quantize_hybrid_fraction(fraction) as f64 / HYBRID_SPLIT_QUANTUM as f64;
+    (fraction - quantized).abs()
+}
+
 /// The per-core PIM offloading unit.
 #[derive(Debug, Clone)]
 pub struct Pou {
     mode: PimMode,
     fp_extension: bool,
-    /// Per-mille threshold for the hybrid HMC/DRAM property split.
-    hmc_share_permille: u64,
+    /// Per-100k threshold for the hybrid HMC/DRAM property split (see
+    /// [`quantize_hybrid_fraction`]).
+    hmc_share_per100k: u64,
 }
 
 impl Pou {
@@ -43,7 +70,7 @@ impl Pou {
         Pou {
             mode: config.mode,
             fp_extension: config.fp_extension,
-            hmc_share_permille: (config.hmc_property_fraction * 1000.0).round() as u64,
+            hmc_share_per100k: quantize_hybrid_fraction(config.hmc_property_fraction),
         }
     }
 
@@ -55,7 +82,9 @@ impl Pou {
         if Region::of(addr) != Region::Property {
             return false;
         }
-        if self.hmc_share_permille >= 1000 {
+        // Floor quantization means only an exact fraction of 1.0 reaches
+        // the full-coverage threshold.
+        if self.hmc_share_per100k >= HYBRID_SPLIT_QUANTUM {
             return true;
         }
         // Deterministic per-line placement hash.
@@ -64,7 +93,7 @@ impl Pou {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .rotate_left(31)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        (h % 1000) < self.hmc_share_permille
+        (h % HYBRID_SPLIT_QUANTUM) < self.hmc_share_per100k
     }
 
     /// Whether the cube implements `op` under this configuration.
@@ -246,6 +275,56 @@ mod tests {
             (share - 0.5).abs() < 0.05,
             "placement share {share:.3} should track the fraction"
         );
+    }
+
+    #[test]
+    fn hybrid_fraction_never_rounds_up_to_full_hmc() {
+        // The old per-mille `.round()` turned 0.9996 into a 100% HMC
+        // deployment; per-100k floor keeps it a genuine hybrid.
+        let config = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(0.9996);
+        let p = Pou::new(&config);
+        let mut out_of_hmc = 0usize;
+        const LINES: usize = 100_000;
+        for i in 0..LINES {
+            if !p.in_pmr(Region::Property.addr(i as u64 * 64)) {
+                out_of_hmc += 1;
+            }
+        }
+        assert!(
+            out_of_hmc > 0,
+            "0.9996 must leave some property lines in conventional DRAM"
+        );
+        let share = 1.0 - out_of_hmc as f64 / LINES as f64;
+        assert!((share - 0.9996).abs() < 0.002, "share {share:.5}");
+        // Exactly 1.0 still covers everything.
+        let full = Pou::new(&SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(1.0));
+        assert!((0..LINES).all(|i| full.in_pmr(Region::Property.addr(i as u64 * 64))));
+    }
+
+    #[test]
+    fn hybrid_sub_permille_fractions_survive() {
+        // Sub-0.001 fractions were truncated to zero at per-mille
+        // granularity; per-100k resolves them.
+        assert_eq!(quantize_hybrid_fraction(0.0004), 40);
+        let config = SystemConfig::hpca(PimMode::GraphPim).with_hmc_property_fraction(0.0004);
+        let p = Pou::new(&config);
+        let hits = (0..200_000u64)
+            .filter(|&i| p.in_pmr(Region::Property.addr(i * 64)))
+            .count();
+        assert!(hits > 0, "0.0004 must place some lines in the HMC");
+        assert!(hits < 400, "0.0004 must stay a tiny share, got {hits}");
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_quantum() {
+        for f in [0.0, 0.0004, 0.1234567, 0.5, 0.9996, 0.999996, 1.0] {
+            assert!(
+                hybrid_quantization_error(f) < 1.0 / HYBRID_SPLIT_QUANTUM as f64,
+                "fraction {f}"
+            );
+        }
+        assert_eq!(quantize_hybrid_fraction(1.0), HYBRID_SPLIT_QUANTUM);
+        assert_eq!(quantize_hybrid_fraction(0.0), 0);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! [`SystemSim`] consumes the instruction streams emitted by the framework
 //! layer (it implements `TraceConsumer`) and drives them through the
 //! substrate: one interval-model core per simulated thread, the shared
-//! MESI cache hierarchy, and the HMC cube. The [`crate::pou::Pou`] decides,
-//! per atomic and per PMR access, which data path applies for the
-//! configured [`crate::config::PimMode`].
+//! MESI cache hierarchy, and the configured memory backend (the paper's
+//! HMC cube by default; see [`graphpim_sim::backend`]). The
+//! [`crate::pou::Pou`] decides, per atomic and per PMR access, which data
+//! path applies for the configured [`crate::config::PimMode`].
 //!
 //! Barriers synchronize the per-core clocks and wait for in-flight posted
 //! PIM atomics — the consistency argument of Section II-D.
@@ -24,8 +25,9 @@ use crate::telemetry::TraceExporter;
 use graphpim_graph::generate::SplitMix64;
 use graphpim_graph::CsrGraph;
 use graphpim_sim::attrib::CoreAttrib;
+use graphpim_sim::backend::MemoryBackend;
 use graphpim_sim::cpu::{CoreModel, CoreStats};
-use graphpim_sim::hmc::{HmcAtomicOp, HmcCube, HmcServed, PacketKind};
+use graphpim_sim::hmc::{HmcAtomicOp, HmcServed, PacketKind};
 use graphpim_sim::mem::hierarchy::{AccessResult, CacheHierarchy, ServiceLevel};
 use graphpim_sim::mem::Addr;
 use graphpim_sim::telemetry::CounterRegistry;
@@ -75,7 +77,7 @@ pub struct SystemSim {
     pou: Pou,
     cores: Vec<CoreModel>,
     hierarchy: CacheHierarchy,
-    cube: HmcCube,
+    backend: Box<dyn MemoryBackend>,
     rng: SplitMix64,
     max_pim_done: Cycle,
     offload_candidates: u64,
@@ -168,11 +170,14 @@ impl SystemSim {
         if let Err(e) = config.validate() {
             panic!("invalid SystemConfig: {e}");
         }
+        for warning in config.validation_warnings() {
+            eprintln!("graphpim: config warning: {warning}");
+        }
         let cores = (0..config.sim.core.cores)
             .map(|_| CoreModel::new(&config.sim.core))
             .collect();
         let hierarchy = CacheHierarchy::new(&config.sim.cache, config.sim.core.cores);
-        let cube = HmcCube::new(&config.sim.hmc, config.sim.core.clock_ghz);
+        let backend = config.sim.backend.build(&config.sim);
         let pou = Pou::new(&config);
         let rng = SplitMix64::new(config.seed);
         SystemSim {
@@ -180,7 +185,7 @@ impl SystemSim {
             pou,
             cores,
             hierarchy,
-            cube,
+            backend,
             rng,
             max_pim_done: 0.0,
             offload_candidates: 0,
@@ -209,7 +214,7 @@ impl SystemSim {
     /// superstep barrier and at run end. Also enables the cube's per-vault
     /// histograms. Observation-only — metrics stay bit-identical.
     pub fn enable_trace(&mut self, trace: TraceExporter) {
-        self.cube.enable_vault_telemetry();
+        self.backend.enable_vault_telemetry();
         self.trace = Some(trace);
     }
 
@@ -238,7 +243,7 @@ impl SystemSim {
             core.enable_attribution();
         }
         self.hierarchy.enable_attribution();
-        self.cube.enable_attribution();
+        self.backend.enable_attribution();
     }
 
     /// Attaches any combination of observers.
@@ -447,7 +452,7 @@ impl SystemSim {
         self.aggregated_core_stats()
             .report_telemetry("core", &mut reg);
         self.hierarchy.report_telemetry(&mut reg);
-        self.cube.report_telemetry(&mut reg);
+        self.backend.report_telemetry(&mut reg);
         reg.record("system.cores", self.cores.len() as f64);
         reg.record(
             "system.issue_width",
@@ -493,7 +498,7 @@ impl SystemSim {
             if let Some(a) = self.hierarchy.attrib() {
                 a.report_telemetry("attrib.cache", &mut reg);
             }
-            if let Some(a) = self.cube.attrib() {
+            if let Some(a) = self.backend.attrib() {
                 a.report_telemetry("attrib.hmc", &mut reg);
             }
         }
@@ -555,7 +560,7 @@ impl SystemSim {
             l1,
             l2,
             l3,
-            hmc: self.cube.stats().clone(),
+            hmc: self.backend.stats(),
             offload_candidates: self.offload_candidates,
             candidate_cache_hits: self.candidate_cache_hits,
             offloaded_atomics: self.offloaded_atomics,
@@ -598,7 +603,7 @@ impl SystemSim {
         if self.pou.bypass_cache(addr) {
             // Uncacheable PMR load: straight to the cube as a 16-byte read.
             let t0 = self.cores[t].begin_mem(dep, true);
-            let served = self.cube.service(PacketKind::Read16, addr, t0);
+            let served = self.backend.service(PacketKind::Read16, addr, t0);
             self.memory_service_cycles += served.response_at - t0;
             self.perfetto_request(t, "load.pmr", t0, &served);
             self.cores[t].complete_load(served.response_at, true);
@@ -610,7 +615,7 @@ impl SystemSim {
         if out.level == ServiceLevel::Memory {
             let t1 = self.cores[t].acquire_mshr();
             let served = self
-                .cube
+                .backend
                 .service(PacketKind::Read64, addr, t1 + out.latency as f64);
             self.memory_service_cycles += served.response_at - t1;
             self.perfetto_request(t, "load.miss", t1, &served);
@@ -625,7 +630,7 @@ impl SystemSim {
         if self.pou.bypass_cache(addr) {
             // Posted uncacheable store: write-combining path, no MSHR.
             let t0 = self.cores[t].begin_mem(false, false);
-            let served = self.cube.service(PacketKind::Write16, addr, t0);
+            let served = self.backend.service(PacketKind::Write16, addr, t0);
             self.max_pim_done = self.max_pim_done.max(served.memory_done);
             self.cores[t].complete_store();
             self.uncached_writes += 1;
@@ -636,7 +641,7 @@ impl SystemSim {
         if out.level == ServiceLevel::Memory {
             // Read-for-ownership line fill; the store itself is posted.
             let served = self
-                .cube
+                .backend
                 .service(PacketKind::Read64, addr, t0 + out.latency as f64);
             self.max_pim_done = self.max_pim_done.max(served.memory_done);
         }
@@ -668,9 +673,9 @@ impl SystemSim {
         if self.pou.bypass_cache(addr) {
             // Atomic on uncacheable memory without PIM support: the
             // cache-line lock degrades to bus locking (Section III-B).
-            let read = self.cube.service(PacketKind::Read16, addr, start);
+            let read = self.backend.service(PacketKind::Read16, addr, start);
             let write = self
-                .cube
+                .backend
                 .service(PacketKind::Write16, addr, read.response_at);
             let service = (write.memory_done - start) + BUS_LOCK_PENALTY;
             self.memory_service_cycles += service;
@@ -687,7 +692,7 @@ impl SystemSim {
         let mut service = cache_part;
         if out.level == ServiceLevel::Memory {
             let served = self
-                .cube
+                .backend
                 .service(PacketKind::Read64, addr, start + cache_part);
             service += served.response_at - (start + cache_part);
             self.perfetto_request(t, "atomic.host-fill", start, &served);
@@ -716,7 +721,7 @@ impl SystemSim {
         }
         let t1 = self.cores[t].acquire_mshr();
         let served = self
-            .cube
+            .backend
             .service(PacketKind::Atomic(op), addr, t1 + out.latency as f64);
         self.perfetto_request(t, "atomic.upei", t1, &served);
         if op.has_return() {
@@ -738,7 +743,7 @@ impl SystemSim {
         } else {
             t0
         };
-        let served = self.cube.service(PacketKind::Atomic(op), addr, t1);
+        let served = self.backend.service(PacketKind::Atomic(op), addr, t1);
         self.perfetto_request(t, "atomic.pim", t1, &served);
         self.finish_pim(t, op, t1, served.response_at, served.memory_done);
     }
@@ -794,7 +799,7 @@ impl SystemSim {
             .hierarchy
             .access_into(t, addr, write, &mut self.wb_scratch);
         for &wb in &self.wb_scratch {
-            self.cube.service(PacketKind::Write64, wb, now);
+            self.backend.service(PacketKind::Write64, wb, now);
         }
         out
     }

@@ -10,8 +10,12 @@
 //!   fields, and invoked by every constructor and figure driver.
 //! * **Run invariants** — [`check_run`] and [`check_run_config`] enforce
 //!   the conservation laws every finished [`RunMetrics`] must satisfy
-//!   (offload accounting, memory-request conservation, HMC-internal
+//!   (offload accounting, memory-request conservation, backend-internal
 //!   totals, cycle-breakdown conservation, live-counter coherence).
+//!   The memory-side laws are stated over the backend's *aggregated*
+//!   [`graphpim_sim::hmc::HmcStats`], so they hold unchanged for every
+//!   [`graphpim_sim::backend::MemoryBackend`] — "vault" means global
+//!   vault index for a multi-cube chain and rank for the DPU backend.
 //!   [`crate::system::SystemSim`] runs them on every `into_metrics` when
 //!   [`validation_enabled`] — on by default under `cargo test` (debug
 //!   builds) and in CI (`GRAPHPIM_VALIDATE=1`), opt-in for release
@@ -196,8 +200,12 @@ pub fn check_run(m: &RunMetrics, counters: &CounterRegistry) -> Vec<Violation> {
         ),
     );
 
-    // HMC-internal totals: per-vault and per-category histograms are
-    // decompositions of the same scalar counters.
+    // Backend-internal totals: per-vault and per-category histograms are
+    // decompositions of the same scalar counters. These hold for any
+    // memory backend because the trait contract requires aggregated
+    // stats (vault buckets are ranks on the DPU backend, global vault
+    // indices on a chain); the invariant ids keep the historical
+    // "hmc-totals" name.
     let vault_atomics: u64 = m.hmc.atomics_per_vault.iter().sum();
     check(
         &mut v,
@@ -469,6 +477,21 @@ pub fn check_run_config(m: &RunMetrics, config: &SystemConfig) -> Vec<Violation>
             m.issue_width, config.sim.core.issue_width
         ),
     );
+    // Backend topology: the aggregated per-vault vectors must cover
+    // exactly the configured backend's bucket count (vaults, cubes ×
+    // vaults, or ranks — see `BackendConfig::vault_buckets`).
+    let buckets = config.sim.backend.vault_buckets(&config.sim);
+    check(
+        &mut v,
+        "backend-topology",
+        m.hmc.requests_per_vault.len() == buckets && m.hmc.atomics_per_vault.len() == buckets,
+        format!(
+            "per-vault vectors have {} / {} buckets; {} backend expects {buckets}",
+            m.hmc.requests_per_vault.len(),
+            m.hmc.atomics_per_vault.len(),
+            config.sim.backend.label()
+        ),
+    );
     v
 }
 
@@ -734,6 +757,42 @@ mod tests {
         // hpca has 16 cores, the sample has 2.
         assert!(
             v.iter().any(|x| x.invariant == "config-consistency"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn backend_topology_mismatch_detected() {
+        // The sample metrics expose 2 vault buckets; hpca's single cube
+        // has 32, and a default 4-cube chain expects 128.
+        let m = consistent();
+        let config = SystemConfig::hpca(PimMode::Baseline);
+        let v = check_run_config(&m, &config);
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == "backend-topology" && x.detail.contains("expects 32")),
+            "{v:?}"
+        );
+        let chained = SystemConfig::hpca(PimMode::Baseline).with_backend(
+            graphpim_sim::backend::BackendConfig::MultiCube(
+                graphpim_sim::backend::MultiCubeConfig::default(),
+            ),
+        );
+        let v = check_run_config(&m, &chained);
+        assert!(
+            v.iter()
+                .any(|x| x.invariant == "backend-topology" && x.detail.contains("expects 128")),
+            "{v:?}"
+        );
+        // Matching bucket counts pass.
+        let mut m32 = consistent();
+        m32.hmc.requests_per_vault = vec![0; 32];
+        m32.hmc.atomics_per_vault = vec![0; 32];
+        m32.hmc.requests_per_vault[0] = 3;
+        m32.hmc.requests_per_vault[1] = 1;
+        let v = check_run_config(&m32, &config);
+        assert!(
+            !v.iter().any(|x| x.invariant == "backend-topology"),
             "{v:?}"
         );
     }

@@ -1,0 +1,124 @@
+//! The mode × backend matrix: every offloading policy runs against every
+//! memory backend, end to end through real workload kernels, with the
+//! run-invariant layer enforcing conservation on each combination.
+//!
+//! The single-cube column is additionally pinned against a direct run of
+//! the pre-trait configuration path (`SystemConfig::hpca` with the
+//! default backend), so routing the paper's system through the trait
+//! object is provably bit-identical.
+
+use graphpim::config::{PimMode, SystemConfig};
+use graphpim::metrics::RunMetrics;
+use graphpim::system::SystemSim;
+use graphpim_graph::generate::{GraphSpec, LdbcSize};
+use graphpim_graph::CsrGraph;
+use graphpim_sim::backend::{BackendConfig, DpuConfig, MultiCubeConfig};
+use graphpim_workloads::kernels::{by_name, KernelParams};
+
+fn backends() -> Vec<BackendConfig> {
+    vec![
+        BackendConfig::SingleCube,
+        BackendConfig::MultiCube(MultiCubeConfig::default()),
+        BackendConfig::Dpu(DpuConfig::default()),
+    ]
+}
+
+fn run(kernel: &str, graph: &CsrGraph, mode: PimMode, backend: BackendConfig) -> RunMetrics {
+    let config = SystemConfig::hpca(mode).with_backend(backend);
+    let mut k = by_name(kernel, KernelParams::default()).expect("kernel exists");
+    SystemSim::run_kernel(k.as_mut(), graph, &config)
+}
+
+#[test]
+fn every_mode_runs_on_every_backend() {
+    let graph = GraphSpec::ldbc(LdbcSize::K1).seed(7).build();
+    for backend in backends() {
+        for mode in PimMode::ALL {
+            let m = run("DC", &graph, mode, backend.clone());
+            // The run-invariant layer (enabled in debug/test builds)
+            // already enforced conservation inside run_kernel; assert the
+            // policy-visible shape here.
+            assert!(m.total_cycles > 0.0, "{mode} on {}", backend.label());
+            assert_eq!(
+                m.hmc.reads + m.hmc.writes + m.hmc.atomics,
+                m.hmc.dram_accesses,
+                "{mode} on {}",
+                backend.label()
+            );
+            match mode {
+                PimMode::Baseline => assert_eq!(
+                    m.offloaded_atomics,
+                    0,
+                    "baseline must not offload on {}",
+                    backend.label()
+                ),
+                PimMode::UPei | PimMode::GraphPim => assert!(
+                    m.offloaded_atomics > 0,
+                    "{mode} must offload on {}",
+                    backend.label()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_differ_where_the_models_say_they_must() {
+    let graph = GraphSpec::ldbc(LdbcSize::K1).seed(7).build();
+    let single = run("DC", &graph, PimMode::GraphPim, BackendConfig::SingleCube);
+    let chain = run(
+        "DC",
+        &graph,
+        PimMode::GraphPim,
+        BackendConfig::MultiCube(MultiCubeConfig::default()),
+    );
+    let dpu = run(
+        "DC",
+        &graph,
+        PimMode::GraphPim,
+        BackendConfig::Dpu(DpuConfig::default()),
+    );
+    // Same traffic on every backend (routing is backend-agnostic) ...
+    assert_eq!(single.offloaded_atomics, chain.offloaded_atomics);
+    assert_eq!(single.offloaded_atomics, dpu.offloaded_atomics);
+    assert_eq!(single.hmc.dram_accesses, chain.hmc.dram_accesses);
+    assert_eq!(single.hmc.dram_accesses, dpu.hmc.dram_accesses);
+    // ... but different timing: inter-cube hops and host↔DPU transfers
+    // both cost cycles on this atomic-heavy kernel.
+    assert!(
+        chain.total_cycles > single.total_cycles,
+        "chain {} vs single {}",
+        chain.total_cycles,
+        single.total_cycles
+    );
+    assert!(
+        dpu.total_cycles > single.total_cycles,
+        "dpu {} vs single {}",
+        dpu.total_cycles,
+        single.total_cycles
+    );
+    // Topology shows up in the stats: the chain exposes 4 x 32 vault
+    // buckets, the DPU exposes one per rank.
+    assert_eq!(chain.hmc.requests_per_vault.len(), 128);
+    assert_eq!(dpu.hmc.requests_per_vault.len(), 16);
+    assert_eq!(single.hmc.requests_per_vault.len(), 32);
+}
+
+#[test]
+fn default_backend_is_bit_identical_to_explicit_single_cube() {
+    let graph = GraphSpec::ldbc(LdbcSize::K1).seed(7).build();
+    // `hpca` leaves the backend at its default; `with_backend` names it
+    // explicitly. Both must be the same configuration and simulation.
+    let default_config = SystemConfig::hpca(PimMode::GraphPim);
+    assert_eq!(default_config.sim.backend, BackendConfig::SingleCube);
+    let implicit = {
+        let mut k = by_name("BFS", KernelParams::default()).expect("kernel");
+        SystemSim::run_kernel(k.as_mut(), &graph, &default_config)
+    };
+    let explicit = run("BFS", &graph, PimMode::GraphPim, BackendConfig::SingleCube);
+    assert_eq!(implicit, explicit);
+    assert_eq!(
+        implicit.total_cycles.to_bits(),
+        explicit.total_cycles.to_bits()
+    );
+}

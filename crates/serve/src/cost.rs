@@ -88,7 +88,7 @@ impl CostModel {
     /// one millisecond so a zero estimate can never starve admission
     /// accounting.
     pub fn estimate(&self, key: &RunKey) -> f64 {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::sync::lock(&self.inner);
         let per_edge = inner
             .per_edge
             .get(&key.kernel)
@@ -103,7 +103,7 @@ impl CostModel {
         if !seconds.is_finite() || seconds <= 0.0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::sync::lock(&self.inner);
         let skew = inner.skew.get(&key.size).copied().unwrap_or(1.0);
         let rate = seconds / (key.size.target_edges() as f64 * skew).max(1.0);
         let seed = inner.default_per_edge;
@@ -121,18 +121,21 @@ impl CostModel {
     /// graph just to estimate it.
     pub fn seed_skew(&self, size: LdbcSize, graph: &CsrGraph) {
         {
-            let inner = self.inner.lock().unwrap();
+            let inner = crate::sync::lock(&self.inner);
             if inner.skew.contains_key(&size) {
                 return;
             }
         }
         let skew = degree_skew(graph, SKEW_THREADS);
-        self.inner.lock().unwrap().skew.entry(size).or_insert(skew);
+        crate::sync::lock(&self.inner)
+            .skew
+            .entry(size)
+            .or_insert(skew);
     }
 
     /// Whether `size`'s skew factor has been measured yet.
     pub fn skew_seeded(&self, size: LdbcSize) -> bool {
-        self.inner.lock().unwrap().skew.contains_key(&size)
+        crate::sync::lock(&self.inner).skew.contains_key(&size)
     }
 
     /// Calibrates from an engine profile: every simulated or replayed
@@ -151,7 +154,7 @@ impl CostModel {
 
     /// Model state as a JSON object (for `/stats`).
     pub fn snapshot_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::sync::lock(&self.inner);
         let mut kernels: Vec<_> = inner.per_edge.iter().collect();
         kernels.sort_by(|a, b| a.0.cmp(b.0));
         let per_kernel = kernels

@@ -235,6 +235,21 @@ impl<W: Write> ChunkedWriter<W> {
     }
 }
 
+/// Whether `e` is a stalled-consumer write failure: the peer stopped
+/// reading, the kernel send buffer filled, and the socket's write
+/// timeout expired. POSIX surfaces this as `WouldBlock` (Linux) or
+/// `TimedOut` (some platforms), distinct from a hard disconnect
+/// (`BrokenPipe`/`ConnectionReset`). Streaming endpoints treat both as
+/// a clean follower drop — the work the stream reports keeps running —
+/// but only stalled drops indicate a client that is wedged rather than
+/// gone.
+pub fn is_stalled_write(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Blocking HTTP client for the same dialect the server speaks — used
 /// by `servectl`, the load generator, and the integration tests.
 pub mod client {
@@ -455,6 +470,39 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn slow_client_times_out_and_classifies_as_stalled() {
+        use std::net::{TcpListener, TcpStream};
+        use std::time::Duration;
+        // A follower that connects and then never reads: the server
+        // side must escape its write within the socket write timeout
+        // (not block forever) and the error must classify as stalled.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap(); // never read from
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_write_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut writer = ChunkedWriter::start(server_side, 200, "application/x-ndjson").unwrap();
+        // Fill the kernel send buffer until the write times out. Cap the
+        // attempts so a broken timeout fails the test instead of hanging.
+        let chunk = vec![b'x'; 256 * 1024];
+        let mut stalled = None;
+        for _ in 0..1024 {
+            if let Err(e) = writer.chunk(&chunk) {
+                stalled = Some(e);
+                break;
+            }
+        }
+        let e = stalled.expect("an unread socket must eventually time out");
+        assert!(is_stalled_write(&e), "unexpected error kind: {e:?}");
+        // Hard disconnects are NOT stalled writes.
+        assert!(!is_stalled_write(&io::Error::from(
+            io::ErrorKind::BrokenPipe
+        )));
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   pool; per-job NDJSON event logs.
 //! * [`service`] — routing, per-endpoint latency histograms, and the
 //!   accept → drain lifecycle.
+//! * [`sync`] — poison-tolerant `Mutex`/`Condvar` helpers. **Crate
+//!   convention:** never `.lock().unwrap()` — one panicking holder
+//!   would wedge that lock for every later request; go through
+//!   [`sync::lock`] / [`sync::wait`] / [`sync::wait_timeout`] instead.
 //!
 //! Binaries: `graphpim-serve` (the daemon) and `servectl` (client).
 //! See `EXPERIMENTS.md` § "Serving experiments" for the API walkthrough
@@ -34,6 +38,7 @@ pub mod cost;
 pub mod http;
 pub mod scheduler;
 pub mod service;
+pub mod sync;
 
 pub use admission::{AdmissionPolicy, Shed};
 pub use cost::CostModel;

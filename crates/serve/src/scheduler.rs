@@ -80,7 +80,7 @@ impl Job {
     }
 
     fn push_event(&self, line: String) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         state.events.push(line);
         self.events_cv.notify_all();
     }
@@ -92,7 +92,7 @@ impl Job {
     /// observer that sees `done == true` is guaranteed the event log is
     /// complete.
     fn finish_unit(&self) -> bool {
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         state.remaining = state.remaining.saturating_sub(1);
         let completed = state.remaining == 0 && !state.done;
         if completed {
@@ -109,20 +109,18 @@ impl Job {
 
     /// Whether every unit has finished.
     pub fn done(&self) -> bool {
-        self.state.lock().unwrap().done
+        crate::sync::lock(&self.state).done
     }
 
     /// Events from index `from` on, plus the next index and the done
     /// flag. With `wait`, blocks (bounded) until there is something new
     /// to report — the streaming endpoint's long-poll primitive.
     pub fn events_from(&self, from: usize, wait: bool) -> (Vec<String>, usize, bool) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         if wait {
             while state.events.len() <= from && !state.done {
-                let (next, timeout) = self
-                    .events_cv
-                    .wait_timeout(state, Duration::from_secs(5))
-                    .unwrap();
+                let (next, timeout) =
+                    crate::sync::wait_timeout(&self.events_cv, state, Duration::from_secs(5));
                 state = next;
                 if timeout.timed_out() {
                     break;
@@ -136,7 +134,7 @@ impl Job {
 
     /// The job as a JSON object (the `GET /jobs/{id}` document).
     pub fn snapshot_json(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let state = crate::sync::lock(&self.state);
         format!(
             "{{\"job\": {}, \"label\": \"{}\", \"client\": \"{}\", \"total\": {}, \
              \"remaining\": {}, \"done\": {}, \"est_seconds\": {:?}, \"events\": {}}}",
@@ -286,7 +284,7 @@ impl Scheduler {
             .collect();
         let est_total: f64 = estimates.iter().sum();
 
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         if state.draining {
             return Err(Shed::Draining);
         }
@@ -348,9 +346,7 @@ impl Scheduler {
 
     /// Looks up a retained job by id.
     pub fn job(&self, id: u64) -> Option<Arc<Job>> {
-        self.state
-            .lock()
-            .unwrap()
+        crate::sync::lock(&self.state)
             .jobs
             .iter()
             .find(|j| j.id == id)
@@ -359,7 +355,7 @@ impl Scheduler {
 
     /// Current queue depth.
     pub fn depth(&self) -> Depth {
-        let state = self.state.lock().unwrap();
+        let state = crate::sync::lock(&self.state);
         Depth {
             queued: state.heap.len(),
             queued_cost_seconds: state.queued_cost,
@@ -373,22 +369,22 @@ impl Scheduler {
     /// drain is too); workers exit once the queue empties.
     pub fn drain(&self) {
         self.draining_flag.store(true, Ordering::Relaxed);
-        self.state.lock().unwrap().draining = true;
+        crate::sync::lock(&self.state).draining = true;
         self.work_cv.notify_all();
     }
 
     /// Blocks until no unit is queued or running.
     pub fn wait_idle(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         while !state.heap.is_empty() || state.running > 0 {
-            state = self.idle_cv.wait(state).unwrap();
+            state = crate::sync::wait(&self.idle_cv, state);
         }
     }
 
     fn worker_loop(&self) {
         loop {
             let unit = {
-                let mut state = self.state.lock().unwrap();
+                let mut state = crate::sync::lock(&self.state);
                 loop {
                     if let Some(Reverse(unit)) = state.heap.pop() {
                         state.queued_cost = (state.queued_cost - unit.est_seconds).max(0.0);
@@ -398,11 +394,11 @@ impl Scheduler {
                     if state.draining {
                         return;
                     }
-                    state = self.work_cv.wait(state).unwrap();
+                    state = crate::sync::wait(&self.work_cv, state);
                 }
             };
             self.resolve(&unit);
-            let mut state = self.state.lock().unwrap();
+            let mut state = crate::sync::lock(&self.state);
             state.running -= 1;
             if state.heap.is_empty() && state.running == 0 {
                 self.idle_cv.notify_all();
@@ -468,7 +464,7 @@ impl Scheduler {
             }
         }
         if job.finish_unit() {
-            let mut state = self.state.lock().unwrap();
+            let mut state = crate::sync::lock(&self.state);
             if let Some(count) = state.inflight.get_mut(&job.client) {
                 *count = count.saturating_sub(1);
                 if *count == 0 {
@@ -598,6 +594,32 @@ mod tests {
         assert!(matches!(refused.unwrap_err(), Shed::ClientCap { .. }));
         shutdown(&sched, handles);
         shutdown(&sched0, handles0);
+    }
+
+    #[test]
+    fn poisoned_job_lock_still_serves_later_requests() {
+        // A handler that panics while holding a job's state lock (the
+        // HTTP layer contains the panic per-request) must not wedge the
+        // job for every later observer — the regression this crate's
+        // sync helpers exist for.
+        let job = Job::new(7, "alice", "poison", 1, 0.5);
+        job.push_event("{\"event\": \"queued\"}".to_string());
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = job.state.lock().unwrap();
+            panic!("handler died mid-section");
+        }));
+        assert!(poisoned.is_err());
+        assert!(job.state.is_poisoned());
+        // Every public entry point still works.
+        job.push_event("{\"event\": \"run\"}".to_string());
+        let (events, next, done) = job.events_from(0, false);
+        assert_eq!(events.len(), 2);
+        assert_eq!(next, 2);
+        assert!(!done);
+        assert!(!job.done());
+        assert!(job.snapshot_json().contains("\"remaining\": 1"));
+        assert!(job.finish_unit());
+        assert!(job.done());
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct ServeConfig {
     pub http_threads: usize,
     /// Admission-control limits.
     pub policy: AdmissionPolicy,
+    /// Socket read **and** write timeout. Reads: a client that sends
+    /// half a request cannot hold an HTTP thread hostage. Writes: a
+    /// follower that stops reading its event stream is dropped once the
+    /// kernel send buffer stays full this long (see
+    /// [`crate::http::is_stalled_write`]); the job keeps running.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             workers: 2,
             http_threads: 8,
             policy: AdmissionPolicy::default(),
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -87,7 +94,7 @@ struct Stats {
 
 impl Stats {
     fn record(&self, label: &'static str, micros: f64) {
-        let mut endpoints = self.endpoints.lock().unwrap();
+        let mut endpoints = crate::sync::lock(&self.endpoints);
         match endpoints.iter_mut().find(|(l, _)| *l == label) {
             Some((_, hist)) => hist.record(micros),
             None => {
@@ -100,7 +107,7 @@ impl Stats {
     }
 
     fn to_json(&self) -> String {
-        let endpoints = self.endpoints.lock().unwrap();
+        let endpoints = crate::sync::lock(&self.endpoints);
         let mut s = String::from("{");
         for (i, (label, hist)) in endpoints.iter().enumerate() {
             if i > 0 {
@@ -128,6 +135,7 @@ struct Shared {
     sched: Arc<Scheduler>,
     stats: Stats,
     started: Instant,
+    io_timeout: Duration,
     /// Set by `POST /shutdown` or [`ServerHandle::begin_shutdown`].
     shutdown: AtomicBool,
 }
@@ -196,6 +204,7 @@ pub fn start(cfg: ServeConfig, ctx: Arc<Experiments>) -> io::Result<ServerHandle
         sched,
         stats: Stats::default(),
         started: Instant::now(),
+        io_timeout: cfg.io_timeout,
         shutdown: AtomicBool::new(false),
     });
 
@@ -206,7 +215,7 @@ pub fn start(cfg: ServeConfig, ctx: Arc<Experiments>) -> io::Result<ServerHandle
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || loop {
-                let stream = match rx.lock().unwrap().recv() {
+                let stream = match crate::sync::lock(&rx).recv() {
                     Ok(stream) => stream,
                     Err(_) => return, // acceptor gone and channel drained
                 };
@@ -253,7 +262,11 @@ pub fn start(cfg: ServeConfig, ctx: Arc<Experiments>) -> io::Result<ServerHandle
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(shared.io_timeout));
+    // Symmetric write timeout: without it, a follower that stops
+    // reading its event stream blocks an HTTP thread in `write` forever
+    // once the kernel send buffer fills.
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
     let peer = stream
         .peer_addr()
         .map(|a| a.ip().to_string())
@@ -628,8 +641,17 @@ fn stream_job_events(stream: TcpStream, shared: &Shared, id: &str) {
             buf.push_str(event);
             buf.push('\n');
         }
-        if writer.chunk(buf.as_bytes()).is_err() {
-            return; // client went away; the job keeps running
+        if let Err(e) = writer.chunk(buf.as_bytes()) {
+            // Clean follower drop, whether the client closed the
+            // connection or just stopped reading until the socket's
+            // write timeout expired; either way the socket is unusable
+            // mid-chunk and the job keeps running for the other
+            // followers. Stalled drops get their own stats label so a
+            // fleet of wedged clients is visible in `/stats`.
+            if crate::http::is_stalled_write(&e) {
+                shared.stats.record("dropped stalled follower", 0.0);
+            }
+            return;
         }
         if done {
             break;
@@ -664,6 +686,33 @@ mod tests {
     fn error_documents_escape_quotes() {
         let doc = error_json("x", "a \"quoted\" thing");
         assert!(graphpim::experiments::cache::json::parse(&doc).is_some());
+    }
+
+    #[test]
+    fn stats_survive_a_panicking_recorder() {
+        // One request's handler panicking inside the stats critical
+        // section must not break latency accounting for every later
+        // request on this server instance.
+        let stats = Stats::default();
+        stats.record("GET /healthz", 100.0);
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = stats.endpoints.lock().unwrap();
+            panic!("recorder died mid-section");
+        }));
+        assert!(poisoned.is_err());
+        assert!(stats.endpoints.is_poisoned());
+        stats.record("GET /healthz", 300.0);
+        let doc = stats.to_json();
+        let parsed = graphpim::experiments::cache::json::parse(&doc)
+            .unwrap_or_else(|| panic!("must still parse: {doc}"));
+        let healthz = parsed
+            .as_object()
+            .unwrap()
+            .get("GET /healthz")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(healthz.get("count").unwrap().as_u64(), Some(2));
     }
 
     #[test]

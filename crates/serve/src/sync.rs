@@ -1,0 +1,101 @@
+//! Poison-tolerant lock helpers — the serve layer's locking convention.
+//!
+//! Every `Mutex`/`Condvar` acquisition in this crate goes through these
+//! helpers instead of `.lock().unwrap()`. The difference matters the
+//! first time a handler or worker panics while holding a lock: `std`
+//! marks the mutex *poisoned*, and from then on every plain `.unwrap()`
+//! on that lock panics too — one bad request would permanently take
+//! down the stats registry, the cost model, or the whole scheduler,
+//! even though the service deliberately contains panics per-request
+//! (`catch_unwind` in the HTTP layer) and per-unit (in the worker
+//! loop).
+//!
+//! Recovering from the poison flag is sound here because every critical
+//! section in this crate keeps its protected state consistent at each
+//! intermediate step: event logs are append-only, counters are updated
+//! with saturating arithmetic, and map entries are inserted atomically.
+//! A panic mid-section can lose at most the in-progress update, never
+//! leave half-written state, so the next acquirer can safely proceed.
+//! New serve code should uphold that property and use these helpers;
+//! see the regression tests in [`crate::scheduler`] and
+//! [`crate::service`] for the contained-panic behavior this buys.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Acquires `mutex`, recovering the guard if a previous holder
+/// panicked.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering the reacquired guard if another
+/// thread poisoned the mutex while we slept.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering the reacquired guard if
+/// another thread poisoned the mutex while we slept.
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_after_a_panicking_holder() {
+        let counter = Arc::new(Mutex::new(0u64));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut guard = lock(&counter);
+            *guard += 1;
+            panic!("handler blew up while holding the lock");
+        }));
+        assert!(result.is_err());
+        assert!(counter.is_poisoned(), "the panic must have poisoned it");
+        // The next "request" still gets through.
+        let mut guard = lock(&counter);
+        *guard += 1;
+        assert_eq!(*guard, 2);
+    }
+
+    #[test]
+    fn condvar_waits_survive_poison() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Poison the mutex from a thread that panics while holding it.
+        {
+            let pair = Arc::clone(&pair);
+            let _ = std::thread::spawn(move || {
+                let _guard = pair.0.lock().unwrap();
+                panic!("poison");
+            })
+            .join();
+        }
+        assert!(pair.0.is_poisoned());
+        let guard = lock(&pair.0);
+        let (guard, timeout) = wait_timeout(&pair.1, guard, Duration::from_millis(1));
+        assert!(timeout.timed_out());
+        assert!(!*guard);
+        // Signaled wakeups work too: another thread flips the flag.
+        {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                *lock(&pair.0) = true;
+                pair.1.notify_all();
+            });
+        }
+        let mut guard = guard;
+        while !*guard {
+            guard = wait(&pair.1, guard);
+        }
+    }
+}

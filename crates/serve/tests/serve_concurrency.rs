@@ -25,6 +25,7 @@ fn boot(policy: AdmissionPolicy) -> (ServerHandle, String, Arc<Experiments>) {
         workers: 2,
         http_threads: 8,
         policy,
+        ..ServeConfig::default()
     };
     let handle = graphpim_serve::start(cfg, Arc::clone(&ctx)).expect("bind ephemeral port");
     let addr = handle.addr().to_string();

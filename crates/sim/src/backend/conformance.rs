@@ -1,0 +1,260 @@
+//! Backend conformance suite: one reusable check that asserts the
+//! [`MemoryBackend`](super::MemoryBackend) contract for any
+//! implementation.
+//!
+//! Every in-tree backend runs [`check_conformance`] in its tests (see
+//! this module's test list), and an out-of-tree backend should call it
+//! from its own tests before being wired into the simulator. The suite
+//! asserts, over a deterministic mixed request sequence:
+//!
+//! 1. **Replay bit-identity** — two independently built instances of the
+//!    same configuration return bit-identical [`HmcServed`] outcomes and
+//!    bit-identical stats, and repeated [`stats`](super::MemoryBackend::stats)
+//!    calls are stable.
+//! 2. **Observation neutrality** — enabling vault telemetry and the
+//!    attribution ledger changes no timing.
+//! 3. **Conservation** — the aggregated stats satisfy the counter
+//!    invariants in the [module docs](super): request/access totals,
+//!    per-vault sums, per-category sums.
+//! 4. **Telemetry closure** — reported `hmc.*` counters equal the stats
+//!    fields, and per-vault histogram sample counts equal the per-vault
+//!    counters.
+//! 5. **Attribution closure** — ledger components sum to the ledger
+//!    total, and the total equals the measured summed request latency.
+
+use super::{BackendConfig, MemoryBackend};
+use crate::config::SimConfig;
+use crate::hmc::{HmcAtomicOp, HmcServed, PacketKind};
+use crate::mem::Addr;
+use crate::telemetry::CounterRegistry;
+use crate::Cycle;
+
+/// The deterministic mixed request sequence the suite replays: reads,
+/// writes, sub-block traffic, and atomics from every category, spread
+/// over enough distinct blocks to touch multiple vaults (and multiple
+/// cubes/ranks on wider topologies), with bursts that force bank and FU
+/// queueing.
+fn request_sequence(n: usize) -> Vec<(PacketKind, Addr, Cycle)> {
+    const OPS: [HmcAtomicOp; 6] = [
+        HmcAtomicOp::Add16,
+        HmcAtomicOp::DualAdd8Ret,
+        HmcAtomicOp::Swap16,
+        HmcAtomicOp::And16,
+        HmcAtomicOp::CasIfEqual8,
+        HmcAtomicOp::FpAdd32,
+    ];
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut now: Cycle = 0.0;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = rng();
+        let kind = match r % 8 {
+            0 | 1 => PacketKind::Read64,
+            2 => PacketKind::Write64,
+            3 => PacketKind::Read16,
+            4 => PacketKind::Write16,
+            _ => PacketKind::Atomic(OPS[(r / 8) as usize % OPS.len()]),
+        };
+        // 1 MB of 16-byte-aligned addresses; bursty arrival times so
+        // banks and FU pools actually queue.
+        let addr = (rng() % (1 << 16)) * 16;
+        if rng() % 4 == 0 {
+            now += (rng() % 200) as f64;
+        }
+        out.push((kind, addr, now));
+    }
+    out
+}
+
+fn drive(
+    backend: &mut dyn MemoryBackend,
+    seq: &[(PacketKind, Addr, Cycle)],
+) -> (Vec<HmcServed>, f64) {
+    let mut served = Vec::with_capacity(seq.len());
+    let mut latency = 0.0;
+    for &(kind, addr, now) in seq {
+        let s = backend.service(kind, addr, now);
+        assert!(
+            s.response_at >= now && s.memory_done >= now,
+            "causality: response {} / done {} before issue {now}",
+            s.response_at,
+            s.memory_done
+        );
+        latency += s.response_at - now;
+        served.push(s);
+    }
+    (served, latency)
+}
+
+/// Asserts the full backend contract for `config` built against `sim`.
+///
+/// # Panics
+///
+/// Panics (test-style assertion failures) on any contract violation.
+pub fn check_conformance(config: &BackendConfig, sim: &SimConfig) {
+    config.validate(sim).expect("conformance config validates");
+    let seq = request_sequence(2048);
+
+    // 1. Replay bit-identity across independent instances.
+    let mut a = config.build(sim);
+    let mut b = config.build(sim);
+    let (served_a, _) = drive(a.as_mut(), &seq);
+    let (served_b, _) = drive(b.as_mut(), &seq);
+    assert_eq!(served_a, served_b, "replay must be bit-identical");
+    assert_eq!(a.stats(), b.stats(), "stats must be bit-identical");
+    assert_eq!(a.stats(), a.stats(), "repeated stats() must be stable");
+    assert_eq!(a.attrib(), None, "attribution must be off until enabled");
+
+    // 2. Observation neutrality: instrumentation changes no timing.
+    let mut c = config.build(sim);
+    c.enable_vault_telemetry();
+    c.enable_attribution();
+    let (served_c, latency) = drive(c.as_mut(), &seq);
+    assert_eq!(
+        served_a, served_c,
+        "telemetry/attribution must be observation-only"
+    );
+    let stats = c.stats();
+    assert_eq!(stats, a.stats(), "instrumented stats must match plain");
+
+    // 3. Conservation invariants over the aggregated stats.
+    assert_eq!(
+        stats.reads + stats.writes + stats.atomics,
+        stats.dram_accesses,
+        "every transaction is exactly one DRAM access"
+    );
+    assert_eq!(
+        stats.requests_per_vault.iter().sum::<u64>(),
+        stats.dram_accesses,
+        "every transaction lands in exactly one vault bucket"
+    );
+    assert_eq!(
+        stats.atomics_per_vault.iter().sum::<u64>(),
+        stats.atomics,
+        "every atomic lands in exactly one vault bucket"
+    );
+    assert_eq!(
+        stats.requests_per_vault.len(),
+        stats.atomics_per_vault.len(),
+        "vault vectors must cover the same topology"
+    );
+    for (v, (&req, &at)) in stats
+        .requests_per_vault
+        .iter()
+        .zip(&stats.atomics_per_vault)
+        .enumerate()
+    {
+        assert!(at <= req, "vault {v}: atomics {at} exceed requests {req}");
+    }
+    assert_eq!(
+        stats.atomics_by_category.iter().sum::<u64>(),
+        stats.atomics,
+        "per-category counts must sum to the atomic total"
+    );
+    assert!(stats.fp_atomics <= stats.atomics);
+    assert!(stats.dram_activations <= stats.dram_accesses);
+    assert!(stats.atomics > 0, "sequence must exercise atomics");
+    assert!(
+        stats.requests_per_vault.iter().filter(|&&r| r > 0).count() > 1,
+        "sequence must exercise multiple vaults"
+    );
+
+    // 4. Telemetry closure: reported counters equal the stats fields.
+    let mut reg = CounterRegistry::default();
+    c.report_telemetry(&mut reg);
+    for (key, value) in [
+        ("hmc.reads", stats.reads),
+        ("hmc.writes", stats.writes),
+        ("hmc.atomics", stats.atomics),
+        ("hmc.fp_atomics", stats.fp_atomics),
+        ("hmc.dram_accesses", stats.dram_accesses),
+        ("hmc.dram_activations", stats.dram_activations),
+    ] {
+        assert_eq!(reg.get(key), Some(value as f64), "{key}");
+    }
+    for (v, (&req, &at)) in stats
+        .requests_per_vault
+        .iter()
+        .zip(&stats.atomics_per_vault)
+        .enumerate()
+    {
+        assert_eq!(
+            reg.get(&format!("hmc.vault{v:02}.requests")),
+            Some(req as f64),
+            "vault {v} requests"
+        );
+        assert_eq!(
+            reg.get(&format!("hmc.vault{v:02}.queue_wait.count")),
+            Some(req as f64),
+            "vault {v} queue-wait samples"
+        );
+        assert_eq!(
+            reg.get(&format!("hmc.vault{v:02}.fu_busy.count")),
+            Some(at as f64),
+            "vault {v} fu-busy samples"
+        );
+    }
+
+    // 5. Attribution closure: components sum to total, total equals the
+    // measured latency sum.
+    let attrib = c.attrib().expect("attribution was enabled");
+    let tol = 1e-6 * attrib.total.max(1.0);
+    assert!(
+        (attrib.components_sum() - attrib.total).abs() < tol,
+        "ledger components {} must sum to total {}",
+        attrib.components_sum(),
+        attrib.total
+    );
+    assert!(
+        (attrib.total - latency).abs() < tol,
+        "ledger total {} must equal measured latency {latency}",
+        attrib.total
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DpuConfig, MultiCubeConfig};
+
+    #[test]
+    fn single_cube_conforms() {
+        check_conformance(&BackendConfig::SingleCube, &SimConfig::hpca_default());
+    }
+
+    #[test]
+    fn multi_cube_conforms() {
+        check_conformance(
+            &BackendConfig::MultiCube(MultiCubeConfig::default()),
+            &SimConfig::hpca_default(),
+        );
+    }
+
+    #[test]
+    fn dpu_conforms() {
+        check_conformance(
+            &BackendConfig::Dpu(DpuConfig::default()),
+            &SimConfig::hpca_default(),
+        );
+    }
+
+    #[test]
+    fn request_sequence_is_deterministic_and_mixed() {
+        let a = request_sequence(512);
+        let b = request_sequence(512);
+        assert_eq!(a, b);
+        let atomics = a
+            .iter()
+            .filter(|(k, _, _)| matches!(k, PacketKind::Atomic(_)))
+            .count();
+        assert!(atomics > 100, "got {atomics} atomics");
+        assert!(a.iter().any(|(k, _, _)| *k == PacketKind::Write64));
+        assert!(a.iter().any(|(k, _, _)| *k == PacketKind::Read16));
+    }
+}

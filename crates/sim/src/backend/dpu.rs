@@ -1,0 +1,299 @@
+//! An UPMEM-style PIM-enabled DRAM backend.
+//!
+//! UPMEM puts general-purpose DPU cores next to each DRAM rank, but —
+//! unlike an HMC atomic unit sitting behind the cube's own crossbar —
+//! the DPUs share no coherent interconnect with the host: every
+//! offloaded operation's operand must be explicitly shipped over the
+//! memory channel to the rank and its result shipped back. ALPHA-PIM
+//! measures this host↔PIM transfer as the dominant cost on real UPMEM
+//! hardware; this backend models exactly that transfer-bound regime.
+//!
+//! Structurally the backend reuses the cube machinery with a derived
+//! geometry: one "vault" per DRAM rank, `banks_per_rank` banks behind
+//! it, and a pool of `dpus_per_rank` functional units whose op latency
+//! is the DPU's (much slower than an HMC atomic unit). Plain reads and
+//! writes are ordinary channel traffic and pay nothing extra; every
+//! offloaded atomic pays [`DpuConfig::transfer_ns`] each way on top.
+
+use super::MemoryBackend;
+use crate::attrib::HmcAttrib;
+use crate::config::{HmcConfig, SimConfig};
+use crate::hmc::{HmcCube, HmcServed, HmcStats, PacketKind};
+use crate::mem::Addr;
+use crate::telemetry::Telemetry;
+use crate::validate::ConfigError;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// UPMEM-style substrate parameters. Channel/link characteristics and
+/// DRAM timing are inherited from the shared [`HmcConfig`] slice; the
+/// fields here describe the rank/DPU topology and the transfer regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpuConfig {
+    /// Number of DRAM ranks, each with its own DPU pool (maps onto the
+    /// cube model's vault dimension).
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// DPU cores per rank, each able to execute one offloaded atomic at
+    /// a time (maps onto the functional-unit pool).
+    pub dpus_per_rank: usize,
+    /// One-way host↔DPU operand/result transfer time per offloaded
+    /// atomic, in nanoseconds. Paid twice per atomic (to the rank and
+    /// back); this is the cost the HMC's in-package atomic units avoid.
+    pub transfer_ns: f64,
+    /// Latency of one DPU operation, in nanoseconds (DPU cores clock far
+    /// below an HMC atomic unit).
+    pub dpu_op_ns: f64,
+}
+
+impl Default for DpuConfig {
+    /// A 16-rank module with 64 DPUs per rank, 60 ns transfers each way,
+    /// and 2.5 ns DPU ops.
+    fn default() -> Self {
+        DpuConfig {
+            ranks: 16,
+            banks_per_rank: 16,
+            dpus_per_rank: 64,
+            transfer_ns: 60.0,
+            dpu_op_ns: 2.5,
+        }
+    }
+}
+
+impl DpuConfig {
+    /// The cube-model geometry this configuration maps onto: ranks
+    /// become vaults, the DPU pool becomes the per-vault FU pool, and
+    /// everything else (channel bandwidth, DRAM timing, interleave) is
+    /// inherited from the substrate's cube slice.
+    pub fn derived_hmc(&self, base: &HmcConfig) -> HmcConfig {
+        HmcConfig {
+            vaults: self.ranks,
+            banks_per_vault: self.banks_per_rank,
+            fus_per_vault: self.dpus_per_rank,
+            fu_op_ns: self.dpu_op_ns,
+            ..base.clone()
+        }
+    }
+
+    /// Checks the rank/DPU topology and the derived geometry.
+    pub fn validate(&self, sim: &SimConfig) -> Result<(), ConfigError> {
+        if self.ranks == 0 {
+            return Err(ConfigError::ZeroRanks);
+        }
+        if self.dpus_per_rank == 0 {
+            return Err(ConfigError::ZeroDpus);
+        }
+        if !(self.transfer_ns.is_finite() && self.transfer_ns >= 0.0) {
+            return Err(ConfigError::Negative {
+                field: "backend.dpu.transfer_ns",
+                value: self.transfer_ns,
+            });
+        }
+        if !(self.dpu_op_ns.is_finite() && self.dpu_op_ns >= 0.0) {
+            return Err(ConfigError::Negative {
+                field: "backend.dpu.dpu_op_ns",
+                value: self.dpu_op_ns,
+            });
+        }
+        // Catches zero banks and rank counts that split the interleaved
+        // address space unevenly, with the same errors the cube reports.
+        self.derived_hmc(&sim.hmc).validate()
+    }
+}
+
+/// The UPMEM-style backend: a rank/DPU-shaped cube model plus explicit
+/// host↔PIM transfer accounting on every offloaded atomic.
+#[derive(Debug, Clone)]
+pub struct DpuBackend {
+    cube: HmcCube,
+    transfer_cycles: f64,
+    /// Offloaded atomics that paid a round-trip transfer.
+    transfers: u64,
+    /// Total transfer cycles added (both directions); folded into the
+    /// attribution ledger's `link` bucket so the ledger still closes.
+    transfer_cycles_total: f64,
+}
+
+impl DpuBackend {
+    /// Builds the backend from the substrate configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: &DpuConfig, sim: &SimConfig) -> Self {
+        if let Err(e) = config.validate(sim) {
+            panic!("invalid DpuConfig: {e}");
+        }
+        DpuBackend {
+            cube: HmcCube::new(&config.derived_hmc(&sim.hmc), sim.core.clock_ghz),
+            transfer_cycles: config.transfer_ns * sim.core.clock_ghz,
+            transfers: 0,
+            transfer_cycles_total: 0.0,
+        }
+    }
+
+    /// Number of ranks (the backend's "vault" dimension).
+    pub fn rank_count(&self) -> usize {
+        self.cube.vault_count()
+    }
+}
+
+impl MemoryBackend for DpuBackend {
+    fn service(&mut self, kind: PacketKind, addr: Addr, now: Cycle) -> HmcServed {
+        if let PacketKind::Atomic(_) = kind {
+            // The operand ships to the rank before the DPU can start and
+            // the result ships back after; both legs ride the channel.
+            let t = self.transfer_cycles;
+            let mut served = self.cube.service(kind, addr, now + t);
+            served.response_at += t;
+            self.transfers += 1;
+            self.transfer_cycles_total += 2.0 * t;
+            served
+        } else {
+            self.cube.service(kind, addr, now)
+        }
+    }
+
+    fn enable_vault_telemetry(&mut self) {
+        self.cube.enable_vault_telemetry();
+    }
+
+    fn enable_attribution(&mut self) {
+        self.cube.enable_attribution();
+    }
+
+    fn attrib(&self) -> Option<HmcAttrib> {
+        let mut a = self.cube.attrib()?.clone();
+        // Transfer time is channel (link) time: it extends both the
+        // component sum and the total, keeping the closure invariant.
+        a.link += self.transfer_cycles_total;
+        a.total += self.transfer_cycles_total;
+        Some(a)
+    }
+
+    fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        self.cube.report_telemetry(sink);
+        sink.record("backend.dpu.ranks", self.cube.vault_count() as f64);
+        sink.record("backend.dpu.transfers", self.transfers as f64);
+        sink.record("backend.dpu.transfer_cycles", self.transfer_cycles_total);
+    }
+
+    fn stats(&self) -> HmcStats {
+        self.cube.stats().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmc::HmcAtomicOp;
+    use crate::telemetry::CounterRegistry;
+
+    fn backend(transfer_ns: f64) -> DpuBackend {
+        let sim = SimConfig::hpca_default();
+        let config = DpuConfig {
+            transfer_ns,
+            ..DpuConfig::default()
+        };
+        DpuBackend::new(&config, &sim)
+    }
+
+    #[test]
+    fn config_validation_catches_bad_modules() {
+        let sim = SimConfig::hpca_default();
+        let ok = DpuConfig::default();
+        assert_eq!(ok.validate(&sim), Ok(()));
+        let mut c = ok.clone();
+        c.ranks = 0;
+        assert_eq!(c.validate(&sim), Err(ConfigError::ZeroRanks));
+        let mut c = ok.clone();
+        c.dpus_per_rank = 0;
+        assert_eq!(c.validate(&sim), Err(ConfigError::ZeroDpus));
+        let mut c = ok.clone();
+        c.banks_per_rank = 0;
+        assert_eq!(c.validate(&sim), Err(ConfigError::ZeroBanks));
+        let mut c = ok.clone();
+        c.transfer_ns = -1.0;
+        assert!(matches!(
+            c.validate(&sim),
+            Err(ConfigError::Negative { .. })
+        ));
+        // A rank count that splits the interleaved space unevenly fails
+        // with the cube's own error.
+        let mut c = ok;
+        c.ranks = 7;
+        assert!(matches!(
+            c.validate(&sim),
+            Err(ConfigError::VaultSplit { vaults: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_is_rank_shaped() {
+        let mut b = backend(60.0);
+        assert_eq!(b.rank_count(), 16);
+        b.service(PacketKind::Read64, 0, 0.0);
+        let stats = b.stats();
+        assert_eq!(stats.requests_per_vault.len(), 16);
+        assert_eq!(stats.requests_per_vault.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn atomics_pay_round_trip_transfer() {
+        let mut free = backend(0.0);
+        let mut paid = backend(60.0);
+        let kind = PacketKind::Atomic(HmcAtomicOp::Add16);
+        let a = free.service(kind, 64, 0.0);
+        let b = paid.service(kind, 64, 0.0);
+        // 60 ns x 2 GHz = 120 cycles each way.
+        assert!((b.response_at - a.response_at - 240.0).abs() < 1e-9);
+        // Plain reads and writes ride the channel as usual.
+        let a = free.service(PacketKind::Read64, 4096, 500.0);
+        let b = paid.service(PacketKind::Read64, 4096, 500.0);
+        assert_eq!(a, b);
+        assert_eq!(paid.transfers, 1);
+    }
+
+    #[test]
+    fn attribution_closes_with_transfers() {
+        let mut b = backend(60.0);
+        b.enable_attribution();
+        let mut latency = 0.0;
+        for i in 0..128u64 {
+            let kind = if i % 2 == 0 {
+                PacketKind::Atomic(HmcAtomicOp::Add16)
+            } else {
+                PacketKind::Read64
+            };
+            let served = b.service(kind, i * 320, i as f64 * 3.0);
+            latency += served.response_at - i as f64 * 3.0;
+        }
+        let a = b.attrib().expect("enabled");
+        assert!(
+            (a.total - latency).abs() < 1e-6 * latency.max(1.0),
+            "total {} vs measured {latency}",
+            a.total
+        );
+        assert!(
+            (a.components_sum() - a.total).abs() < 1e-6 * a.total.max(1.0),
+            "components {} vs total {}",
+            a.components_sum(),
+            a.total
+        );
+    }
+
+    #[test]
+    fn telemetry_reports_transfer_counters() {
+        let mut b = backend(60.0);
+        b.service(PacketKind::Atomic(HmcAtomicOp::Add16), 0, 0.0);
+        b.service(PacketKind::Read64, 64, 0.0);
+        let mut reg = CounterRegistry::default();
+        b.report_telemetry(&mut reg);
+        assert_eq!(reg.get("backend.dpu.ranks"), Some(16.0));
+        assert_eq!(reg.get("backend.dpu.transfers"), Some(1.0));
+        assert_eq!(reg.get("backend.dpu.transfer_cycles"), Some(240.0));
+        assert_eq!(reg.get("hmc.atomics"), Some(1.0));
+        assert_eq!(reg.get("hmc.dram_accesses"), Some(2.0));
+    }
+}

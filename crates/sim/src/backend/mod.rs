@@ -1,0 +1,301 @@
+//! Pluggable memory backends behind one service seam.
+//!
+//! The paper evaluates exactly one HMC 2.0 cube, but the offloading idea
+//! is substrate-agnostic: any memory that executes atomics near the data
+//! can sit behind the POU. This module extracts that seam as the
+//! [`MemoryBackend`] trait — the `service(kind, addr, now)` timing call
+//! plus the stats/telemetry/attribution surface the system simulator
+//! consumes — and ships three implementations:
+//!
+//! * [`SingleCube`] — the paper's Table IV system: one cube, wrapped
+//!   without any behavioral change (bit-identical to calling
+//!   [`HmcCube`] directly; the bench baseline gate pins this).
+//! * [`multi_cube::MultiCubeChain`] — N address-interleaved cubes on a
+//!   daisy chain, each with its own SerDes links; requests to cube *k*
+//!   pay *k* inter-cube hops each way. Models capacity scaling and
+//!   chain-topology latency effects.
+//! * [`dpu::DpuBackend`] — an UPMEM-style PIM-enabled DRAM: per-rank DPU
+//!   pools where every offloaded atomic pays an explicit host↔PIM
+//!   transfer each way and there is no shared coherence (ALPHA-PIM's
+//!   transfer-bound regime).
+//!
+//! # What a backend must conserve
+//!
+//! Backends report an aggregated [`HmcStats`] and `hmc.*` telemetry, so
+//! the run-invariant layer upstream applies to every backend unchanged:
+//!
+//! * `reads + writes + atomics == dram_accesses`, and the per-vault
+//!   request vector sums to `dram_accesses` (every transaction lands in
+//!   exactly one vault bucket; "vault" means rank for the DPU backend
+//!   and global vault index for multi-cube chains).
+//! * `atomics_per_vault[v] <= requests_per_vault[v]`, the per-category
+//!   counts sum to `atomics`, and `fp_atomics <= atomics`.
+//! * With attribution on, the ledger's component buckets sum to its
+//!   total, and the total equals the summed request latency
+//!   (`response_at - now` over all services). Backend-added latency
+//!   (hops, transfers) must be folded into a component bucket.
+//! * Per-vault histogram sample counts (when vault telemetry is on)
+//!   equal the per-vault stats counters.
+//! * Telemetry is observation-only: enabling it changes no timing.
+//!
+//! [`conformance::check_conformance`] asserts all of this for any
+//! backend; every in-tree backend runs it in tests, and out-of-tree
+//! backends should too.
+
+use crate::attrib::HmcAttrib;
+use crate::config::SimConfig;
+use crate::hmc::{HmcCube, HmcServed, HmcStats, PacketKind};
+use crate::mem::Addr;
+use crate::telemetry::Telemetry;
+use crate::validate::ConfigError;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+pub mod conformance;
+pub mod dpu;
+pub mod multi_cube;
+
+pub use dpu::{DpuBackend, DpuConfig};
+pub use multi_cube::{MultiCubeChain, MultiCubeConfig};
+
+/// The memory-side timing seam the system simulator drives.
+///
+/// One backend instance is the whole memory system of one simulated
+/// machine: every read, write, and atomic the cores and caches emit goes
+/// through [`service`](Self::service). Implementations must be
+/// deterministic (same request sequence ⇒ bit-identical timing and
+/// stats) and must keep telemetry/attribution observation-only; see the
+/// [module docs](self) for the conservation contract.
+pub trait MemoryBackend: std::fmt::Debug + Send {
+    /// Services one transaction arriving at absolute time `now` and
+    /// returns its timing outcome.
+    fn service(&mut self, kind: PacketKind, addr: Addr, now: Cycle) -> HmcServed;
+
+    /// Turns on per-vault queue-wait / unit-occupancy histograms
+    /// (observation-only; timing must stay bit-identical).
+    fn enable_vault_telemetry(&mut self);
+
+    /// Turns on the request-latency attribution ledger
+    /// (observation-only).
+    fn enable_attribution(&mut self);
+
+    /// The attribution ledger aggregated across the whole backend, if
+    /// enabled. Component buckets must sum to `total`, and `total` must
+    /// equal the summed `response_at - now` over every serviced request.
+    fn attrib(&self) -> Option<HmcAttrib>;
+
+    /// Reports every live counter: the aggregated `hmc.*` namespace
+    /// (identical values to [`stats`](Self::stats)), per-vault histogram
+    /// summaries when enabled, and any backend-specific counters under
+    /// `backend.<name>.*`.
+    fn report_telemetry(&self, sink: &mut dyn Telemetry);
+
+    /// Aggregated traffic/contention statistics. Per-vault vectors cover
+    /// the backend's whole topology (concatenated across cubes for a
+    /// chain; one entry per rank for the DPU backend). Must return
+    /// bit-identical values when called repeatedly without intervening
+    /// [`service`](Self::service) calls.
+    fn stats(&self) -> HmcStats;
+}
+
+/// Which memory backend a simulation runs against.
+///
+/// Part of [`SimConfig`]; the default ([`BackendConfig::SingleCube`]) is
+/// the paper's system and is bit-identical to the pre-trait simulator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum BackendConfig {
+    /// One HMC 2.0 cube (Table IV) — the paper's configuration.
+    #[default]
+    SingleCube,
+    /// A daisy chain of address-interleaved HMC cubes.
+    MultiCube(MultiCubeConfig),
+    /// UPMEM-style PIM-enabled DRAM with per-rank DPUs.
+    Dpu(DpuConfig),
+}
+
+impl BackendConfig {
+    /// Short stable label for reports and artifact file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendConfig::SingleCube => "single-cube",
+            BackendConfig::MultiCube(_) => "multi-cube",
+            BackendConfig::Dpu(_) => "dpu",
+        }
+    }
+
+    /// Builds the backend for `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (call
+    /// [`validate`](Self::validate) first; [`SimConfig::validate`] does).
+    pub fn build(&self, sim: &SimConfig) -> Box<dyn MemoryBackend> {
+        match self {
+            BackendConfig::SingleCube => Box::new(SingleCube::new(sim)),
+            BackendConfig::MultiCube(mc) => Box::new(MultiCubeChain::new(mc, sim)),
+            BackendConfig::Dpu(dc) => Box::new(DpuBackend::new(dc, sim)),
+        }
+    }
+
+    /// Number of per-vault stat buckets the built backend's aggregated
+    /// [`HmcStats`] expose (`requests_per_vault.len()` et al.): the raw
+    /// vault count for the single cube, cubes × vaults for a chain, one
+    /// bucket per rank for the DPU module. The run-invariant layer checks
+    /// finished metrics against this.
+    pub fn vault_buckets(&self, sim: &SimConfig) -> usize {
+        match self {
+            BackendConfig::SingleCube => sim.hmc.vaults,
+            BackendConfig::MultiCube(mc) => mc.cubes * sim.hmc.vaults,
+            BackendConfig::Dpu(dc) => dc.ranks,
+        }
+    }
+
+    /// Validates the backend-specific parameters against the substrate
+    /// configuration (the cube slice itself is validated separately by
+    /// [`crate::config::HmcConfig::validate`]).
+    pub fn validate(&self, sim: &SimConfig) -> Result<(), ConfigError> {
+        match self {
+            BackendConfig::SingleCube => Ok(()),
+            BackendConfig::MultiCube(mc) => mc.validate(),
+            BackendConfig::Dpu(dc) => dc.validate(sim),
+        }
+    }
+}
+
+/// The paper's single-cube backend: a transparent wrapper over
+/// [`HmcCube`]. Every trait method delegates 1:1, so timing, stats, and
+/// telemetry are bit-identical to driving the cube directly.
+#[derive(Debug, Clone)]
+pub struct SingleCube {
+    cube: HmcCube,
+}
+
+impl SingleCube {
+    /// Builds the cube from the substrate configuration.
+    pub fn new(sim: &SimConfig) -> Self {
+        SingleCube {
+            cube: HmcCube::new(&sim.hmc, sim.core.clock_ghz),
+        }
+    }
+}
+
+impl MemoryBackend for SingleCube {
+    #[inline]
+    fn service(&mut self, kind: PacketKind, addr: Addr, now: Cycle) -> HmcServed {
+        self.cube.service(kind, addr, now)
+    }
+
+    fn enable_vault_telemetry(&mut self) {
+        self.cube.enable_vault_telemetry();
+    }
+
+    fn enable_attribution(&mut self) {
+        self.cube.enable_attribution();
+    }
+
+    fn attrib(&self) -> Option<HmcAttrib> {
+        self.cube.attrib().cloned()
+    }
+
+    fn report_telemetry(&self, sink: &mut dyn Telemetry) {
+        self.cube.report_telemetry(sink);
+    }
+
+    fn stats(&self) -> HmcStats {
+        self.cube.stats().clone()
+    }
+}
+
+/// Folds `one` into the aggregate `agg`, concatenating the per-vault
+/// vectors (callers append cubes in topology order so global vault
+/// indices are stable). Shared by the multi-cube aggregation and tests.
+pub(crate) fn merge_stats(agg: &mut HmcStats, one: &HmcStats) {
+    agg.request_flits_read += one.request_flits_read;
+    agg.request_flits_write += one.request_flits_write;
+    agg.request_flits_atomic += one.request_flits_atomic;
+    agg.response_flits_read += one.response_flits_read;
+    agg.response_flits_write += one.response_flits_write;
+    agg.response_flits_atomic += one.response_flits_atomic;
+    agg.reads += one.reads;
+    agg.writes += one.writes;
+    agg.atomics += one.atomics;
+    agg.fp_atomics += one.fp_atomics;
+    agg.bank_wait_cycles += one.bank_wait_cycles;
+    agg.bank_wait_max = agg.bank_wait_max.max(one.bank_wait_max);
+    agg.bank_wait_long += one.bank_wait_long;
+    agg.fu_wait_cycles += one.fu_wait_cycles;
+    agg.fu_busy_cycles += one.fu_busy_cycles;
+    agg.dram_activations += one.dram_activations;
+    agg.dram_accesses += one.dram_accesses;
+    agg.requests_per_vault
+        .extend_from_slice(&one.requests_per_vault);
+    agg.atomics_per_vault
+        .extend_from_slice(&one.atomics_per_vault);
+    for (a, &b) in agg
+        .atomics_by_category
+        .iter_mut()
+        .zip(&one.atomics_by_category)
+    {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_single_cube() {
+        assert_eq!(BackendConfig::default(), BackendConfig::SingleCube);
+        assert_eq!(BackendConfig::default().label(), "single-cube");
+    }
+
+    #[test]
+    fn single_cube_backend_is_bit_identical_to_raw_cube() {
+        let sim = SimConfig::hpca_default();
+        let mut cube = HmcCube::new(&sim.hmc, sim.core.clock_ghz);
+        let mut backend = SingleCube::new(&sim);
+        for i in 0..512u64 {
+            let addr = (i % 7) * 8192 + i * 64;
+            let kind = match i % 3 {
+                0 => PacketKind::Read64,
+                1 => PacketKind::Write64,
+                _ => PacketKind::Atomic(crate::hmc::HmcAtomicOp::Add16),
+            };
+            let a = cube.service(kind, addr, i as f64);
+            let b = backend.service(kind, addr, i as f64);
+            assert_eq!(a, b, "request {i}");
+        }
+        assert_eq!(cube.stats(), &backend.stats());
+    }
+
+    #[test]
+    fn merge_stats_concatenates_vault_vectors() {
+        let mut agg = HmcStats::default();
+        let a = HmcStats {
+            reads: 3,
+            dram_accesses: 3,
+            requests_per_vault: vec![2, 1],
+            atomics_per_vault: vec![0, 0],
+            ..Default::default()
+        };
+        let mut b = HmcStats {
+            atomics: 2,
+            dram_accesses: 2,
+            requests_per_vault: vec![1, 1],
+            atomics_per_vault: vec![1, 1],
+            ..Default::default()
+        };
+        b.atomics_by_category[0] = 2;
+        merge_stats(&mut agg, &a);
+        merge_stats(&mut agg, &b);
+        assert_eq!(agg.requests_per_vault, vec![2, 1, 1, 1]);
+        assert_eq!(agg.atomics_per_vault, vec![0, 0, 1, 1]);
+        assert_eq!(agg.dram_accesses, 5);
+        assert_eq!(
+            agg.requests_per_vault.iter().sum::<u64>(),
+            agg.dram_accesses
+        );
+        assert_eq!(agg.atomics_by_category[0], agg.atomics);
+    }
+}

@@ -1,5 +1,6 @@
 //! Simulation configuration (Table IV of the paper).
 
+use crate::backend::BackendConfig;
 use serde::{Deserialize, Serialize};
 
 /// Core pipeline parameters.
@@ -115,8 +116,12 @@ pub struct SimConfig {
     pub core: CoreConfig,
     /// Cache hierarchy parameters.
     pub cache: CacheConfig,
-    /// HMC parameters.
+    /// HMC parameters (the cube slice; also the substrate template the
+    /// non-default backends derive their geometry from).
     pub hmc: HmcConfig,
+    /// Which memory backend services requests (default: the paper's
+    /// single cube).
+    pub backend: BackendConfig,
 }
 
 impl SimConfig {
@@ -168,6 +173,7 @@ impl SimConfig {
                 fu_op_ns: 1.0,
                 vault_interleave_bytes: 256,
             },
+            backend: BackendConfig::SingleCube,
         }
     }
 

@@ -28,6 +28,10 @@
 //! * [`validate`] — typed configuration validation ([`validate::ConfigError`])
 //!   run by every constructor, plus the `GRAPHPIM_VALIDATE` gate the
 //!   run-invariant checks upstream consult.
+//! * [`backend`] — the pluggable [`backend::MemoryBackend`] seam the
+//!   system simulator drives, with the paper's single-cube backend plus
+//!   multi-cube HMC chain and UPMEM-style DPU design points, and a
+//!   conformance suite any backend must pass.
 //!
 //! Times are modeled in *CPU cycles* at the configured clock (default 2 GHz,
 //! Table IV) and carried as `f64` so sub-cycle issue bandwidth accumulates
@@ -46,6 +50,7 @@
 //! ```
 
 pub mod attrib;
+pub mod backend;
 pub mod config;
 pub mod cpu;
 pub mod hmc;

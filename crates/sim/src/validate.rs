@@ -58,6 +58,22 @@ pub enum ConfigError {
         /// Interleave blocks in one address region.
         blocks: u64,
     },
+    /// `cubes == 0` in a multi-cube chain backend.
+    ZeroCubes,
+    /// Cube interleave granularity that is zero or not a power of two.
+    CubeInterleave(u64),
+    /// The cube count does not divide the region address space evenly,
+    /// so round-robin interleaving would load cubes unequally.
+    CubeSplit {
+        /// Configured cube count.
+        cubes: usize,
+        /// Interleave blocks in one address region.
+        blocks: u64,
+    },
+    /// `ranks == 0` in a DPU backend.
+    ZeroRanks,
+    /// `dpus_per_rank == 0` in a DPU backend.
+    ZeroDpus,
     /// A numeric field that must be strictly positive and finite.
     NonPositive {
         /// Dotted field path.
@@ -102,6 +118,11 @@ impl ConfigError {
             ConfigError::ZeroLinks => "zero_links",
             ConfigError::Interleave(_) => "vault_interleave",
             ConfigError::VaultSplit { .. } => "vault_split",
+            ConfigError::ZeroCubes => "zero_cubes",
+            ConfigError::CubeInterleave(_) => "cube_interleave",
+            ConfigError::CubeSplit { .. } => "cube_split",
+            ConfigError::ZeroRanks => "zero_ranks",
+            ConfigError::ZeroDpus => "zero_dpus",
             ConfigError::NonPositive { .. } => "non_positive",
             ConfigError::Negative { .. } => "negative",
             ConfigError::Fraction { .. } => "fraction",
@@ -147,6 +168,17 @@ impl std::fmt::Display for ConfigError {
                 "vault count {vaults} does not divide the address space \
                  ({blocks} interleave blocks per region)"
             ),
+            ConfigError::ZeroCubes => write!(f, "need at least one cube in the chain"),
+            ConfigError::CubeInterleave(n) => {
+                write!(f, "cube interleave {n} must be a non-zero power of two")
+            }
+            ConfigError::CubeSplit { cubes, blocks } => write!(
+                f,
+                "cube count {cubes} does not divide the address space \
+                 ({blocks} interleave blocks per region)"
+            ),
+            ConfigError::ZeroRanks => write!(f, "need at least one DRAM rank"),
+            ConfigError::ZeroDpus => write!(f, "need at least one DPU per rank"),
             ConfigError::NonPositive { field, value } => {
                 write!(f, "{field} must be positive and finite, got {value}")
             }
@@ -307,11 +339,13 @@ impl HmcConfig {
 }
 
 impl SimConfig {
-    /// Validates every slice of the substrate configuration.
+    /// Validates every slice of the substrate configuration, including
+    /// the selected memory backend's parameters.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.core.validate()?;
         self.cache.validate()?;
         self.hmc.validate()?;
+        self.backend.validate(self)?;
         Ok(())
     }
 }
@@ -491,6 +525,14 @@ mod tests {
                 vaults: 7,
                 blocks: 99,
             },
+            ConfigError::ZeroCubes,
+            ConfigError::CubeInterleave(3),
+            ConfigError::CubeSplit {
+                cubes: 7,
+                blocks: 99,
+            },
+            ConfigError::ZeroRanks,
+            ConfigError::ZeroDpus,
             ConfigError::NonPositive {
                 field: "x",
                 value: 0.0,
