@@ -45,20 +45,30 @@ pub fn emit_figure_json(fig: &str, ctx: &Experiments) -> bool {
 /// check).
 pub fn report_store_stats(ctx: &Experiments) {
     let counts = ctx.profile().trace_store();
-    eprintln!(
-        "[tracestore] captures: {}, replays: {}, disk hits: {}, \
-         misses: {}, corrupt: {}, fallbacks: {}",
-        counts.captures,
-        counts.replays,
-        counts.disk_hits,
-        counts.disk_misses,
-        counts.corrupt,
-        counts.replay_fallbacks
+    graphpim::obs::info(
+        "tracestore",
+        "store summary",
+        &[
+            ("captures", &counts.captures),
+            ("replays", &counts.replays),
+            ("disk_hits", &counts.disk_hits),
+            ("misses", &counts.disk_misses),
+            ("corrupt", &counts.corrupt),
+            ("fallbacks", &counts.replay_fallbacks),
+        ],
     );
     if let Some(path) = std::env::var_os("GRAPHPIM_STORE_STATS_JSON") {
         match std::fs::write(&path, ctx.store_stats_json()) {
-            Ok(()) => eprintln!("[tracestore] stats written to {}", path.to_string_lossy()),
-            Err(e) => eprintln!("[tracestore] cannot write {}: {e}", path.to_string_lossy()),
+            Ok(()) => graphpim::obs::info(
+                "tracestore",
+                "stats written",
+                &[("path", &path.to_string_lossy())],
+            ),
+            Err(e) => graphpim::obs::warn(
+                "tracestore",
+                "cannot write stats",
+                &[("path", &path.to_string_lossy()), ("error", &e)],
+            ),
         }
     }
 }

@@ -143,19 +143,20 @@ impl DiskCache {
     /// or processes) never expose a torn entry.
     ///
     /// A store failure degrades (the result is simply recomputed next
-    /// run) but warns once per process, so an unwritable cache dir does
-    /// not silently turn every future sweep cold.
+    /// run) but warns once per (site, cache dir), so an unwritable
+    /// cache dir does not silently turn every future sweep cold — and
+    /// a second cache rooted elsewhere still gets its own warning.
     pub fn store(&self, key: &RunKey, fingerprint: u64, metrics: &RunMetrics) {
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
         let warn = |what: &str, e: &std::io::Error| {
-            if !WARNED.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "[run-cache] cannot {what} under {} ({e}); results will \
-                     not persist (further store errors suppressed)",
-                    self.dir.display()
-                );
-            }
+            crate::obs::warn_once(
+                &format!("run-cache.{what}:{}", self.dir.display()),
+                "run-cache",
+                &format!(
+                    "cannot {what}; results will not persist (further store errors suppressed)"
+                ),
+                &[("path", &self.dir.display()), ("error", &e)],
+            );
         };
         if let Err(e) = std::fs::create_dir_all(&self.dir) {
             warn("create the cache directory", &e);

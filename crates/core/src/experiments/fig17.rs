@@ -43,9 +43,11 @@ pub fn app_scale() -> u32 {
     match std::env::var("GRAPHPIM_APP_SCALE") {
         Err(_) => DEFAULT,
         Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            eprintln!(
-                "[fig17] unrecognized GRAPHPIM_APP_SCALE value {v:?} \
-                 (expected log2 vertex count); using {DEFAULT}"
+            crate::obs::warn(
+                "fig17",
+                "unrecognized GRAPHPIM_APP_SCALE value (expected log2 vertex count); \
+                 using the default",
+                &[("value", &format!("{v:?}")), ("default", &DEFAULT)],
             );
             DEFAULT
         }),

@@ -567,7 +567,7 @@ impl Experiments {
                 cache::Lookup::Hit(hit) => {
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
                     if self.verbose {
-                        eprintln!("[disk-hit] {}", key.file_stem());
+                        crate::obs::info("engine", "disk hit", &[("key", &key.file_stem())]);
                     }
                     let mut profile = self.profile.lock().unwrap();
                     profile.note_disk_hit();
@@ -588,9 +588,16 @@ impl Experiments {
             self.graph(key.size)
         };
         if self.verbose {
-            eprintln!(
-                "[run] {} {} {} fus={} bw={}",
-                key.kernel, key.mode, key.size, key.fus, key.bw_tenths
+            crate::obs::info(
+                "engine",
+                "run",
+                &[
+                    ("kernel", &key.kernel),
+                    ("mode", &key.mode),
+                    ("size", &key.size),
+                    ("fus", &key.fus),
+                    ("bw_tenths", &key.bw_tenths),
+                ],
             );
         }
         let config = self.config_for(key);
@@ -600,13 +607,27 @@ impl Experiments {
                 match TraceExporter::create(&path) {
                     Ok(exporter) => Some(exporter),
                     Err(e) => {
-                        eprintln!("[trace] cannot create {}: {e}", path.display());
+                        crate::obs::warn(
+                            "trace",
+                            "cannot create trace exporter",
+                            &[("path", &path.display()), ("error", &e)],
+                        );
                         None
                     }
                 }
             }),
             perfetto: self.perfetto_dir.as_ref().map(|dir| {
-                PerfettoTrace::create(dir.join(format!("{}.trace.json", key.file_stem())))
+                let mut perfetto =
+                    PerfettoTrace::create(dir.join(format!("{}.trace.json", key.file_stem())));
+                // A serve worker resolving a job has pushed its trace ID
+                // (and measured queue wait) as thread context; attach them
+                // so the exported trace carries the request's identity.
+                if let Some(trace_id) = crate::obs::context_value("trace") {
+                    let queue_wait = crate::obs::context_value("queue_wait_us")
+                        .and_then(|v| v.parse::<f64>().ok());
+                    perfetto.set_job_context(&trace_id, queue_wait);
+                }
+                perfetto
             }),
             attribution: self.attribution,
         };
@@ -635,7 +656,11 @@ impl Experiments {
             // Should be unreachable — entries are checksum-validated at
             // load — but a decode failure must degrade to a correct live
             // run, never a panic.
-            eprintln!("[trace-store] replay failed ({e}); running live");
+            crate::obs::warn(
+                "tracestore",
+                "replay failed; running live",
+                &[("key", &key.file_stem()), ("error", e)],
+            );
             self.profile.lock().unwrap().note_replay_fallback();
         };
         let (metrics, source) = match self.workload_trace(key, &graph) {
@@ -678,11 +703,12 @@ impl Experiments {
         }
         let mut profile = self.profile.lock().unwrap();
         if metrics.trace_export_failed {
-            // The write-time eprintln already named the exact file; repeat
+            // The write-time warning already named the exact file; repeat
             // the run so sweep logs connect the warning to a figure row.
-            eprintln!(
-                "[trace] export failed for run {} (see preceding error)",
-                key.file_stem()
+            crate::obs::warn(
+                "trace",
+                "export failed for run (see preceding error)",
+                &[("key", &key.file_stem())],
             );
             profile.note_trace_export_failure();
         }
@@ -733,7 +759,11 @@ impl Experiments {
             let bytes = match store.lookup(&wkey, fp) {
                 TraceLookup::Hit(bytes) => {
                     if self.verbose {
-                        eprintln!("[trace-store hit] {}", wkey.file_stem());
+                        crate::obs::info(
+                            "tracestore",
+                            "store hit",
+                            &[("workload", &wkey.file_stem())],
+                        );
                     }
                     self.profile.lock().unwrap().note_trace_disk_hit();
                     bytes
@@ -747,7 +777,11 @@ impl Experiments {
                         }
                     }
                     if self.verbose {
-                        eprintln!("[capture] {}", wkey.file_stem());
+                        crate::obs::info(
+                            "tracestore",
+                            "capture",
+                            &[("workload", &wkey.file_stem())],
+                        );
                     }
                     let start = Instant::now();
                     let bytes = if streaming {
@@ -1086,9 +1120,11 @@ fn stream_replay_from_env() -> Option<bool> {
             "1" => Some(true),
             "0" => Some(false),
             other => {
-                eprintln!(
-                    "[engine] unrecognized GRAPHPIM_STREAM_REPLAY value {other:?} \
-                     (expected 1 or 0); using the per-size default"
+                crate::obs::warn(
+                    "engine",
+                    "unrecognized GRAPHPIM_STREAM_REPLAY value (expected 1 or 0); \
+                     using the per-size default",
+                    &[("value", &format!("{other:?}"))],
                 );
                 None
             }
@@ -1128,9 +1164,12 @@ pub fn worker_threads() -> usize {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!(
-                    "[engine] unrecognized GRAPHPIM_THREADS value {v:?} \
-                     (expected a positive integer); using available parallelism"
+                crate::obs::warn_once(
+                    "engine.threads-env",
+                    "engine",
+                    "unrecognized GRAPHPIM_THREADS value (expected a positive integer); \
+                     using available parallelism",
+                    &[("value", &format!("{v:?}"))],
                 );
                 fallback()
             }

@@ -43,6 +43,9 @@ pub struct RunRecord {
     pub seconds: f64,
     /// Where the result came from.
     pub source: RunSource,
+    /// The request-correlated trace ID active when the run resolved
+    /// (the serving thread's `trace` context field), if any.
+    pub trace: Option<String>,
 }
 
 /// One `prewarm` fan-out.
@@ -107,12 +110,16 @@ pub struct TraceStoreCounts {
 }
 
 impl EngineProfile {
-    /// Records one resolved run.
+    /// Records one resolved run, stamping it with the calling thread's
+    /// `trace` context field (set by the serve worker for the job being
+    /// resolved) so a slow run is attributable to the exact request
+    /// that caused it.
     pub fn record_run(&mut self, key: String, seconds: f64, source: RunSource) {
         self.runs.push(RunRecord {
             key,
             seconds,
             source,
+            trace: crate::obs::context_value("trace"),
         });
     }
 
@@ -308,11 +315,15 @@ impl EngineProfile {
         for (i, r) in self.runs.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"key\": \"{}\", \"seconds\": {:?}, \"source\": \"{}\"}}",
+                "    {{\"key\": \"{}\", \"seconds\": {:?}, \"source\": \"{}\"",
                 r.key,
                 r.seconds,
                 r.source.label()
             );
+            if let Some(trace) = &r.trace {
+                let _ = write!(s, ", \"trace\": \"{trace}\"");
+            }
+            s.push('}');
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
         let _ = writeln!(

@@ -48,6 +48,7 @@ pub mod energy;
 pub mod experiments;
 pub mod fingerprint;
 pub mod metrics;
+pub mod obs;
 pub mod perfetto;
 pub mod pou;
 pub mod report;

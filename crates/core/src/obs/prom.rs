@@ -1,0 +1,603 @@
+//! Prometheus text exposition (format 0.0.4): an append-only builder
+//! producing `# HELP`/`# TYPE` headers and sample lines, plus a strict
+//! linter shared by the test suite and `servectl metrics --lint`.
+//!
+//! Engine counter names are dotted (`attrib.core.busy`,
+//! `tracestore.replays`); [`sanitize`] maps them onto the Prometheus
+//! name grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) by replacing every
+//! invalid character with `_`. Power-of-two [`Histogram`]s render as
+//! native Prometheus histograms with cumulative `le` buckets.
+
+use graphpim_sim::telemetry::Histogram;
+
+/// Maps an arbitrary counter name onto the Prometheus metric-name
+/// grammar: invalid characters become `_`, and a leading digit gets a
+/// `_` prefix. `attrib.core.busy` → `attrib_core_busy`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integers without a fraction, infinities as
+/// `+Inf`/`-Inf` (the exposition spelling).
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// An exposition document under construction. Families are emitted in
+/// call order; each `family()` call writes the `# HELP`/`# TYPE` pair
+/// and subsequent `sample()` calls append series for it.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Starts a metric family: writes its `# HELP` and `# TYPE` lines.
+    /// `name` must already be a valid metric name (use [`sanitize`]).
+    /// `kind` is `counter`, `gauge`, `histogram`, `summary`, or
+    /// `untyped`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let help: String = help
+            .chars()
+            .map(|c| if c == '\n' { ' ' } else { c })
+            .collect();
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&help.replace('\\', "\\\\"));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Appends one sample line. Label values are escaped here; label
+    /// names must already be valid.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Renders a power-of-two [`Histogram`] as one Prometheus
+    /// histogram series set: cumulative `le` buckets (the unbounded
+    /// last bucket folds into `+Inf`), `_sum`, and `_count`. The
+    /// family header (`# TYPE ... histogram`) must come from a prior
+    /// [`family`](Self::family) call.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let counts = h.bucket_counts();
+        let mut cumulative = 0u64;
+        let bucket_name = format!("{name}_bucket");
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            let le = if i + 1 >= counts.len() {
+                "+Inf".to_string()
+            } else {
+                format_value(h.bucket_bound(i))
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        self.sample(&format!("{name}_sum"), labels, h.sum());
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One lint violation: `(line number, message)`. Line numbers are
+/// 1-based; line 0 flags document-level problems.
+pub type LintError = (usize, String);
+
+/// Strictly lints a text-exposition document: every line must match
+/// the exposition grammar, every sample's family must have `# HELP`
+/// and `# TYPE` declared before its first sample, families must not
+/// interleave, and no two samples may share a (name, label set)
+/// series. Histogram families must carry cumulative `le` buckets
+/// ending in `+Inf` with `_count` equal to the `+Inf` bucket.
+pub fn lint(text: &str) -> Result<(), Vec<LintError>> {
+    let mut errors: Vec<LintError> = Vec::new();
+    // family name -> (has_help, has_type, kind)
+    let mut families: std::collections::HashMap<String, (bool, bool, String)> =
+        std::collections::HashMap::new();
+    let mut closed: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut seen_series: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut current_family: Option<String> = None;
+    // (histogram family, non-le label set) -> (last cumulative bucket,
+    // saw +Inf, count value). Keyed per series, not per family: one
+    // histogram family legitimately holds many labeled series and each
+    // has its own cumulative bucket chain.
+    type HistogramState = (f64, Option<f64>, Option<f64>);
+    let mut histograms: std::collections::HashMap<(String, String), HistogramState> =
+        std::collections::HashMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let ln = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = match rest.split_once(' ') {
+                Some(pair) => pair,
+                None => {
+                    errors.push((ln, "malformed comment line".to_string()));
+                    continue;
+                }
+            };
+            if keyword != "HELP" && keyword != "TYPE" {
+                continue; // plain comment: legal, ignored
+            }
+            let (name, payload) = match rest.split_once(' ') {
+                Some(pair) => pair,
+                None if keyword == "HELP" => (rest, ""),
+                None => {
+                    errors.push((ln, format!("# {keyword} line missing payload")));
+                    continue;
+                }
+            };
+            if !valid_name(name) {
+                errors.push((ln, format!("invalid metric name {name:?}")));
+                continue;
+            }
+            if closed.contains(name) {
+                errors.push((
+                    ln,
+                    format!("family {name} interleaved: redeclared after other samples"),
+                ));
+            }
+            if let Some(current) = &current_family {
+                if current != name {
+                    closed.insert(current.clone());
+                }
+            }
+            current_family = Some(name.to_string());
+            let entry = families
+                .entry(name.to_string())
+                .or_insert((false, false, String::new()));
+            if keyword == "HELP" {
+                if entry.0 {
+                    errors.push((ln, format!("duplicate # HELP for {name}")));
+                }
+                entry.0 = true;
+            } else {
+                if entry.1 {
+                    errors.push((ln, format!("duplicate # TYPE for {name}")));
+                }
+                entry.1 = true;
+                let kind = payload.trim();
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    errors.push((ln, format!("unknown metric type {kind:?} for {name}")));
+                }
+                entry.2 = kind.to_string();
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+
+        // A sample line: name[{labels}] value [timestamp]
+        let (series, family, labels) = match parse_sample(line) {
+            Ok(parts) => parts,
+            Err(msg) => {
+                errors.push((ln, msg));
+                continue;
+            }
+        };
+        let base = base_family(&family, &families);
+        match families.get(&base) {
+            Some((has_help, has_type, _)) => {
+                if !has_help {
+                    errors.push((ln, format!("sample for {base} before its # HELP")));
+                }
+                if !has_type {
+                    errors.push((ln, format!("sample for {base} before its # TYPE")));
+                }
+            }
+            None => {
+                errors.push((ln, format!("sample for undeclared family {base}")));
+            }
+        }
+        if current_family.as_deref() != Some(base.as_str()) && families.contains_key(&base) {
+            errors.push((
+                ln,
+                format!("family {base} samples not contiguous with its header"),
+            ));
+        }
+        if !seen_series.insert(series.clone()) {
+            errors.push((ln, format!("duplicate series {series}")));
+        }
+
+        // Histogram bookkeeping, per (family, non-le label set).
+        if families.get(&base).map(|f| f.2.as_str()) == Some("histogram") {
+            let value: f64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(parse_value)
+                .unwrap_or(f64::NAN);
+            let mut series_labels: Vec<&(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").collect();
+            series_labels.sort();
+            let series_key = series_labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let entry = histograms
+                .entry((base.clone(), series_key))
+                .or_insert((0.0, None, None));
+            if family == format!("{base}_bucket") {
+                if let Some(le) = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v) {
+                    if value + 1e-9 < entry.0 {
+                        errors.push((ln, format!("{base} buckets not cumulative at le={le}")));
+                    }
+                    entry.0 = value;
+                    if le == "+Inf" {
+                        entry.1 = Some(value);
+                    }
+                } else {
+                    errors.push((ln, format!("{base}_bucket sample missing le label")));
+                }
+            } else if family == format!("{base}_count") {
+                entry.2 = Some(value);
+            }
+        }
+    }
+
+    for (name, (has_help, has_type, _)) in &families {
+        if !has_help {
+            errors.push((0, format!("family {name} has # TYPE but no # HELP")));
+        }
+        if !has_type {
+            errors.push((0, format!("family {name} has # HELP but no # TYPE")));
+        }
+    }
+    for ((name, series), (_, inf, count)) in &histograms {
+        let series = if series.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}{{{series}}}")
+        };
+        match inf {
+            None => errors.push((0, format!("histogram {series} has no +Inf bucket"))),
+            Some(inf) => {
+                if let Some(count) = count {
+                    if (inf - count).abs() > 1e-9 {
+                        errors.push((
+                            0,
+                            format!("histogram {series}: +Inf bucket {inf} != _count {count}"),
+                        ));
+                    }
+                }
+            }
+        }
+        if count.is_none() {
+            errors.push((0, format!("histogram {series} has no _count sample")));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        errors.sort();
+        Err(errors)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The family a sample belongs to: its name, minus a histogram/summary
+/// suffix when the suffixed base is a declared family.
+fn base_family(
+    name: &str,
+    families: &std::collections::HashMap<String, (bool, bool, String)>,
+) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some((_, _, kind)) = families.get(base) {
+                if kind == "histogram" || kind == "summary" {
+                    return base.to_string();
+                }
+            }
+        }
+    }
+    name.to_string()
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        s => s.parse().ok(),
+    }
+}
+
+/// Parses one sample line into (canonical series id, metric name,
+/// labels). The canonical id sorts labels so permuted duplicates are
+/// still caught.
+#[allow(clippy::type_complexity)]
+fn parse_sample(line: &str) -> Result<(String, String, Vec<(String, String)>), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unclosed label brace".to_string())?;
+            if close < brace {
+                return Err("malformed label braces".to_string());
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => match line.find(' ') {
+            Some(space) => (&line[..space], &line[space..]),
+            None => return Err("sample line has no value".to_string()),
+        },
+    };
+    if !valid_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    let mut labels: Vec<(String, String)> = Vec::new();
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').unwrap();
+        let body = &line[brace + 1..close];
+        let mut chars = body.chars().peekable();
+        while chars.peek().is_some() {
+            let mut label = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                label.push(c);
+            }
+            if !valid_label_name(&label) {
+                return Err(format!("invalid label name {label:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("label {label} value not quoted"));
+            }
+            let mut value = String::new();
+            let mut escaped = false;
+            let mut terminated = false;
+            for c in chars.by_ref() {
+                if escaped {
+                    match c {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        c => return Err(format!("bad escape \\{c} in label {label}")),
+                    }
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    terminated = true;
+                    break;
+                } else {
+                    value.push(c);
+                }
+            }
+            if !terminated {
+                return Err(format!("unterminated value for label {label}"));
+            }
+            labels.push((label, value));
+            match chars.peek() {
+                Some(',') => {
+                    chars.next();
+                }
+                Some(c) => return Err(format!("expected ',' or '}}' after label, got {c:?}")),
+                None => {}
+            }
+        }
+    }
+
+    let rest = rest.trim_start();
+    let mut parts = rest.split(' ').filter(|p| !p.is_empty());
+    let value = parts
+        .next()
+        .ok_or_else(|| "missing sample value".to_string())?;
+    if parse_value(value).is_none() {
+        return Err(format!("unparseable sample value {value:?}"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after sample".to_string());
+    }
+
+    let mut sorted = labels.clone();
+    sorted.sort();
+    let series = format!(
+        "{name_part}{{{}}}",
+        sorted
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Ok((series, name_part.to_string(), labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_dotted_names() {
+        assert_eq!(sanitize("attrib.core.busy"), "attrib_core_busy");
+        assert_eq!(
+            sanitize("hmc.vault07.queue_wait.p99"),
+            "hmc_vault07_queue_wait_p99"
+        );
+        assert_eq!(sanitize("7seconds"), "_7seconds");
+        assert_eq!(sanitize("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(-1.0), "-1");
+    }
+
+    #[test]
+    fn build_and_lint_round_trip() {
+        let mut e = Exposition::new();
+        e.family("graphpim_jobs_completed_total", "counter", "Jobs completed");
+        e.sample("graphpim_jobs_completed_total", &[], 42.0);
+        e.family("graphpim_queue_depth", "gauge", "Units queued");
+        e.sample("graphpim_queue_depth", &[("state", "queued")], 3.0);
+        e.sample("graphpim_queue_depth", &[("state", "running")], 1.0);
+        let mut h = Histogram::new(4);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        e.family("graphpim_latency_micros", "histogram", "Endpoint latency");
+        e.histogram("graphpim_latency_micros", &[("endpoint", "/healthz")], &h);
+        // A second labeled series in the same family: its bucket chain
+        // restarts from a smaller cumulative count, which the linter
+        // must track per series, not per family.
+        let mut h2 = Histogram::new(4);
+        h2.record(2.0);
+        e.histogram("graphpim_latency_micros", &[("endpoint", "/stats")], &h2);
+        let text = e.finish();
+        assert!(lint(&text).is_ok(), "{:?}\n{text}", lint(&text));
+        assert!(
+            text.contains("graphpim_latency_micros_bucket{endpoint=\"/healthz\",le=\"+Inf\"} 4")
+        );
+        assert!(text.contains("graphpim_latency_micros_count{endpoint=\"/healthz\"} 4"));
+    }
+
+    #[test]
+    fn lint_catches_violations() {
+        // Sample with no HELP/TYPE.
+        let errs = lint("orphan_metric 1\n").unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("undeclared family")));
+
+        // Duplicate series.
+        let doc = "# HELP m help\n# TYPE m gauge\nm{a=\"x\"} 1\nm{a=\"x\"} 2\n";
+        let errs = lint(doc).unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("duplicate series")));
+
+        // Duplicate series under permuted labels.
+        let doc = "# HELP m help\n# TYPE m gauge\nm{a=\"x\",b=\"y\"} 1\nm{b=\"y\",a=\"x\"} 2\n";
+        assert!(lint(doc).is_err());
+
+        // TYPE without HELP.
+        let errs = lint("# TYPE m gauge\nm 1\n").unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("no # HELP")));
+
+        // Bad metric type.
+        let errs = lint("# HELP m h\n# TYPE m banana\nm 1\n").unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("unknown metric type")));
+
+        // Interleaved families.
+        let doc =
+            "# HELP a h\n# TYPE a gauge\na 1\n# HELP b h\n# TYPE b gauge\nb 1\na{x=\"1\"} 2\n";
+        let errs = lint(doc).unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("not contiguous")));
+
+        // Histogram without +Inf.
+        let doc = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        let errs = lint(doc).unwrap_err();
+        assert!(errs.iter().any(|(_, m)| m.contains("no +Inf bucket")));
+
+        // Unparseable value.
+        let errs = lint("# HELP m h\n# TYPE m gauge\nm abc\n").unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|(_, m)| m.contains("unparseable sample value")));
+    }
+}

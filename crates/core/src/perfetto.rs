@@ -7,7 +7,12 @@
 //! * **pid 0 — supersteps**: one span per superstep barrier interval;
 //! * **pid 1 — cores**: per-core busy / barrier-stall spans;
 //! * **pid 2 — requests**: sampled memory-request lifecycles with their
-//!   queue/FU waits as span arguments.
+//!   queue/FU waits as span arguments;
+//! * **pid 3 — job** (only when a request-correlated trace ID is
+//!   attached via [`PerfettoTrace::set_job_context`]): one span named
+//!   after the trace ID covering the whole run, with the job's HTTP
+//!   queue wait as a span argument — so one served job's queue wait,
+//!   engine run, and supersteps all land in a single trace.
 //!
 //! Timestamps are simulated CPU cycles reported in the format's
 //! microsecond field (1 cycle = 1 "µs"), which keeps the UI's zoom and
@@ -26,6 +31,10 @@ use std::path::{Path, PathBuf};
 pub struct PerfettoTrace {
     path: PathBuf,
     events: Vec<String>,
+    /// `(trace id, queue wait in µs)` of the serving job, if any.
+    job: Option<(String, Option<f64>)>,
+    /// Largest span end seen, so the job span covers the whole run.
+    max_end: f64,
 }
 
 impl PerfettoTrace {
@@ -35,7 +44,21 @@ impl PerfettoTrace {
         PerfettoTrace {
             path: path.into(),
             events: Vec::new(),
+            job: None,
+            max_end: 0.0,
         }
+    }
+
+    /// Attaches the serving job's request-correlated trace ID (and its
+    /// queue wait, in microseconds, when known). At [`write`] time the
+    /// exporter adds a pid-3 "job" row holding one `trace:<id>` span
+    /// that covers the whole run, so the job is findable in the
+    /// Perfetto UI by the same ID the service returned in its
+    /// `X-Trace-Id` header and `/jobs/{id}` events.
+    ///
+    /// [`write`]: PerfettoTrace::write
+    pub fn set_job_context(&mut self, trace_id: &str, queue_wait_us: Option<f64>) {
+        self.job = Some((trace_id.to_string(), queue_wait_us));
     }
 
     /// Creates an exporter when `GRAPHPIM_PERFETTO_DIR` is set, writing to
@@ -106,6 +129,9 @@ impl PerfettoTrace {
         args: &[(&str, f64)],
     ) {
         let dur = (end - start).max(0.0);
+        if end > self.max_end {
+            self.max_end = end;
+        }
         let mut event = format!(
             "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{start:?},\"dur\":{dur:?},\
              \"pid\":{pid},\"tid\":{tid}",
@@ -128,7 +154,17 @@ impl PerfettoTrace {
 
     /// Writes the accumulated events as one `{"traceEvents": [...]}`
     /// document and returns the path.
-    pub fn write(self) -> std::io::Result<PathBuf> {
+    pub fn write(mut self) -> std::io::Result<PathBuf> {
+        if let Some((trace_id, queue_wait)) = self.job.take() {
+            let end = self.max_end;
+            self.process_name(3, "job");
+            self.thread_name(3, 0, &format!("trace {trace_id}"));
+            let mut args: Vec<(&str, f64)> = Vec::new();
+            if let Some(wait) = queue_wait {
+                args.push(("queue_wait_us", wait));
+            }
+            self.span(&format!("trace:{trace_id}"), "job", 3, 0, 0.0, end, &args);
+        }
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;

@@ -171,7 +171,7 @@ impl SystemSim {
             panic!("invalid SystemConfig: {e}");
         }
         for warning in config.validation_warnings() {
-            eprintln!("graphpim: config warning: {warning}");
+            crate::obs::warn("config", "config warning", &[("warning", &warning)]);
         }
         let cores = (0..config.sim.core.cores)
             .map(|_| CoreModel::new(&config.sim.core))
@@ -531,7 +531,11 @@ impl SystemSim {
             );
             let path = perfetto.path().to_path_buf();
             if let Err(e) = perfetto.write() {
-                eprintln!("[perfetto] cannot write {}: {e}", path.display());
+                crate::obs::warn(
+                    "perfetto",
+                    "cannot write span trace",
+                    &[("path", &path.display()), ("error", &e)],
+                );
                 self.trace_export_failed = true;
             }
         }
@@ -544,7 +548,11 @@ impl SystemSim {
                 let path = trace.path().to_path_buf();
                 trace.snapshot(self.superstep + 1, total_cycles, &counters);
                 if let Err(e) = trace.finish() {
-                    eprintln!("[trace] cannot write {}: {e}", path.display());
+                    crate::obs::warn(
+                        "trace",
+                        "cannot write telemetry trace",
+                        &[("path", &path.display()), ("error", &e)],
+                    );
                     self.trace_export_failed = true;
                 }
             }

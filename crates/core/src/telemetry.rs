@@ -121,7 +121,11 @@ impl TraceExporter {
         match TraceExporter::create(&path) {
             Ok(exporter) => Some(exporter),
             Err(e) => {
-                eprintln!("[trace] cannot create {}: {e}", path.display());
+                crate::obs::warn(
+                    "trace",
+                    "cannot create trace exporter",
+                    &[("path", &path.display()), ("error", &e)],
+                );
                 None
             }
         }

@@ -34,19 +34,19 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Warns once per process about a store I/O failure, then goes quiet: an
-/// unwritable store dir silently turning every sweep cold is the kind of
-/// slowdown nobody notices for weeks, but repeating the warning per entry
-/// would bury real output.
+/// Warns once per (failure site, store dir) about a store I/O failure,
+/// then goes quiet for that pair: an unwritable store dir silently
+/// turning every sweep cold is the kind of slowdown nobody notices for
+/// weeks, but repeating the warning per entry would bury real output.
+/// Keying on the directory means a second store rooted elsewhere still
+/// gets its own warning.
 fn warn_once(dir: &Path, what: &str, e: &std::io::Error) {
-    static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-    if !WARNED.swap(true, Ordering::Relaxed) {
-        eprintln!(
-            "[trace-store] cannot {what} under {} ({e}); traces will \
-             not persist (further store errors suppressed)",
-            dir.display()
-        );
-    }
+    crate::obs::warn_once(
+        &format!("tracestore.{what}:{}", dir.display()),
+        "tracestore",
+        &format!("cannot {what}; traces will not persist (further store errors suppressed)"),
+        &[("path", &dir.display()), ("error", &e)],
+    );
 }
 
 /// Identity of one functional workload: everything that determines the

@@ -5,7 +5,8 @@
 //!
 //! commands:
 //!   health                         GET /healthz
-//!   stats                          GET /stats
+//!   stats [--watch SECONDS]        GET /stats (once, or polled forever)
+//!   metrics [--lint]               GET /metrics (optionally lint the exposition)
 //!   figures                        GET /figures
 //!   figure <figNN>                 GET /figures/<figNN>
 //!   counters <run-key-stem>        GET /counters/<stem>
@@ -25,7 +26,8 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7480";
 fn usage() -> ! {
     eprintln!(
         "usage: servectl [--addr HOST:PORT] <command> [args]\n\
-         commands: health | stats | figures | figure <fig> | counters <stem> |\n\
+         commands: health | stats [--watch SECONDS] | metrics [--lint] |\n\
+         \x20         figures | figure <fig> | counters <stem> |\n\
          \x20         trace <kernel> [--size S] [--supersteps a..b] |\n\
          \x20         sweep <fig|stems...> [--follow] [--client ID] | job <id> | shutdown"
     );
@@ -71,7 +73,8 @@ fn main() {
 
     match command.as_str() {
         "health" => finish(client::get(&addr, "/healthz")),
-        "stats" => finish(client::get(&addr, "/stats")),
+        "stats" => stats(&addr, rest),
+        "metrics" => metrics(&addr, rest),
         "figures" => finish(client::get(&addr, "/figures")),
         "figure" => {
             let Some(fig) = rest.first() else { usage() };
@@ -113,6 +116,69 @@ fn main() {
         "sweep" => sweep(&addr, rest),
         _ => usage(),
     }
+}
+
+/// `stats`: one `GET /stats`, or with `--watch N` a poll loop printing
+/// each response until interrupted (or stdout closes — `emit` exits
+/// quietly on a broken pipe).
+fn stats(addr: &str, rest: &[String]) -> ! {
+    let mut watch: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--watch" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs > 0 => watch = Some(secs),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let Some(interval) = watch else {
+        finish(client::get(addr, "/stats"))
+    };
+    loop {
+        match client::get(addr, "/stats") {
+            Ok((status, body)) if (200..300).contains(&status) => {
+                emit(String::from_utf8_lossy(&body).trim_end());
+            }
+            Ok((status, _)) => emit(&format!("servectl: /stats answered {status}")),
+            Err(e) => emit(&format!("servectl: {e}")),
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+}
+
+/// `metrics`: fetches `GET /metrics` and prints the exposition. With
+/// `--lint`, additionally runs the strict exposition linter on the live
+/// scrape and exits nonzero on any violation.
+fn metrics(addr: &str, rest: &[String]) -> ! {
+    let lint = match rest {
+        [] => false,
+        [flag] if flag == "--lint" => true,
+        _ => usage(),
+    };
+    let (status, body) = match client::get(addr, "/metrics") {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("servectl: {e}");
+            std::process::exit(1)
+        }
+    };
+    let text = String::from_utf8_lossy(&body);
+    emit(text.trim_end());
+    if !(200..300).contains(&status) {
+        std::process::exit(1);
+    }
+    if lint {
+        if let Err(errors) = graphpim::obs::prom::lint(&text) {
+            for (line, message) in &errors {
+                eprintln!("servectl: lint: line {line}: {message}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("servectl: lint: ok");
+    }
+    std::process::exit(0)
 }
 
 fn sweep(addr: &str, rest: &[String]) -> ! {

@@ -165,6 +165,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `X-Trace-Id`), written verbatim.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -175,20 +177,41 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// A `text/plain` response (the `/metrics` exposition format).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds one extra response header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
     }
 
     /// Writes the full response (headers + body) to `w`.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -204,14 +227,29 @@ pub struct ChunkedWriter<W: Write> {
 
 impl<W: Write> ChunkedWriter<W> {
     /// Writes the response head and returns the chunk writer.
-    pub fn start(mut w: W, status: u16, content_type: &str) -> io::Result<ChunkedWriter<W>> {
+    pub fn start(w: W, status: u16, content_type: &str) -> io::Result<ChunkedWriter<W>> {
+        ChunkedWriter::start_with_headers(w, status, content_type, &[])
+    }
+
+    /// Like [`start`](Self::start), with extra response headers (e.g.
+    /// `X-Trace-Id` on an event stream).
+    pub fn start_with_headers(
+        mut w: W,
+        status: u16,
+        content_type: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ChunkedWriter<W>> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
             status,
             reason(status),
             content_type
         )?;
+        for (name, value) in headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.flush()?;
         Ok(ChunkedWriter { w })
     }
@@ -265,12 +303,26 @@ pub mod client {
         body: Option<&[u8]>,
         headers: &[(&str, &str)],
     ) -> io::Result<(u16, Vec<u8>)> {
+        let (status, _, body) = request_full(addr, method, path, body, headers)?;
+        Ok((status, body))
+    }
+
+    /// Like [`request`], additionally returning the response headers
+    /// (lowercased names) — how callers read `X-Trace-Id`.
+    #[allow(clippy::type_complexity)]
+    pub fn request_full(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
         let mut stream = TcpStream::connect(addr)?;
         send_request(&mut stream, addr, method, path, body, headers)?;
         let mut reader = BufReader::new(stream);
         let (status, response_headers) = read_head(&mut reader)?;
         let body = read_body(&mut reader, &response_headers)?;
-        Ok((status, body))
+        Ok((status, response_headers, body))
     }
 
     /// `GET path`.

@@ -20,6 +20,7 @@
 //!   at submission time on estimates.
 //! * [`scheduler`] — shortest-job-first priority queue and the worker
 //!   pool; per-job NDJSON event logs.
+//! * [`metrics`] — the `GET /metrics` Prometheus text exposition.
 //! * [`service`] — routing, per-endpoint latency histograms, and the
 //!   accept → drain lifecycle.
 //! * [`sync`] — poison-tolerant `Mutex`/`Condvar` helpers. **Crate
@@ -36,6 +37,7 @@
 pub mod admission;
 pub mod cost;
 pub mod http;
+pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod sync;

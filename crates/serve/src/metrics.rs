@@ -1,0 +1,255 @@
+//! `GET /metrics`: Prometheus text exposition over the service's
+//! counters.
+//!
+//! Rendering is pull-time only — nothing here is on a hot path, and no
+//! state exists solely for this endpoint: every family is a view over
+//! counters the scheduler, engine profile, latency stats, and logger
+//! already maintain. Dotted engine counter names (`tracestore.replays`)
+//! pass through [`prom::sanitize`]; endpoint labels keep their verbatim
+//! route text (`GET /jobs/{id}`) as label values, which the exposition
+//! format allows.
+//!
+//! The document is linted in the test suite (and by `servectl metrics
+//! --lint`) with [`prom::lint`], so the grammar, HELP/TYPE coverage,
+//! and series uniqueness are enforced mechanically.
+
+use crate::http::Response;
+use crate::service::{build_profile, Shared};
+use graphpim::obs::prom;
+
+/// The exposition content type Prometheus expects for format 0.0.4.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Renders the full exposition document for `GET /metrics`.
+pub(crate) fn metrics(shared: &Shared) -> Response {
+    Response::text(200, CONTENT_TYPE, render(shared))
+}
+
+fn render(shared: &Shared) -> String {
+    let mut e = prom::Exposition::new();
+
+    e.family(
+        "graphpim_build_info",
+        "gauge",
+        "Constant 1, labeled with the crate version and build profile.",
+    );
+    e.sample(
+        "graphpim_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("profile", build_profile()),
+        ],
+        1.0,
+    );
+
+    e.family(
+        "graphpim_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+    );
+    e.sample(
+        "graphpim_uptime_seconds",
+        &[],
+        shared.started.elapsed().as_secs_f64(),
+    );
+
+    e.family(
+        "graphpim_draining",
+        "gauge",
+        "1 while the service is draining for shutdown, else 0.",
+    );
+    e.sample(
+        "graphpim_draining",
+        &[],
+        if shared.sched.draining() { 1.0 } else { 0.0 },
+    );
+
+    let depth = shared.sched.depth();
+    e.family(
+        "graphpim_scheduler_queue_depth",
+        "gauge",
+        "Run units in the scheduler, by state.",
+    );
+    e.sample(
+        "graphpim_scheduler_queue_depth",
+        &[("state", "queued")],
+        depth.queued as f64,
+    );
+    e.sample(
+        "graphpim_scheduler_queue_depth",
+        &[("state", "running")],
+        depth.running as f64,
+    );
+    e.family(
+        "graphpim_scheduler_queued_cost_seconds",
+        "gauge",
+        "Summed cost-model estimates of queued, not-yet-started units.",
+    );
+    e.sample(
+        "graphpim_scheduler_queued_cost_seconds",
+        &[],
+        depth.queued_cost_seconds,
+    );
+    e.family(
+        "graphpim_scheduler_jobs_retained",
+        "gauge",
+        "Jobs held in history for GET /jobs/{id}.",
+    );
+    e.sample("graphpim_scheduler_jobs_retained", &[], depth.jobs as f64);
+
+    let counters = shared.sched.counters();
+    e.family(
+        "graphpim_jobs_submitted_total",
+        "counter",
+        "Sweep jobs admitted since start.",
+    );
+    e.sample(
+        "graphpim_jobs_submitted_total",
+        &[],
+        counters.jobs_submitted as f64,
+    );
+    e.family(
+        "graphpim_jobs_completed_total",
+        "counter",
+        "Sweep jobs whose last unit finished.",
+    );
+    e.sample(
+        "graphpim_jobs_completed_total",
+        &[],
+        counters.jobs_completed as f64,
+    );
+    e.family(
+        "graphpim_units_resolved_total",
+        "counter",
+        "Run units resolved successfully.",
+    );
+    e.sample(
+        "graphpim_units_resolved_total",
+        &[],
+        counters.units_resolved as f64,
+    );
+    e.family(
+        "graphpim_units_panicked_total",
+        "counter",
+        "Run units whose engine run panicked (contained per unit).",
+    );
+    e.sample(
+        "graphpim_units_panicked_total",
+        &[],
+        counters.units_panicked as f64,
+    );
+    e.family(
+        "graphpim_admission_shed_total",
+        "counter",
+        "Sweep submissions refused at admission, by reason.",
+    );
+    for (reason, count) in counters.shed {
+        e.sample(
+            "graphpim_admission_shed_total",
+            &[("reason", reason)],
+            count as f64,
+        );
+    }
+
+    let profile = shared.ctx.profile();
+    e.family(
+        "graphpim_engine_runs_total",
+        "counter",
+        "Runs resolved by the engine, by result source.",
+    );
+    for source in ["simulated", "replayed", "disk-hit"] {
+        let count = profile
+            .runs()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    (r.source, source),
+                    (
+                        graphpim::experiments::profile::RunSource::Simulated,
+                        "simulated"
+                    ) | (
+                        graphpim::experiments::profile::RunSource::Replayed,
+                        "replayed"
+                    ) | (
+                        graphpim::experiments::profile::RunSource::DiskHit,
+                        "disk-hit"
+                    )
+                )
+            })
+            .count();
+        e.sample(
+            "graphpim_engine_runs_total",
+            &[("source", source)],
+            count as f64,
+        );
+    }
+    e.family(
+        "graphpim_engine_simulated_seconds_total",
+        "counter",
+        "Wall seconds spent simulating (live and replayed runs).",
+    );
+    e.sample(
+        "graphpim_engine_simulated_seconds_total",
+        &[],
+        profile.simulated_seconds(),
+    );
+
+    let (hits, misses, stale) = profile.disk_counts();
+    e.family(
+        "graphpim_disk_cache_lookups_total",
+        "counter",
+        "Run-cache disk lookups, by result.",
+    );
+    for (result, count) in [("hit", hits), ("miss", misses), ("stale", stale)] {
+        e.sample(
+            "graphpim_disk_cache_lookups_total",
+            &[("result", result)],
+            count as f64,
+        );
+    }
+
+    // The trace-store registry keeps its dotted engine names; sanitize
+    // maps them onto the metric-name grammar one family per counter.
+    for (name, value) in shared.ctx.profile().tracestore_counters().iter() {
+        let metric = format!("graphpim_{}", prom::sanitize(name));
+        e.family(
+            &metric,
+            "counter",
+            &format!("Engine counter {name} (trace store)."),
+        );
+        e.sample(&metric, &[], value);
+    }
+
+    e.family(
+        "graphpim_http_request_duration_micros",
+        "histogram",
+        "Request handling latency per endpoint, microseconds.",
+    );
+    for (endpoint, hist) in shared.stats.snapshot() {
+        e.histogram(
+            "graphpim_http_request_duration_micros",
+            &[("endpoint", endpoint)],
+            &hist,
+        );
+    }
+
+    e.family(
+        "graphpim_log_lines_total",
+        "counter",
+        "Log lines per level, emitted vs dropped (filtered or failed).",
+    );
+    for (level, emitted, dropped) in graphpim::obs::stats() {
+        e.sample(
+            "graphpim_log_lines_total",
+            &[("level", level.as_str()), ("outcome", "emitted")],
+            emitted as f64,
+        );
+        e.sample(
+            "graphpim_log_lines_total",
+            &[("level", level.as_str()), ("outcome", "dropped")],
+            dropped as f64,
+        );
+    }
+
+    e.finish()
+}

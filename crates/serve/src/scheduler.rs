@@ -27,7 +27,7 @@ use graphpim::experiments::{Experiments, RunKey};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,10 @@ pub struct Job {
     pub client: String,
     /// Human-readable label, e.g. `fig07` or `keys:3`.
     pub label: String,
+    /// Request-correlated trace ID, assigned at the acceptor and
+    /// carried by every event line, log line, run record, and Perfetto
+    /// export the job causes.
+    pub trace: String,
     /// Number of run units in the job.
     pub total: usize,
     /// Admission-time cost estimate, seconds.
@@ -63,11 +67,19 @@ struct JobState {
 }
 
 impl Job {
-    fn new(id: u64, client: &str, label: &str, total: usize, est_seconds: f64) -> Arc<Job> {
+    fn new(
+        id: u64,
+        client: &str,
+        label: &str,
+        trace: &str,
+        total: usize,
+        est_seconds: f64,
+    ) -> Arc<Job> {
         Arc::new(Job {
             id,
             client: client.to_string(),
             label: label.to_string(),
+            trace: trace.to_string(),
             total,
             est_seconds,
             state: Mutex::new(JobState {
@@ -98,8 +110,8 @@ impl Job {
         if completed {
             state.done = true;
             let line = format!(
-                "{{\"event\": \"done\", \"job\": {}, \"runs\": {}}}",
-                self.id, self.total
+                "{{\"event\": \"done\", \"job\": {}, \"trace\": \"{}\", \"runs\": {}}}",
+                self.id, self.trace, self.total
             );
             state.events.push(line);
         }
@@ -136,11 +148,13 @@ impl Job {
     pub fn snapshot_json(&self) -> String {
         let state = crate::sync::lock(&self.state);
         format!(
-            "{{\"job\": {}, \"label\": \"{}\", \"client\": \"{}\", \"total\": {}, \
+            "{{\"job\": {}, \"label\": \"{}\", \"client\": \"{}\", \"trace\": \"{}\", \
+             \"total\": {}, \
              \"remaining\": {}, \"done\": {}, \"est_seconds\": {:?}, \"events\": {}}}",
             self.id,
             self.label,
             self.client,
+            self.trace,
             self.total,
             state.remaining,
             state.done,
@@ -158,6 +172,8 @@ struct Unit {
     seq: u64,
     /// Estimate in seconds, for queue-cost accounting.
     est_seconds: f64,
+    /// When the unit entered the queue, for queue-wait accounting.
+    queued_at: Instant,
     key: RunKey,
     job: Arc<Job>,
 }
@@ -208,6 +224,33 @@ pub struct Depth {
     pub jobs: usize,
 }
 
+/// Monotonic lifetime counters, exposed by `GET /metrics`.
+#[derive(Debug, Default)]
+struct LifetimeCounters {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    units_resolved: AtomicU64,
+    units_panicked: AtomicU64,
+    shed_draining: AtomicU64,
+    shed_budget: AtomicU64,
+    shed_client_cap: AtomicU64,
+}
+
+/// Snapshot of the scheduler's monotonic lifetime counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSnapshot {
+    /// Jobs admitted (including empty, instantly-done jobs).
+    pub jobs_submitted: u64,
+    /// Jobs whose last unit finished (empty jobs count at submission).
+    pub jobs_completed: u64,
+    /// Units resolved successfully.
+    pub units_resolved: u64,
+    /// Units whose engine run panicked.
+    pub units_panicked: u64,
+    /// Submissions shed per [`Shed`] reason id.
+    pub shed: [(&'static str, u64); 3],
+}
+
 /// The shared scheduler: admission gate, priority queue, worker pool.
 pub struct Scheduler {
     ctx: Arc<Experiments>,
@@ -219,6 +262,7 @@ pub struct Scheduler {
     /// Signals `wait_idle` that the queue fully quiesced.
     idle_cv: Condvar,
     draining_flag: AtomicBool,
+    counters: LifetimeCounters,
 }
 
 impl Scheduler {
@@ -248,6 +292,7 @@ impl Scheduler {
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             draining_flag: AtomicBool::new(false),
+            counters: LifetimeCounters::default(),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -268,9 +313,16 @@ impl Scheduler {
         self.draining_flag.load(Ordering::Relaxed)
     }
 
-    /// Submits a sweep. Keys must be pre-validated; cached keys cost
-    /// zero against the budget. Returns the job, or the shed reason.
-    pub fn submit(&self, client: &str, label: &str, keys: Vec<RunKey>) -> Result<Arc<Job>, Shed> {
+    /// Submits a sweep under the request's `trace` ID. Keys must be
+    /// pre-validated; cached keys cost zero against the budget. Returns
+    /// the job, or the shed reason.
+    pub fn submit(
+        &self,
+        client: &str,
+        label: &str,
+        trace: &str,
+        keys: Vec<RunKey>,
+    ) -> Result<Arc<Job>, Shed> {
         // Estimate outside the lock: `cached_metrics` probes the disk.
         let estimates: Vec<f64> = keys
             .iter()
@@ -286,16 +338,21 @@ impl Scheduler {
 
         let mut state = crate::sync::lock(&self.state);
         if state.draining {
+            self.counters.shed_draining.fetch_add(1, Ordering::Relaxed);
             return Err(Shed::Draining);
         }
         let inflight = state.inflight.get(client).copied().unwrap_or(0);
         if inflight >= self.policy.client_inflight_cap {
+            self.counters
+                .shed_client_cap
+                .fetch_add(1, Ordering::Relaxed);
             return Err(Shed::ClientCap {
                 inflight,
                 cap: self.policy.client_inflight_cap,
             });
         }
         if est_total > 0.0 && state.queued_cost + est_total > self.policy.queue_budget_seconds {
+            self.counters.shed_budget.fetch_add(1, Ordering::Relaxed);
             return Err(Shed::Budget {
                 estimated: est_total,
                 queued: state.queued_cost,
@@ -305,18 +362,21 @@ impl Scheduler {
 
         let id = state.next_job;
         state.next_job += 1;
-        let job = Job::new(id, client, label, keys.len(), est_total);
+        self.counters.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, client, label, trace, keys.len(), est_total);
         job.push_event(format!(
             "{{\"event\": \"queued\", \"job\": {id}, \"label\": \"{label}\", \
-             \"keys\": {}, \"est_seconds\": {est_total:?}}}",
+             \"trace\": \"{trace}\", \"keys\": {}, \"est_seconds\": {est_total:?}}}",
             keys.len()
         ));
         if keys.is_empty() {
+            self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
             job.push_event(format!(
-                "{{\"event\": \"done\", \"job\": {id}, \"runs\": 0}}"
+                "{{\"event\": \"done\", \"job\": {id}, \"trace\": \"{trace}\", \"runs\": 0}}"
             ));
         } else {
             *state.inflight.entry(client.to_string()).or_insert(0) += 1;
+            let queued_at = Instant::now();
             for (key, est) in keys.into_iter().zip(estimates) {
                 let seq = state.next_seq;
                 state.next_seq += 1;
@@ -324,12 +384,24 @@ impl Scheduler {
                     est_micros: (est * 1e6) as u64,
                     seq,
                     est_seconds: est,
+                    queued_at,
                     key,
                     job: Arc::clone(&job),
                 }));
             }
             state.queued_cost += est_total;
         }
+        graphpim::obs::info(
+            "serve",
+            "job queued",
+            &[
+                ("job", &id),
+                ("label", &label),
+                ("client", &client),
+                ("keys", &job.total),
+                ("est_seconds", &format!("{est_total:.3}")),
+            ],
+        );
         state.jobs.push_back(Arc::clone(&job));
         while state.jobs.len() > JOB_HISTORY {
             match state.jobs.front() {
@@ -351,6 +423,28 @@ impl Scheduler {
             .iter()
             .find(|j| j.id == id)
             .cloned()
+    }
+
+    /// Snapshot of the lifetime counters for `/metrics`.
+    pub fn counters(&self) -> CounterSnapshot {
+        let c = &self.counters;
+        CounterSnapshot {
+            jobs_submitted: c.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: c.jobs_completed.load(Ordering::Relaxed),
+            units_resolved: c.units_resolved.load(Ordering::Relaxed),
+            units_panicked: c.units_panicked.load(Ordering::Relaxed),
+            shed: [
+                ("draining", c.shed_draining.load(Ordering::Relaxed)),
+                (
+                    "queue_budget_exceeded",
+                    c.shed_budget.load(Ordering::Relaxed),
+                ),
+                (
+                    "client_inflight_cap",
+                    c.shed_client_cap.load(Ordering::Relaxed),
+                ),
+            ],
+        }
     }
 
     /// Current queue depth.
@@ -412,11 +506,19 @@ impl Scheduler {
     fn resolve(&self, unit: &Unit) {
         let stem = unit.key.file_stem();
         let job = &unit.job;
+        let queue_wait_us = unit.queued_at.elapsed().as_secs_f64() * 1e6;
         job.push_event(format!(
             "{{\"event\": \"scheduled\", \"job\": {}, \"key\": \"{stem}\", \
-             \"est_seconds\": {:?}}}",
-            job.id, unit.est_seconds
+             \"trace\": \"{}\", \"queue_wait_us\": {:.0}, \"est_seconds\": {:?}}}",
+            job.id, job.trace, queue_wait_us, unit.est_seconds
         ));
+        // Thread the request-correlated trace ID (and the measured queue
+        // wait) to the engine via the observability context: the profile
+        // stamps run records with it and the Perfetto exporter adds the
+        // pid-3 job row, with no engine signature changes.
+        let _trace_guard = graphpim::obs::push_context("trace", &job.trace);
+        let _wait_guard =
+            graphpim::obs::push_context("queue_wait_us", &format!("{queue_wait_us:.0}"));
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| self.ctx.metrics_for(&unit.key)));
         let wall = start.elapsed().as_secs_f64();
@@ -449,21 +551,48 @@ impl Scheduler {
                             .seed_skew(unit.key.size, &self.ctx.graph(unit.key.size));
                     }
                 }
+                self.counters.units_resolved.fetch_add(1, Ordering::Relaxed);
                 job.push_event(format!(
                     "{{\"event\": \"run\", \"job\": {}, \"key\": \"{stem}\", \
-                     \"source\": \"{label}\", \"wall_seconds\": {wall:?}}}",
-                    job.id
+                     \"trace\": \"{}\", \"source\": \"{label}\", \"wall_seconds\": {wall:?}}}",
+                    job.id, job.trace
                 ));
+                graphpim::obs::debug(
+                    "serve",
+                    "unit resolved",
+                    &[
+                        ("job", &job.id),
+                        ("key", &stem),
+                        ("source", &label),
+                        ("wall_seconds", &format!("{wall:.3}")),
+                    ],
+                );
             }
             Err(_) => {
+                self.counters.units_panicked.fetch_add(1, Ordering::Relaxed);
                 job.push_event(format!(
                     "{{\"event\": \"error\", \"job\": {}, \"key\": \"{stem}\", \
-                     \"id\": \"run_panicked\", \"wall_seconds\": {wall:?}}}",
-                    job.id
+                     \"trace\": \"{}\", \"id\": \"run_panicked\", \"wall_seconds\": {wall:?}}}",
+                    job.id, job.trace
                 ));
+                graphpim::obs::error(
+                    "serve",
+                    "unit panicked",
+                    &[("job", &job.id), ("key", &stem)],
+                );
             }
         }
         if job.finish_unit() {
+            self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            graphpim::obs::info(
+                "serve",
+                "job done",
+                &[
+                    ("job", &job.id),
+                    ("label", &job.label),
+                    ("runs", &job.total),
+                ],
+            );
             let mut state = crate::sync::lock(&self.state);
             if let Some(count) = state.inflight.get_mut(&job.client) {
                 *count = count.saturating_sub(1);
@@ -508,7 +637,7 @@ mod tests {
             RunKey::new("DC", PimMode::Baseline, LdbcSize::K1),
             RunKey::new("DC", PimMode::GraphPim, LdbcSize::K1),
         ];
-        let job = sched.submit("alice", "test", keys).expect("admitted");
+        let job = sched.submit("alice", "test", "t0", keys).expect("admitted");
         // Follow to completion. The done flag lands atomically with the
         // terminal event, so one final non-blocking drain suffices.
         let mut from = 0;
@@ -541,6 +670,7 @@ mod tests {
         let refused = sched.submit(
             "bob",
             "late",
+            "t1",
             vec![RunKey::new("DC", PimMode::Baseline, LdbcSize::K1)],
         );
         assert_eq!(refused.unwrap_err(), Shed::Draining);
@@ -560,11 +690,17 @@ mod tests {
         let refused = sched.submit(
             "alice",
             "big",
+            "t2",
             vec![RunKey::new("DC", PimMode::Baseline, LdbcSize::M1)],
         );
         assert!(matches!(refused.unwrap_err(), Shed::Budget { .. }));
         // Empty jobs are free and never block the cap for long...
-        let free = sched.submit("alice", "empty", Vec::new()).unwrap();
+        let free = sched.submit("alice", "empty", "t3", Vec::new()).unwrap();
+        // Counters saw one shed-for-budget and one instantly-done job.
+        let counters = sched.counters();
+        assert_eq!(counters.jobs_submitted, 1);
+        assert_eq!(counters.jobs_completed, 1);
+        assert_eq!(counters.shed[1], ("queue_budget_exceeded", 1));
         assert!(free.done());
         shutdown(&sched, handles);
     }
@@ -580,7 +716,7 @@ mod tests {
         let (sched, handles) = start(policy, 1);
         // A slow-ish run occupies alice's one slot...
         let key = RunKey::new("DC", PimMode::Baseline, LdbcSize::K1);
-        let first = sched.submit("alice", "one", vec![key.clone()]);
+        let first = sched.submit("alice", "one", "t4", vec![key.clone()]);
         assert!(first.is_ok());
         // ...a second concurrent submission may or may not still be in
         // flight depending on worker speed; to make it deterministic,
@@ -590,7 +726,7 @@ mod tests {
             ..AdmissionPolicy::default()
         };
         let (sched0, handles0) = start(zero_cap, 1);
-        let refused = sched0.submit("alice", "none", vec![key]);
+        let refused = sched0.submit("alice", "none", "t5", vec![key]);
         assert!(matches!(refused.unwrap_err(), Shed::ClientCap { .. }));
         shutdown(&sched, handles);
         shutdown(&sched0, handles0);
@@ -602,7 +738,7 @@ mod tests {
         // HTTP layer contains the panic per-request) must not wedge the
         // job for every later observer — the regression this crate's
         // sync helpers exist for.
-        let job = Job::new(7, "alice", "poison", 1, 0.5);
+        let job = Job::new(7, "alice", "poison", "t6", 1, 0.5);
         job.push_event("{\"event\": \"queued\"}".to_string());
         let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let _guard = job.state.lock().unwrap();
@@ -632,6 +768,7 @@ mod tests {
             .submit(
                 "c",
                 "prime",
+                "t7",
                 vec![RunKey::new("DC", PimMode::Baseline, LdbcSize::K1)],
             )
             .unwrap();
@@ -641,6 +778,7 @@ mod tests {
             .submit(
                 "c",
                 "slow",
+                "t8",
                 vec![RunKey::new("BFS", PimMode::Baseline, LdbcSize::K10)],
             )
             .unwrap();
@@ -648,6 +786,7 @@ mod tests {
             .submit(
                 "c",
                 "fast",
+                "t9",
                 vec![RunKey::new("BFS", PimMode::Baseline, LdbcSize::K1)],
             )
             .unwrap();

@@ -15,8 +15,9 @@
 //!
 //! | Route | Semantics |
 //! |---|---|
-//! | `GET /healthz` | liveness + scale + draining flag |
-//! | `GET /stats` | scheduler depth, engine counters, cost model, per-endpoint latency |
+//! | `GET /healthz` | liveness + scale + draining flag + version/uptime |
+//! | `GET /metrics` | Prometheus text exposition (see [`crate::metrics`]) |
+//! | `GET /stats` | scheduler depth, engine counters, cost model, per-endpoint latency, logger counters |
 //! | `GET /figures` | served figure ids |
 //! | `GET /figures/{fig}` | the figure document iff every run is cached, else `409` |
 //! | `GET /counters/{stem}` | cached run counters, exactly as the disk cache stores them |
@@ -88,7 +89,7 @@ pub fn error_json(id: &str, message: &str) -> String {
 /// buckets via [`Histogram`] — the same primitive the simulator uses
 /// for queue-wait distributions).
 #[derive(Debug, Default)]
-struct Stats {
+pub(crate) struct Stats {
     endpoints: Mutex<Vec<(&'static str, Histogram)>>,
 }
 
@@ -104,6 +105,11 @@ impl Stats {
                 endpoints.push((label, hist));
             }
         }
+    }
+
+    /// Clones the per-endpoint histograms for `/metrics` rendering.
+    pub(crate) fn snapshot(&self) -> Vec<(&'static str, Histogram)> {
+        crate::sync::lock(&self.endpoints).clone()
     }
 
     fn to_json(&self) -> String {
@@ -129,12 +135,12 @@ impl Stats {
     }
 }
 
-struct Shared {
-    ctx: Arc<Experiments>,
-    cost: Arc<CostModel>,
-    sched: Arc<Scheduler>,
-    stats: Stats,
-    started: Instant,
+pub(crate) struct Shared {
+    pub(crate) ctx: Arc<Experiments>,
+    pub(crate) cost: Arc<CostModel>,
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) stats: Stats,
+    pub(crate) started: Instant,
     io_timeout: Duration,
     /// Set by `POST /shutdown` or [`ServerHandle::begin_shutdown`].
     shutdown: AtomicBool,
@@ -280,17 +286,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => {
             let mut w = BufWriter::new(stream);
             let _ = Response::json(400, error_json("bad_request", "malformed HTTP request"))
+                .with_header("X-Trace-Id", &graphpim::obs::new_trace_id())
                 .write_to(&mut w);
             return;
         }
     };
+    // Every request carries a trace ID from here on: a sane inbound
+    // `X-Trace-Id` is honored (so callers can correlate across their own
+    // systems), anything else gets a fresh one. The context guard makes
+    // the ID appear on every log line this thread emits for the request.
+    let trace = trace_id(&req);
+    let _trace_guard = graphpim::obs::push_context("trace", &trace);
     let start = Instant::now();
 
     // The streaming endpoint owns the socket for the job's lifetime.
     if req.method == "GET" {
         if let Some(rest) = req.path.strip_prefix("/jobs/") {
             if let Some(id) = rest.strip_suffix("/events") {
-                stream_job_events(stream, shared, id);
+                stream_job_events(stream, shared, id, &trace);
                 shared
                     .stats
                     .record("GET /jobs/{id}/events", start.elapsed().as_secs_f64() * 1e6);
@@ -301,6 +314,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
     let routed = catch_unwind(AssertUnwindSafe(|| route(shared, &req, &peer)));
     let (label, response) = routed.unwrap_or_else(|_| {
+        graphpim::obs::error(
+            "serve",
+            "handler panicked",
+            &[("method", &req.method), ("path", &req.path)],
+        );
         (
             "panic",
             Response::json(
@@ -313,13 +331,32 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .stats
         .record(label, start.elapsed().as_secs_f64() * 1e6);
     let mut w = BufWriter::new(stream);
-    let _ = response.write_to(&mut w);
+    let _ = response.with_header("X-Trace-Id", &trace).write_to(&mut w);
+}
+
+/// The request's trace ID: a sane inbound `X-Trace-Id` (1–64 graphical
+/// ASCII characters, no quotes or backslashes — the ID is echoed into
+/// JSON event lines and logfmt values verbatim), else a fresh one.
+fn trace_id(req: &Request) -> String {
+    match req.header("x-trace-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 64
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\') =>
+        {
+            id.to_string()
+        }
+        _ => graphpim::obs::new_trace_id(),
+    }
 }
 
 /// Routes one parsed request. Returns the stats label and the response.
 fn route(shared: &Shared, req: &Request, peer: &str) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("GET /healthz", healthz(shared)),
+        ("GET", "/metrics") => ("GET /metrics", crate::metrics::metrics(shared)),
         ("GET", "/stats") => ("GET /stats", stats(shared)),
         ("GET", "/figures") => ("GET /figures", list_figures()),
         ("POST", "/sweeps") => ("POST /sweeps", submit_sweep(shared, req, peer)),
@@ -353,11 +390,24 @@ fn healthz(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\": \"ok\", \"scale\": \"{}\", \"draining\": {}}}",
+            "{{\"status\": \"ok\", \"scale\": \"{}\", \"draining\": {}, \
+             \"uptime_seconds\": {:?}, \"version\": \"{}\", \"profile\": \"{}\"}}",
             shared.ctx.size().name(),
-            shared.sched.draining()
+            shared.sched.draining(),
+            shared.started.elapsed().as_secs_f64(),
+            env!("CARGO_PKG_VERSION"),
+            build_profile(),
         ),
     )
+}
+
+/// The build profile this binary was compiled under.
+pub(crate) fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
 }
 
 fn stats(shared: &Shared) -> Response {
@@ -379,7 +429,7 @@ fn stats(shared: &Shared) -> Response {
          \"simulated_seconds\": {:?}, \"disk_hits\": {hits}, \
          \"disk_misses\": {misses}, \"disk_stale\": {stale}, \
          \"trace_captures\": {}, \"trace_replays\": {}}}, \
-         \"cost_model\": {}, \"endpoints\": {}}}",
+         \"cost_model\": {}, \"endpoints\": {}, \"logger\": {}}}",
         shared.started.elapsed().as_secs_f64(),
         shared.ctx.size().name(),
         shared.sched.draining(),
@@ -392,9 +442,27 @@ fn stats(shared: &Shared) -> Response {
         trace.captures,
         trace.replays,
         shared.cost.snapshot_json(),
-        shared.stats.to_json()
+        shared.stats.to_json(),
+        logger_json(),
     );
     Response::json(200, body)
+}
+
+/// The logger's per-level emitted/dropped counters as a JSON object.
+fn logger_json() -> String {
+    let mut s = String::from("{");
+    for (i, (level, emitted, dropped)) in graphpim::obs::stats().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\"{}\": {{\"emitted\": {emitted}, \"dropped\": {dropped}}}",
+            level.as_str()
+        );
+    }
+    s.push('}');
+    s
 }
 
 fn list_figures() -> Response {
@@ -590,16 +658,31 @@ fn submit_sweep(shared: &Shared, req: &Request, peer: &str) -> Response {
         );
     };
 
-    match shared.sched.submit(&client, &label, keys) {
+    // The request's trace ID (pushed by `handle_connection`) becomes the
+    // job's: every event line, run record, and Perfetto export the job
+    // causes carries it.
+    let trace = graphpim::obs::context_value("trace").unwrap_or_else(graphpim::obs::new_trace_id);
+    match shared.sched.submit(&client, &label, &trace, keys) {
         Ok(job) => Response::json(
             202,
             format!(
-                "{{\"job\": {}, \"label\": \"{}\", \"keys\": {}, \
+                "{{\"job\": {}, \"label\": \"{}\", \"trace\": \"{}\", \"keys\": {}, \
                  \"est_seconds\": {:?}, \"events\": \"/jobs/{}/events\"}}",
-                job.id, job.label, job.total, job.est_seconds, job.id
+                job.id, job.label, job.trace, job.total, job.est_seconds, job.id
             ),
         ),
-        Err(shed) => Response::json(shed.status(), shed.to_json()),
+        Err(shed) => {
+            graphpim::obs::warn(
+                "serve",
+                "sweep shed",
+                &[
+                    ("client", &client),
+                    ("label", &label),
+                    ("reason", &shed.id()),
+                ],
+            );
+            Response::json(shed.status(), shed.to_json())
+        }
     }
 }
 
@@ -621,15 +704,21 @@ fn shutdown(shared: &Shared) -> Response {
 
 /// Streams a job's NDJSON events over a chunked response until the job
 /// completes (or the client disconnects).
-fn stream_job_events(stream: TcpStream, shared: &Shared, id: &str) {
+fn stream_job_events(stream: TcpStream, shared: &Shared, id: &str, trace: &str) {
     let job: Option<Arc<Job>> = id.parse::<u64>().ok().and_then(|id| shared.sched.job(id));
     let Some(job) = job else {
         let mut w = BufWriter::new(stream);
         let _ = Response::json(404, error_json("unknown_job", "no such job (or aged out)"))
+            .with_header("X-Trace-Id", trace)
             .write_to(&mut w);
         return;
     };
-    let Ok(mut writer) = ChunkedWriter::start(stream, 200, "application/x-ndjson") else {
+    let Ok(mut writer) = ChunkedWriter::start_with_headers(
+        stream,
+        200,
+        "application/x-ndjson",
+        &[("X-Trace-Id", trace)],
+    ) else {
         return;
     };
     let mut from = 0;
